@@ -1,0 +1,137 @@
+// Benchmarks regenerating the paper's evaluation: one bench per table and
+// figure (§5–§6). Each iteration runs the corresponding experiment on the
+// quick grid (small dataset analogues) so the whole suite finishes in
+// minutes; `cmd/experiments <name>` runs the full-size grids and is what
+// EXPERIMENTS.md records. Custom metrics report the figure's headline
+// number (e.g. geomean speedup) alongside wall time.
+package fingers_test
+
+import (
+	"testing"
+
+	"fingers/internal/exp"
+)
+
+// benchOpts is the quick grid: the two cache-resident graphs (As, Mi)
+// and three patterns spanning the parallelism classes (tc: branch-level
+// dominant; tt: set/segment-level dominant; cyc: mixed), with small chips
+// so a bench iteration stays under a few seconds.
+var benchOpts = exp.Options{Quick: true, FingersPEs: 2, FlexPEs: 4}
+
+// BenchmarkTable1Datasets regenerates Table 1: dataset statistics of the
+// synthetic analogues (full six-graph table; generation is cached).
+func BenchmarkTable1Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if exp.Table1() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2Area regenerates Table 2: the PE area breakdown and the
+// iso-area chip sizing.
+func BenchmarkTable2Area(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if exp.Table2() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig9SinglePE regenerates Figure 9: single-PE speedup of
+// FINGERS over FlexMiner (paper: 6.2× geomean, up to 13.2×).
+func BenchmarkFig9SinglePE(b *testing.B) {
+	opts := benchOpts
+	opts.FingersPEs, opts.FlexPEs = 1, 1
+	var mean, max float64
+	for i := 0; i < b.N; i++ {
+		grid := exp.Fig9(opts)
+		mean, max = grid.Mean(), grid.Max()
+	}
+	b.ReportMetric(mean, "geomean-speedup")
+	b.ReportMetric(max, "max-speedup")
+}
+
+// BenchmarkFig10Overall regenerates Figure 10: iso-area chip speedup
+// (paper: 2.8× geomean at 20 vs 40 PEs, up to 8.9×).
+func BenchmarkFig10Overall(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		mean = exp.Fig10(benchOpts).Mean()
+	}
+	b.ReportMetric(mean, "geomean-speedup")
+}
+
+// BenchmarkFig11BranchLevel regenerates Figure 11: the gain from
+// branch-level parallelism via the pseudo-DFS order (paper: up to 5×).
+func BenchmarkFig11BranchLevel(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		mean = exp.Fig11(benchOpts).Mean()
+	}
+	b.ReportMetric(mean, "geomean-gain")
+}
+
+// BenchmarkFig12IUScaling regenerates Figure 12: single-PE scalability in
+// the number of IUs under the iso-area rule #IUs × s_l = 384.
+func BenchmarkFig12IUScaling(b *testing.B) {
+	var best float64
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig12(benchOpts)
+		best = 0
+		for _, s := range r.Series {
+			for _, p := range s.Points {
+				if p.Speedup > best {
+					best = p.Speedup
+				}
+			}
+		}
+	}
+	b.ReportMetric(best, "best-speedup-vs-1IU")
+}
+
+// BenchmarkFig13CacheMiss regenerates Figure 13: shared-cache miss rate
+// versus capacity for the cyc pattern.
+func BenchmarkFig13CacheMiss(b *testing.B) {
+	var missAtDefault float64
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig13(benchOpts)
+		missAtDefault = r.Curves[0].Points[1].MissRate
+	}
+	b.ReportMetric(100*missAtDefault, "missrate-pct-at-default")
+}
+
+// BenchmarkTable3Utilization regenerates Table 3: IU active and balance
+// rates of one FINGERS PE on Mi.
+func BenchmarkTable3Utilization(b *testing.B) {
+	var active float64
+	for i := 0; i < b.N; i++ {
+		r := exp.Table3(benchOpts)
+		active = r.Rows[0].ActiveRate
+	}
+	b.ReportMetric(100*active, "active-rate-pct")
+}
+
+// BenchmarkAblations runs the design-choice sweeps DESIGN.md calls out:
+// pseudo-DFS group size, divider max load and count, segment geometry,
+// and root-scheduling policy.
+func BenchmarkAblations(b *testing.B) {
+	var points int
+	for i := 0; i < b.N; i++ {
+		points = 0
+		for _, r := range exp.Ablations(benchOpts) {
+			points += len(r.Points)
+		}
+	}
+	b.ReportMetric(float64(points), "config-points")
+}
+
+// BenchmarkParallelismCensus measures the §3 fine-grained parallelism
+// census (available branch/set/segment parallelism per workload).
+func BenchmarkParallelismCensus(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = len(exp.Parallelism(benchOpts).Rows)
+	}
+	b.ReportMetric(float64(rows), "workloads")
+}

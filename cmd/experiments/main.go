@@ -1,0 +1,150 @@
+// Command experiments regenerates the tables and figures of the FINGERS
+// paper's evaluation on the synthetic dataset analogues.
+//
+// Usage:
+//
+//	experiments [flags] <experiment>...
+//
+// where <experiment> is one of: table1, table2, fig9, fig10, fig11,
+// fig12, fig13, table3, all — plus the extensions: ablate (design-choice
+// sweeps) and parallelism (the §3 fine-grained parallelism census).
+//
+// Flags:
+//
+//	-quick          restrict to small graphs and three patterns (smoke run)
+//	-fingers-pes N  FINGERS chip size (default 20, the iso-area point)
+//	-flex-pes N     FlexMiner chip size (default 40)
+//	-cache-kb N     shared-cache capacity override in kB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"fingers/internal/exp"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "small graphs and pattern subset")
+	fiPEs := flag.Int("fingers-pes", 0, "FINGERS chip PE count (0 = paper default 20)")
+	fmPEs := flag.Int("flex-pes", 0, "FlexMiner chip PE count (0 = paper default 40)")
+	cacheKB := flag.Int64("cache-kb", 0, "shared-cache capacity override (kB)")
+	csvDir := flag.String("csv", "", "also write per-experiment CSV files into this directory")
+	flag.Parse()
+
+	opts := exp.Options{
+		Quick:            *quick,
+		FingersPEs:       *fiPEs,
+		FlexPEs:          *fmPEs,
+		SharedCacheBytes: *cacheKB << 10,
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table2|fig9|fig10|fig11|fig12|fig13|table3|ablate|parallelism|all>")
+		os.Exit(2)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	for _, name := range args {
+		if err := run(name, opts, *csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// csvWriter is any experiment result that can export itself as CSV.
+type csvWriter interface {
+	WriteCSV(w io.Writer) error
+}
+
+// saveCSV writes one result to <dir>/<name>.csv.
+func saveCSV(dir, name string, r csvWriter) error {
+	if dir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return r.WriteCSV(f)
+}
+
+func run(name string, opts exp.Options, csvDir string) error {
+	started := time.Now()
+	switch name {
+	case "table1":
+		fmt.Println(exp.Table1())
+	case "table2":
+		fmt.Println(exp.Table2())
+	case "fig9":
+		r := exp.Fig9(opts)
+		fmt.Println(r)
+		if err := saveCSV(csvDir, name, r); err != nil {
+			return err
+		}
+	case "fig10":
+		r := exp.Fig10(opts)
+		fmt.Println(r)
+		if err := saveCSV(csvDir, name, r); err != nil {
+			return err
+		}
+	case "fig11":
+		r := exp.Fig11(opts)
+		fmt.Println(r)
+		if err := saveCSV(csvDir, name, r); err != nil {
+			return err
+		}
+	case "fig12":
+		r := exp.Fig12(opts)
+		fmt.Println(r)
+		if err := saveCSV(csvDir, name, r); err != nil {
+			return err
+		}
+	case "fig13":
+		r := exp.Fig13(opts)
+		fmt.Println(r)
+		if err := saveCSV(csvDir, name, r); err != nil {
+			return err
+		}
+	case "table3":
+		r := exp.Table3(opts)
+		fmt.Println(r)
+		if err := saveCSV(csvDir, name, r); err != nil {
+			return err
+		}
+	case "ablate":
+		for i, r := range exp.Ablations(opts) {
+			fmt.Println(r)
+			if err := saveCSV(csvDir, fmt.Sprintf("ablate_%d", i), r); err != nil {
+				return err
+			}
+		}
+	case "parallelism":
+		r := exp.Parallelism(opts)
+		fmt.Println(r)
+		if err := saveCSV(csvDir, name, r); err != nil {
+			return err
+		}
+	case "all":
+		for _, n := range []string{"table1", "table2", "fig9", "fig10", "fig11", "fig12", "fig13", "table3"} {
+			if err := run(n, opts, csvDir); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	fmt.Printf("[%s completed in %v]\n\n", name, time.Since(started).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,78 @@
+// Command fingersim simulates one graph-mining workload on the FINGERS
+// accelerator, the FlexMiner baseline, or both, and reports cycles,
+// counts, memory statistics and IU utilization.
+//
+// Usage:
+//
+//	fingersim -graph Lj -pattern tt -arch both -pes 20
+//	fingersim -graph path/to/edges.txt -pattern 4cl -arch fingers -ius 48
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fingers/internal/datasets"
+	"fingers/internal/exp"
+	fingerspe "fingers/internal/fingers"
+	"fingers/internal/flexminer"
+	"fingers/internal/graph"
+)
+
+func main() {
+	graphArg := flag.String("graph", "Mi", "dataset mnemonic (As/Mi/Yo/Pa/Lj/Or) or edge-list path")
+	patternArg := flag.String("pattern", "tc", "benchmark pattern (tc/4cl/5cl/tt/cyc/dia/3mc or any named pattern)")
+	arch := flag.String("arch", "both", "fingers, flexminer, or both")
+	pes := flag.Int("pes", 1, "number of PEs")
+	ius := flag.Int("ius", 24, "IUs per FINGERS PE")
+	isoArea := flag.Bool("iso-area", true, "shrink segment length as IUs grow (#IUs × s_l const)")
+	cacheKB := flag.Int64("cache-kb", datasets.ScaledSharedCacheBytes>>10, "shared cache capacity (kB)")
+	pseudoDFS := flag.Bool("pseudo-dfs", true, "enable pseudo-DFS task grouping")
+	flag.Parse()
+
+	g, err := loadGraph(*graphArg)
+	if err != nil {
+		fatal(err)
+	}
+	plans, err := exp.PlansFor(*patternArg)
+	if err != nil {
+		fatal(err)
+	}
+	st := graph.ComputeStats(g)
+	fmt.Printf("graph: %d vertices, %d edges, avg degree %.1f, max degree %d\n",
+		st.Vertices, st.Edges, st.AvgDegree, st.MaxDegree)
+	fmt.Printf("pattern: %s (%d plan(s))\n", *patternArg, len(plans))
+
+	cache := *cacheKB << 10
+	if *arch == "fingers" || *arch == "both" {
+		cfg := fingerspe.DefaultConfig()
+		if *isoArea {
+			cfg = cfg.WithIUs(*ius)
+		} else {
+			cfg = cfg.WithIUsUnlimited(*ius)
+		}
+		cfg.PseudoDFS = *pseudoDFS
+		chip := fingerspe.NewChip(cfg, *pes, cache, g, plans)
+		res := chip.Run()
+		iu := chip.AggregateStats()
+		fmt.Printf("FINGERS   %2d PEs × %2d IUs (s_l=%d): %s\n", *pes, cfg.NumIUs, cfg.LongSegLen, res)
+		fmt.Printf("          IU active %.1f%%, balance %.1f%%\n", 100*iu.ActiveRate(), 100*iu.BalanceRate())
+	}
+	if *arch == "flexminer" || *arch == "both" {
+		res := flexminer.NewChip(flexminer.DefaultConfig(), *pes, cache, g, plans).Run()
+		fmt.Printf("FlexMiner %2d PEs: %s\n", *pes, res)
+	}
+}
+
+func loadGraph(arg string) (*graph.Graph, error) {
+	if d, err := datasets.ByName(arg); err == nil {
+		return d.Graph(), nil
+	}
+	return graph.LoadFile(arg)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fingersim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Clique scaling: k-clique listing for k = 3, 4, 5 on a clique-rich
+// graph, comparing the FINGERS accelerator against the FlexMiner baseline
+// at equal chip area, and showing how branch-level parallelism (the
+// pseudo-DFS task groups) is what carries clique patterns — the paper's
+// §6.2/§6.4 observation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fingers"
+)
+
+func main() {
+	d, err := fingers.DatasetByName("Mi")
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := d.Graph()
+
+	cfg := fingers.DefaultAcceleratorConfig()
+	fiPEs := fingers.IsoAreaPEs(cfg, 8) // budget of 8 baseline PEs
+	fmt.Printf("iso-area chips: %d FINGERS PEs vs 8 FlexMiner PEs\n\n", fiPEs)
+	fmt.Printf("%-5s %14s %14s %10s %14s\n", "k", "cliques", "FINGERS cyc", "speedup", "pseudo-DFS gain")
+
+	for _, name := range []string{"tc", "4cl", "5cl"} {
+		pat, err := fingers.PatternByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pl, err := fingers.CompilePlan(pat, fingers.PlanOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fi := fingers.SimulateFingers(cfg, fiPEs, 0, g, pl)
+		fm := fingers.SimulateFlexMiner(fingers.DefaultBaselineConfig(), 8, 0, g, pl)
+		if fi.Count != fm.Count {
+			log.Fatalf("%s: counts diverge (%d vs %d)", name, fi.Count, fm.Count)
+		}
+		// Ablate branch-level parallelism: strict DFS, single-task groups.
+		strict := cfg
+		strict.PseudoDFS = false
+		noBranch := fingers.SimulateFingers(strict, fiPEs, 0, g, pl)
+		fmt.Printf("%-5s %14d %14d %9.2fx %13.2fx\n",
+			name, fi.Count, fi.Cycles, fi.Speedup(fm), fi.Speedup(noBranch))
+	}
+	fmt.Println("\ncliques gain little from set-level parallelism (all candidate sets")
+	fmt.Println("are identical), so the pseudo-DFS gain column explains the speedup.")
+}

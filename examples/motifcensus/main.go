@@ -1,0 +1,46 @@
+// Motif census: multi-pattern mining (the paper's 3mc benchmark)
+// generalized to 3- and 4-vertex motifs. Counts every connected induced
+// subgraph class in one pass per size and prints the motif spectrum —
+// the fingerprint bioinformatics and social-science applications use.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fingers"
+)
+
+func main() {
+	d, err := fingers.DatasetByName("Mi")
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := d.Graph()
+	st := fingers.Stats(g)
+	fmt.Printf("graph Mi: %d vertices, %d edges\n\n", st.Vertices, st.Edges)
+
+	for _, k := range []int{3, 4} {
+		mp, err := fingers.CompileMotif(k, fingers.PlanOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		counts := fingers.CountMotifs(g, mp)
+		fmt.Printf("%d-motif spectrum (%d connected patterns):\n", k, len(mp.Plans))
+		var total uint64
+		for i, pl := range mp.Plans {
+			fmt.Printf("  %-28v %12d\n", pl.Pattern, counts[i])
+			total += counts[i]
+		}
+		fmt.Printf("  %-28s %12d\n\n", "total connected subgraphs", total)
+	}
+
+	// The accelerator runs the same multi-pattern plan: trunks share the
+	// search-tree root (paper §2.1).
+	mp, err := fingers.CompileMotif(3, fingers.PlanOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := fingers.SimulateFingers(fingers.DefaultAcceleratorConfig(), 4, 0, g, mp.Plans...)
+	fmt.Printf("3-motif on a 4-PE FINGERS chip: %s\n", res)
+}

@@ -1,0 +1,182 @@
+// Package fingers is a library-and-simulator reproduction of "FINGERS:
+// Exploiting Fine-Grained Parallelism in Graph Mining Accelerators"
+// (Chen, Tian, Gao — ASPLOS 2022).
+//
+// It bundles a pattern-aware graph mining stack — CSR graphs, pattern
+// compilation into execution plans with symmetry breaking, and an exact
+// software miner — with transaction-level timing models of the FINGERS
+// accelerator and its FlexMiner baseline, plus the experiment harness
+// that regenerates every table and figure of the paper's evaluation.
+//
+// This root package is the public façade: it re-exports the types and
+// entry points downstream users need, so one import suffices:
+//
+//	g, _ := fingers.LoadGraph("soc.txt")
+//	pat, _ := fingers.PatternByName("tt")
+//	pl, _ := fingers.CompilePlan(pat, fingers.PlanOptions{})
+//	n := fingers.CountParallel(g, pl, 0)              // software mining
+//	res := fingers.SimulateFingers(fingers.DefaultAcceleratorConfig(), 20, 0, g, pl)
+//	fmt.Println(n, res.Cycles)
+//
+// The building blocks live in internal packages (graph, pattern, plan,
+// mine, setops, mem, accel, fingers, flexminer, area, datasets, exp) and
+// are documented individually.
+package fingers
+
+import (
+	"fingers/internal/accel"
+	"fingers/internal/area"
+	"fingers/internal/datasets"
+	fingerspe "fingers/internal/fingers"
+	"fingers/internal/flexminer"
+	"fingers/internal/graph"
+	"fingers/internal/graph/gen"
+	"fingers/internal/mine"
+	"fingers/internal/pattern"
+	"fingers/internal/plan"
+)
+
+// Graph is an immutable undirected CSR graph with sorted neighbor lists.
+type Graph = graph.Graph
+
+// GraphBuilder accumulates edges and produces a normalized Graph.
+type GraphBuilder = graph.Builder
+
+// Edge is an undirected edge between two vertex IDs.
+type Edge = graph.Edge
+
+// GraphStats summarizes a graph as in the paper's Table 1.
+type GraphStats = graph.Stats
+
+// Pattern is a small query graph whose embeddings are mined.
+type Pattern = pattern.Pattern
+
+// Plan is a compiled execution plan: vertex order, set-operation schedule
+// and symmetry-breaking restrictions.
+type Plan = plan.Plan
+
+// MultiPlan mines several patterns in one traversal with a shared prefix.
+type MultiPlan = plan.MultiPlan
+
+// PlanOptions configures plan compilation.
+type PlanOptions = plan.Options
+
+// SimResult is the outcome of one accelerator simulation.
+type SimResult = accel.Result
+
+// AcceleratorConfig parameterizes a FINGERS processing element.
+type AcceleratorConfig = fingerspe.Config
+
+// BaselineConfig parameterizes a FlexMiner processing element.
+type BaselineConfig = flexminer.Config
+
+// IUStats reports intersect-unit utilization (the paper's Table 3 rates).
+type IUStats = fingerspe.IUStats
+
+// Dataset is one synthetic analogue of the paper's Table 1 graphs.
+type Dataset = datasets.Dataset
+
+// NewGraphBuilder returns a builder for a graph with at least n vertices.
+func NewGraphBuilder(n uint32) *GraphBuilder { return graph.NewBuilder(n) }
+
+// GraphFromEdges builds a normalized graph from an edge list.
+func GraphFromEdges(n uint32, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
+
+// LoadGraph reads a graph from a file: ".bin" paths use the binary CSR
+// format, anything else is parsed as a SNAP-style text edge list.
+func LoadGraph(path string) (*Graph, error) { return graph.LoadFile(path) }
+
+// SaveGraph writes a graph to a file in the format LoadGraph expects.
+func SaveGraph(path string, g *Graph) error { return graph.SaveFile(path, g) }
+
+// Stats computes the Table 1 statistics of a graph.
+func Stats(g *Graph) GraphStats { return graph.ComputeStats(g) }
+
+// NewPattern builds a pattern with n vertices and the given edges.
+func NewPattern(n int, edges [][2]int) Pattern { return pattern.New(n, edges) }
+
+// PatternByName returns a named benchmark pattern (tc, 4cl, 5cl, tt, cyc,
+// dia, wedge, house, …).
+func PatternByName(name string) (Pattern, error) { return pattern.ByName(name) }
+
+// PatternNames lists the available named patterns.
+func PatternNames() []string { return pattern.Names() }
+
+// CompilePlan compiles a pattern into an execution plan.
+func CompilePlan(p Pattern, opts PlanOptions) (*Plan, error) { return plan.Compile(p, opts) }
+
+// CompileMotif compiles the k-motif multi-pattern plan (every connected
+// pattern on k vertices).
+func CompileMotif(k int, opts PlanOptions) (*MultiPlan, error) { return plan.Motif(k, opts) }
+
+// Count mines the plan on g with the software reference miner and returns
+// the number of embeddings (each automorphism class counted once).
+func Count(g *Graph, pl *Plan) uint64 { return mine.Count(g, pl) }
+
+// CountParallel is Count parallelized over root vertices; workers ≤ 0
+// uses GOMAXPROCS.
+func CountParallel(g *Graph, pl *Plan, workers int) uint64 {
+	return mine.CountParallel(g, pl, workers)
+}
+
+// CountMotifs mines every plan of a multi-pattern plan, returning counts
+// in plan order.
+func CountMotifs(g *Graph, mp *MultiPlan) []uint64 { return mine.CountMulti(g, mp) }
+
+// ListEmbeddings enumerates embeddings, invoking visit with the mapped
+// vertices (slice reused across calls); returning false stops early.
+func ListEmbeddings(g *Graph, pl *Plan, visit func(emb []uint32) bool) {
+	mine.List(g, pl, visit)
+}
+
+// DefaultAcceleratorConfig returns the paper's FINGERS PE configuration:
+// 24 IUs, 12 task dividers, 16/4 segment lengths, 32 kB private cache.
+func DefaultAcceleratorConfig() AcceleratorConfig { return fingerspe.DefaultConfig() }
+
+// DefaultBaselineConfig returns the FlexMiner PE configuration.
+func DefaultBaselineConfig() BaselineConfig { return flexminer.DefaultConfig() }
+
+// SimulateFingers runs the FINGERS accelerator timing model with numPEs
+// processing elements; sharedCacheBytes = 0 keeps the 4 MB default. The
+// returned count is exact.
+func SimulateFingers(cfg AcceleratorConfig, numPEs int, sharedCacheBytes int64, g *Graph, plans ...*Plan) SimResult {
+	return fingerspe.NewChip(cfg, numPEs, sharedCacheBytes, g, plans).Run()
+}
+
+// SimulateFlexMiner runs the FlexMiner baseline timing model.
+func SimulateFlexMiner(cfg BaselineConfig, numPEs int, sharedCacheBytes int64, g *Graph, plans ...*Plan) SimResult {
+	return flexminer.NewChip(cfg, numPEs, sharedCacheBytes, g, plans).Run()
+}
+
+// SimulateFingersWithStats runs the FINGERS model and also returns the
+// aggregated IU utilization statistics (Table 3's rates).
+func SimulateFingersWithStats(cfg AcceleratorConfig, numPEs int, sharedCacheBytes int64, g *Graph, plans ...*Plan) (SimResult, IUStats) {
+	chip := fingerspe.NewChip(cfg, numPEs, sharedCacheBytes, g, plans)
+	res := chip.Run()
+	return res, chip.AggregateStats()
+}
+
+// IsoAreaPEs returns the FINGERS PE count that fits the area budget of
+// flexPEs FlexMiner PEs (the paper compares 20 vs 40).
+func IsoAreaPEs(cfg AcceleratorConfig, flexPEs int) int {
+	return area.IsoAreaPECount(cfg, flexPEs)
+}
+
+// GeneratePowerLawCluster generates a deterministic power-law clustered
+// graph (Holme–Kim): preferential attachment with probability triadP of
+// closing a triangle on each extra link. This is the generator behind the
+// social-network dataset analogues.
+func GeneratePowerLawCluster(n uint32, edgesPerVertex int, triadP float64, seed int64) *Graph {
+	return gen.PowerLawCluster(n, edgesPerVertex, triadP, seed)
+}
+
+// GenerateErdosRenyi generates a deterministic G(n, m) random graph.
+func GenerateErdosRenyi(n uint32, m int, seed int64) *Graph {
+	return gen.ErdosRenyi(n, m, seed)
+}
+
+// DatasetNames lists the Table 1 dataset mnemonics (As, Mi, Yo, Pa, Lj, Or).
+func DatasetNames() []string { return datasets.Names() }
+
+// DatasetByName returns the synthetic analogue of a Table 1 dataset.
+func DatasetByName(name string) (*Dataset, error) { return datasets.ByName(name) }

@@ -1,0 +1,108 @@
+package fingers_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fingers"
+)
+
+// TestFacadeEndToEnd exercises the public API the way the quickstart
+// example does: build, compile, mine, simulate, and compare.
+func TestFacadeEndToEnd(t *testing.T) {
+	g := fingers.GeneratePowerLawCluster(500, 5, 0.5, 7)
+	st := fingers.Stats(g)
+	if st.Vertices != 500 || st.Edges == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	pat, err := fingers.PatternByName("tt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := fingers.CompilePlan(pat, fingers.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingers.Count(g, pl)
+	if got := fingers.CountParallel(g, pl, 3); got != want {
+		t.Errorf("parallel count %d != %d", got, want)
+	}
+	fi := fingers.SimulateFingers(fingers.DefaultAcceleratorConfig(), 2, 0, g, pl)
+	fm := fingers.SimulateFlexMiner(fingers.DefaultBaselineConfig(), 2, 0, g, pl)
+	if fi.Count != want || fm.Count != want {
+		t.Errorf("simulated counts %d/%d, want %d", fi.Count, fm.Count, want)
+	}
+	if fi.Speedup(fm) <= 1 {
+		t.Errorf("FINGERS not faster: %.2f", fi.Speedup(fm))
+	}
+	res, iu := fingers.SimulateFingersWithStats(fingers.DefaultAcceleratorConfig(), 1, 0, g, pl)
+	if res.Count != want || iu.ActiveRate() <= 0 {
+		t.Errorf("stats run: count %d, active %.2f", res.Count, iu.ActiveRate())
+	}
+}
+
+func TestFacadeGraphIO(t *testing.T) {
+	g := fingers.GenerateErdosRenyi(100, 300, 3)
+	dir := t.TempDir()
+	for _, name := range []string{"g.txt", "g.bin"} {
+		path := filepath.Join(dir, name)
+		if err := fingers.SaveGraph(path, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := fingers.LoadGraph(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Errorf("%s: edge count changed", name)
+		}
+	}
+	if _, err := fingers.LoadGraph(filepath.Join(dir, "missing.txt")); !os.IsNotExist(err) {
+		t.Errorf("missing file error = %v", err)
+	}
+}
+
+func TestFacadeMotifs(t *testing.T) {
+	mp, err := fingers.CompileMotif(3, fingers.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := fingers.GeneratePowerLawCluster(300, 4, 0.6, 9)
+	counts := fingers.CountMotifs(g, mp)
+	if len(counts) != 2 || counts[0]+counts[1] == 0 {
+		t.Errorf("motif counts = %v", counts)
+	}
+}
+
+func TestFacadeEmbeddings(t *testing.T) {
+	g := fingers.GraphFromEdges(4, []fingers.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 0, V: 3}})
+	pat, _ := fingers.PatternByName("tc")
+	pl, _ := fingers.CompilePlan(pat, fingers.PlanOptions{})
+	var seen [][]uint32
+	fingers.ListEmbeddings(g, pl, func(emb []uint32) bool {
+		cp := append([]uint32(nil), emb...)
+		seen = append(seen, cp)
+		return true
+	})
+	if len(seen) != 1 {
+		t.Fatalf("triangles = %v", seen)
+	}
+}
+
+func TestFacadeDatasetsAndArea(t *testing.T) {
+	names := fingers.DatasetNames()
+	if len(names) != 6 {
+		t.Errorf("datasets = %v", names)
+	}
+	d, err := fingers.DatasetByName("As")
+	if err != nil || d.Graph().NumVertices() == 0 {
+		t.Errorf("As dataset: %v", err)
+	}
+	if n := fingers.IsoAreaPEs(fingers.DefaultAcceleratorConfig(), 40); n < 20 || n > 27 {
+		t.Errorf("iso-area PEs = %d", n)
+	}
+	if len(fingers.PatternNames()) < 8 {
+		t.Errorf("pattern library too small: %v", fingers.PatternNames())
+	}
+}

@@ -1,0 +1,3 @@
+module fingers
+
+go 1.22

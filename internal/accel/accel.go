@@ -1,0 +1,144 @@
+// Package accel provides the chip-level harness shared by the FlexMiner
+// baseline and the FINGERS accelerator models: a global root-vertex
+// scheduler (the coarse-grained, tree-level parallelism of §3.1), an
+// event-ordered multi-PE execution loop over the shared memory system,
+// and the result/statistics types the experiment harness consumes.
+package accel
+
+import (
+	"container/heap"
+	"fmt"
+
+	"fingers/internal/mem"
+)
+
+// RootScheduler hands out search-tree root vertices to PEs — the paper's
+// global scheduler that "assigns individual search trees rooted at
+// different vertices to separate PEs" (§4). The default hands out vertex
+// IDs in sequence, which places adjacent-ID roots on different PEs at the
+// same time — the locality-friendly policy §6.3 suggests; a custom order
+// enables load-balance and locality ablations.
+type RootScheduler struct {
+	next  int
+	n     int
+	order []uint32
+}
+
+// NewRootScheduler schedules roots 0..n-1 in ID order.
+func NewRootScheduler(n int) *RootScheduler { return &RootScheduler{n: n} }
+
+// NewRootSchedulerWithOrder schedules the given roots in the given order.
+func NewRootSchedulerWithOrder(order []uint32) *RootScheduler {
+	return &RootScheduler{n: len(order), order: order}
+}
+
+// Next returns the next root, or ok=false when the graph is exhausted.
+func (r *RootScheduler) Next() (v uint32, ok bool) {
+	if r.next >= r.n {
+		return 0, false
+	}
+	if r.order != nil {
+		v = r.order[r.next]
+	} else {
+		v = uint32(r.next)
+	}
+	r.next++
+	return v, true
+}
+
+// Remaining returns the number of unassigned roots.
+func (r *RootScheduler) Remaining() int { return r.n - r.next }
+
+// MemPort is a PE's view of the shared memory system: the shared cache,
+// reached through the NoC. *mem.Cache satisfies it directly (zero NoC
+// latency); noc.Port adds the mesh round trip.
+type MemPort interface {
+	// Access reads [addr, addr+bytes) at time now, returning completion.
+	Access(now mem.Cycles, addr, bytes int64) mem.Cycles
+	// Probe reports whether the range is resident, without side effects.
+	Probe(addr, bytes int64) bool
+}
+
+// PE is one processing element driven by the chip's event loop. Step
+// executes the PE's next unit of work (a task, or a task group) beginning
+// at its local time, advancing it; it returns false once the PE is
+// permanently idle (empty stack and no roots left).
+type PE interface {
+	// Time returns the PE's local clock.
+	Time() mem.Cycles
+	// Step advances the PE by one scheduling quantum.
+	Step() bool
+	// Count returns the embeddings found so far (per pattern for
+	// multi-pattern runs, summed by the harness).
+	Count() uint64
+}
+
+// peHeap orders PEs by local time so shared-resource accesses interleave
+// in approximately global time order.
+type peHeap []PE
+
+func (h peHeap) Len() int            { return len(h) }
+func (h peHeap) Less(i, j int) bool  { return h[i].Time() < h[j].Time() }
+func (h peHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *peHeap) Push(x interface{}) { *h = append(*h, x.(PE)) }
+func (h *peHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Result summarizes one simulated run.
+type Result struct {
+	// Cycles is the makespan: the largest finishing time over all PEs.
+	Cycles mem.Cycles
+	// Count is the total embeddings found (symmetry-broken).
+	Count uint64
+	// SharedCache reports shared-cache hit/miss statistics.
+	SharedCache mem.CacheStats
+	// DRAM reports off-chip traffic.
+	DRAM mem.DRAMStats
+	// PEBusy sums per-PE busy (non-idle) cycles, for utilization studies.
+	PEBusy mem.Cycles
+	// Tasks counts the extension tasks executed across all PEs.
+	Tasks int64
+}
+
+// Speedup returns other.Cycles / r.Cycles: how much faster r is.
+func (r Result) Speedup(other Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(other.Cycles) / float64(r.Cycles)
+}
+
+// String renders the headline numbers.
+func (r Result) String() string {
+	return fmt.Sprintf("cycles=%d count=%d tasks=%d missRate=%.1f%%",
+		r.Cycles, r.Count, r.Tasks, 100*r.SharedCache.MissRate())
+}
+
+// Run drives the PEs in event order until all are idle and returns the
+// makespan. Each heap pop selects the PE with the smallest local clock so
+// shared cache and DRAM state evolve in near-global order.
+func Run(pes []PE) mem.Cycles {
+	h := make(peHeap, 0, len(pes))
+	var makespan mem.Cycles
+	for _, pe := range pes {
+		h = append(h, pe)
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		pe := h[0]
+		if pe.Step() {
+			heap.Fix(&h, 0)
+			continue
+		}
+		if pe.Time() > makespan {
+			makespan = pe.Time()
+		}
+		heap.Pop(&h)
+	}
+	return makespan
+}

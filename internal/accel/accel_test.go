@@ -1,0 +1,138 @@
+package accel
+
+import (
+	"testing"
+
+	"fingers/internal/mem"
+)
+
+func TestRootSchedulerHandsOutAllRoots(t *testing.T) {
+	r := NewRootScheduler(5)
+	seen := map[uint32]bool{}
+	for {
+		v, ok := r.Next()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("root %d handed out twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("got %d roots, want 5", len(seen))
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("remaining = %d", r.Remaining())
+	}
+}
+
+// fakePE consumes a fixed number of steps, each advancing time.
+type fakePE struct {
+	now   mem.Cycles
+	step  mem.Cycles
+	left  int
+	count uint64
+}
+
+func (f *fakePE) Time() mem.Cycles { return f.now }
+func (f *fakePE) Count() uint64    { return f.count }
+func (f *fakePE) Step() bool {
+	if f.left == 0 {
+		return false
+	}
+	f.left--
+	f.now += f.step
+	return true
+}
+
+func TestRunReturnsMakespan(t *testing.T) {
+	pes := []PE{
+		&fakePE{step: 10, left: 3}, // finishes at 30
+		&fakePE{step: 7, left: 10}, // finishes at 70
+	}
+	if got := Run(pes); got != 70 {
+		t.Errorf("makespan = %d, want 70", got)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if got := Run(nil); got != 0 {
+		t.Errorf("empty makespan = %d", got)
+	}
+}
+
+func TestResultSpeedup(t *testing.T) {
+	a := Result{Cycles: 100}
+	b := Result{Cycles: 400}
+	if got := a.Speedup(b); got != 4 {
+		t.Errorf("speedup = %v, want 4", got)
+	}
+	zero := Result{}
+	if zero.Speedup(b) != 0 {
+		t.Error("zero-cycle speedup should be 0")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Cycles: 5, Count: 2, Tasks: 3}
+	if r.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+// orderedPE records the times at which it steps, via a shared log.
+type orderedPE struct {
+	now  mem.Cycles
+	step mem.Cycles
+	left int
+	log  *[]mem.Cycles
+}
+
+func (o *orderedPE) Time() mem.Cycles { return o.now }
+func (o *orderedPE) Count() uint64    { return 0 }
+func (o *orderedPE) Step() bool {
+	if o.left == 0 {
+		return false
+	}
+	*o.log = append(*o.log, o.now)
+	o.left--
+	o.now += o.step
+	return true
+}
+
+// TestRunInterleavesInEventOrder: the harness must always step the PE
+// with the smallest local clock, so the shared memory system observes
+// accesses in near-global time order.
+func TestRunInterleavesInEventOrder(t *testing.T) {
+	var log []mem.Cycles
+	pes := []PE{
+		&orderedPE{step: 7, left: 5, log: &log},
+		&orderedPE{step: 3, left: 10, log: &log},
+		&orderedPE{step: 11, left: 3, log: &log},
+	}
+	Run(pes)
+	for i := 1; i < len(log); i++ {
+		if log[i] < log[i-1] {
+			t.Fatalf("steps out of order at %d: %v", i, log)
+		}
+	}
+	if len(log) != 18 {
+		t.Errorf("steps = %d, want 18", len(log))
+	}
+}
+
+// TestSchedulerWithOrder hands out a custom order verbatim.
+func TestSchedulerWithOrder(t *testing.T) {
+	order := []uint32{5, 2, 9}
+	r := NewRootSchedulerWithOrder(order)
+	for i, want := range order {
+		v, ok := r.Next()
+		if !ok || v != want {
+			t.Fatalf("root %d = %d,%v want %d", i, v, ok, want)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("scheduler did not exhaust")
+	}
+}

@@ -1,0 +1,86 @@
+package area
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fingers/internal/fingers"
+)
+
+func TestPETotalMatchesPaper(t *testing.T) {
+	// Table 2 reports 0.934 mm² for the default configuration.
+	got := float64(PEBreakdown(fingers.DefaultConfig()).Total())
+	if math.Abs(got-0.934) > 0.002 {
+		t.Errorf("PE total = %.4f mm², want ≈ 0.934", got)
+	}
+}
+
+func TestBreakdownPercentagesMatchPaper(t *testing.T) {
+	b := PEBreakdown(fingers.DefaultConfig())
+	total := float64(b.Total())
+	cases := []struct {
+		name string
+		area MM2
+		want float64 // percent
+	}{
+		{"IUs", b.IUs, 12.3},
+		{"dividers", b.TaskDividers, 7.4},
+		{"stream buffers", b.StreamBufs, 22.9},
+		{"private cache", b.PrivateCache, 12.6},
+		{"others", b.Others, 44.8},
+	}
+	for _, c := range cases {
+		pct := 100 * float64(c.area) / total
+		if math.Abs(pct-c.want) > 0.3 {
+			t.Errorf("%s = %.1f%%, want ≈ %.1f%%", c.name, pct, c.want)
+		}
+	}
+}
+
+func TestPEArea15nmUnderTwiceFlexMiner(t *testing.T) {
+	// §6.1: the FINGERS PE at 15 nm is less than twice a FlexMiner PE.
+	got := PEArea15nm(fingers.DefaultConfig())
+	if got >= 2*FlexMinerPEArea15nm {
+		t.Errorf("PE at 15 nm = %.3f, not under 2 × %.3f", float64(got), float64(FlexMinerPEArea15nm))
+	}
+	if math.Abs(float64(got)-0.26) > 0.005 {
+		t.Errorf("PE at 15 nm = %.3f, want ≈ 0.26", float64(got))
+	}
+}
+
+func TestIsoAreaPECountIs20(t *testing.T) {
+	// §6.3: a 20-PE FINGERS chip is iso-area with the 40-PE FlexMiner chip.
+	n := IsoAreaPECount(fingers.DefaultConfig(), FlexMinerChipPEs)
+	if n < 20 || n > 27 {
+		t.Errorf("iso-area PE count = %d, want ≈ 20 (paper uses 20)", n)
+	}
+}
+
+func TestIsoAreaIUSweepKeepsBufferArea(t *testing.T) {
+	base := PEBreakdown(fingers.DefaultConfig())
+	for _, ius := range []int{1, 2, 4, 8, 16, 48} {
+		cfg := fingers.DefaultConfig().WithIUs(ius)
+		b := PEBreakdown(cfg)
+		if b.StreamBufs != base.StreamBufs {
+			t.Errorf("%d IUs: stream buffer area changed", ius)
+		}
+	}
+}
+
+func TestChipPower(t *testing.T) {
+	// §6.1: "the total power of FINGERS would be just a few watts".
+	w := ChipPowerW(20)
+	if w < 1 || w > 10 {
+		t.Errorf("chip power = %.2f W, want a few watts", w)
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	out := Table2(fingers.DefaultConfig())
+	for _, want := range []string{"24 Intersect Units", "12 Task Dividers", "PE Total", "Iso-area"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"fingers/internal/accel"
+	"fingers/internal/datasets"
+	"fingers/internal/fingers"
+	"fingers/internal/mem"
+)
+
+// AblationPoint is one configuration sample of an ablation sweep.
+type AblationPoint struct {
+	Label   string
+	Cycles  mem.Cycles
+	Speedup float64 // versus the sweep's default configuration
+}
+
+// AblationResult is one design-choice sweep on one workload.
+type AblationResult struct {
+	Name    string
+	Graph   string
+	Pattern string
+	Points  []AblationPoint
+}
+
+// String renders the sweep.
+func (r *AblationResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ablation %s (%s on %s)\n", r.Name, r.Pattern, r.Graph)
+	for _, p := range r.Points {
+		fmt.Fprintf(&sb, "  %-18s %12d cycles %7.2fx\n", p.Label, p.Cycles, p.Speedup)
+	}
+	return sb.String()
+}
+
+// ablationWorkload picks the sweep workload: a set-operation-rich pattern
+// on a graph small enough to sweep repeatedly.
+func ablationWorkload(opts Options) (*datasets.Dataset, string) {
+	if opts.Quick {
+		return datasets.Small()[1], "tt" // Mi
+	}
+	d, err := datasets.ByName("As")
+	if err != nil {
+		panic(err)
+	}
+	return d, "tt"
+}
+
+// ablConfig labels one swept PE configuration.
+type ablConfig struct {
+	label string
+	cfg   fingers.Config
+}
+
+func runAblation(opts Options, name string, configs []ablConfig, defaultIdx int) *AblationResult {
+	d, pat := ablationWorkload(opts)
+	plans, err := PlansFor(pat)
+	if err != nil {
+		panic(err)
+	}
+	res := &AblationResult{Name: name, Graph: d.Name, Pattern: pat}
+	cycles := make([]mem.Cycles, len(configs))
+	for i, c := range configs {
+		cycles[i] = RunFingers(c.cfg, 1, opts.cacheBytes(), d.Graph(), plans).Cycles
+	}
+	base := cycles[defaultIdx]
+	for i, c := range configs {
+		res.Points = append(res.Points, AblationPoint{
+			Label:   c.label,
+			Cycles:  cycles[i],
+			Speedup: float64(base) / float64(cycles[i]),
+		})
+	}
+	return res
+}
+
+// AblateGroupSize sweeps the pseudo-DFS task-group size against the
+// adaptive default (§4.1: "performance is insensitive to these
+// parameters" — this sweep verifies that claim).
+func AblateGroupSize(opts Options) *AblationResult {
+	sizes := []int{1, 2, 4, 8, 16, 32}
+	configs := []ablConfig{{"auto (paper)", fingers.DefaultConfig()}}
+	for _, s := range sizes {
+		c := fingers.DefaultConfig()
+		c.GroupSize = s
+		configs = append(configs, ablConfig{fmt.Sprintf("group=%d", s), c})
+	}
+	return runAblation(opts, "task-group size", configs, 0)
+}
+
+// AblateMaxLoad sweeps the load-balance split threshold of the task
+// dividers (§4.2).
+func AblateMaxLoad(opts Options) *AblationResult {
+	var configs []ablConfig
+	for _, ml := range []int{1, 2, 4, 8, 24} {
+		c := fingers.DefaultConfig()
+		c.MaxLoad = ml
+		configs = append(configs, ablConfig{fmt.Sprintf("maxload=%d", ml), c})
+	}
+	return runAblation(opts, "divider max load", configs, 1) // default 2
+}
+
+// AblateDividers sweeps the task-divider count (§4.2: 12 per PE).
+func AblateDividers(opts Options) *AblationResult {
+	var configs []ablConfig
+	idx := 0
+	for i, nd := range []int{1, 2, 4, 12, 24} {
+		c := fingers.DefaultConfig()
+		c.NumDividers = nd
+		if nd == 12 {
+			idx = i
+		}
+		configs = append(configs, ablConfig{fmt.Sprintf("dividers=%d", nd), c})
+	}
+	return runAblation(opts, "task dividers", configs, idx)
+}
+
+// AblateSegmentGeometry sweeps the (s_l, s_s) segment lengths at a fixed
+// IU count, isolating the geometry choice from the iso-area IU sweep of
+// Figure 12.
+func AblateSegmentGeometry(opts Options) *AblationResult {
+	var configs []ablConfig
+	idx := 0
+	for i, geo := range [][2]int{{4, 2}, {8, 2}, {16, 4}, {32, 8}, {64, 16}} {
+		c := fingers.DefaultConfig()
+		c.LongSegLen, c.ShortSegLen = geo[0], geo[1]
+		if geo[0] == 16 {
+			idx = i
+		}
+		configs = append(configs, ablConfig{fmt.Sprintf("sl=%d ss=%d", geo[0], geo[1]), c})
+	}
+	return runAblation(opts, "segment geometry", configs, idx)
+}
+
+// AblateRootOrder compares root-vertex scheduling policies on a full
+// FINGERS chip: sequential IDs (adjacent roots co-scheduled — the
+// locality policy §6.3 proposes), degree-descending (big trees first, a
+// load-balance policy), and a deterministic shuffle (locality destroyed).
+func AblateRootOrder(opts Options) *AblationResult {
+	d, pat := ablationWorkload(opts)
+	g := d.Graph()
+	plans, err := PlansFor(pat)
+	if err != nil {
+		panic(err)
+	}
+	n := g.NumVertices()
+	shuffled := make([]uint32, n)
+	for i := range shuffled {
+		shuffled[i] = uint32(i)
+	}
+	rng := rand.New(rand.NewSource(12345))
+	rng.Shuffle(n, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	policies := []struct {
+		label string
+		sched func() *accel.RootScheduler
+	}{
+		{"sequential", func() *accel.RootScheduler { return accel.NewRootScheduler(n) }},
+		{"degree-desc", func() *accel.RootScheduler { return accel.NewRootSchedulerWithOrder(g.DegreeOrder()) }},
+		{"shuffled", func() *accel.RootScheduler { return accel.NewRootSchedulerWithOrder(shuffled) }},
+	}
+	res := &AblationResult{Name: "root scheduling", Graph: d.Name, Pattern: pat}
+	pes := opts.fingersPEs()
+	var base mem.Cycles
+	for i, pol := range policies {
+		chip := fingers.NewChipWithScheduler(fingers.DefaultConfig(), pes, opts.cacheBytes(), g, plans, pol.sched())
+		r := chip.Run()
+		if i == 0 {
+			base = r.Cycles
+		}
+		res.Points = append(res.Points, AblationPoint{
+			Label:   pol.label,
+			Cycles:  r.Cycles,
+			Speedup: float64(base) / float64(r.Cycles),
+		})
+	}
+	return res
+}
+
+// Ablations runs every design-choice sweep.
+func Ablations(opts Options) []*AblationResult {
+	return []*AblationResult{
+		AblateGroupSize(opts),
+		AblateMaxLoad(opts),
+		AblateDividers(opts),
+		AblateSegmentGeometry(opts),
+		AblateRootOrder(opts),
+	}
+}

@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblateGroupSize(t *testing.T) {
+	r := AblateGroupSize(quick)
+	if len(r.Points) != 7 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	if r.Points[0].Label != "auto (paper)" || r.Points[0].Speedup != 1.0 {
+		t.Errorf("baseline point = %+v", r.Points[0])
+	}
+	// §4.1's insensitivity claim: no fixed group size should beat or trail
+	// the adaptive default by an order of magnitude.
+	for _, p := range r.Points {
+		if p.Speedup < 0.2 || p.Speedup > 5 {
+			t.Errorf("group-size sweep wildly sensitive: %+v", p)
+		}
+	}
+}
+
+func TestAblateMaxLoad(t *testing.T) {
+	r := AblateMaxLoad(quick)
+	if len(r.Points) != 5 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.Cycles <= 0 {
+			t.Errorf("no cycles for %s", p.Label)
+		}
+	}
+}
+
+func TestAblateDividersMoreIsNotWorse(t *testing.T) {
+	r := AblateDividers(quick)
+	// More dividers shorten the divider pipeline stage: cycles must be
+	// non-increasing along the sweep.
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].Cycles > r.Points[i-1].Cycles {
+			t.Errorf("dividers sweep not monotone: %s (%d) > %s (%d)",
+				r.Points[i].Label, r.Points[i].Cycles,
+				r.Points[i-1].Label, r.Points[i-1].Cycles)
+		}
+	}
+}
+
+func TestAblateSegmentGeometry(t *testing.T) {
+	r := AblateSegmentGeometry(quick)
+	if len(r.Points) != 5 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	found := false
+	for _, p := range r.Points {
+		if p.Label == "sl=16 ss=4" && p.Speedup == 1.0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("paper-default geometry is not the baseline")
+	}
+}
+
+func TestAblateRootOrderSameAnswerDifferentTiming(t *testing.T) {
+	r := AblateRootOrder(quick)
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	if r.Points[0].Label != "sequential" {
+		t.Errorf("baseline = %s", r.Points[0].Label)
+	}
+	for _, p := range r.Points {
+		if p.Cycles <= 0 {
+			t.Errorf("no cycles for %s", p.Label)
+		}
+	}
+}
+
+func TestAblationsRenderAll(t *testing.T) {
+	for _, r := range Ablations(quick) {
+		out := r.String()
+		if !strings.Contains(out, "ablation") || !strings.Contains(out, "cycles") {
+			t.Errorf("rendering broken:\n%s", out)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV export of every experiment result, one row per measurement, for
+// downstream plotting. All writers emit a header row and use the same
+// field conventions (speedups as plain floats, rates in [0,1]).
+
+// WriteCSV emits the grid as pattern,graph,fingers_cycles,flex_cycles,speedup.
+func (g *SpeedupGrid) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"pattern", "graph", "fingers_cycles", "baseline_cycles", "speedup"}); err != nil {
+		return err
+	}
+	for _, p := range g.Patterns {
+		for _, gr := range g.Graphs {
+			c, ok := g.Cells[p][gr]
+			if !ok {
+				continue
+			}
+			err := cw.Write([]string{
+				p, gr,
+				strconv.FormatInt(int64(c.Fingers.Cycles), 10),
+				strconv.FormatInt(int64(c.Flex.Cycles), 10),
+				strconv.FormatFloat(c.Speedup, 'f', 4, 64),
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits series,ius,seg_len,cycles,speedup rows.
+func (r *Fig12Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"series", "ius", "seg_len", "cycles", "speedup"}); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		label := s.Pattern
+		if s.Unlimited {
+			label += "-unlimited"
+		}
+		for _, p := range s.Points {
+			err := cw.Write([]string{
+				label,
+				strconv.Itoa(p.IUs),
+				strconv.Itoa(p.SegLen),
+				strconv.FormatInt(int64(p.Cycles), 10),
+				strconv.FormatFloat(p.Speedup, 'f', 4, 64),
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits graph,design,paper_capacity_mb,scaled_bytes,miss_rate rows.
+func (r *Fig13Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"graph", "design", "paper_capacity_mb", "scaled_bytes", "miss_rate"}); err != nil {
+		return err
+	}
+	for _, c := range r.Curves {
+		for _, p := range c.Points {
+			err := cw.Write([]string{
+				c.Graph, c.Design,
+				strconv.FormatFloat(p.PaperCapacityMB, 'f', 1, 64),
+				strconv.FormatInt(p.ScaledBytes, 10),
+				strconv.FormatFloat(p.MissRate, 'f', 6, 64),
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits pattern,active_rate,balance_rate rows.
+func (r *Table3Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"pattern", "active_rate", "balance_rate"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		err := cw.Write([]string{
+			row.Pattern,
+			strconv.FormatFloat(row.ActiveRate, 'f', 6, 64),
+			strconv.FormatFloat(row.BalanceRate, 'f', 6, 64),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits ablation,label,cycles,speedup rows.
+func (r *AblationResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"ablation", "label", "cycles", "speedup"}); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		err := cw.Write([]string{
+			r.Name, p.Label,
+			strconv.FormatInt(int64(p.Cycles), 10),
+			strconv.FormatFloat(p.Speedup, 'f', 4, 64),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits graph,pattern,branch,set,segment rows.
+func (r *ParallelismResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"graph", "pattern", "branch", "set", "segment"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		err := cw.Write([]string{
+			row.Graph, row.Pattern,
+			fmt.Sprintf("%.4f", row.Branch),
+			fmt.Sprintf("%.4f", row.Sets),
+			fmt.Sprintf("%.4f", row.Segments),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestSpeedupGridCSV(t *testing.T) {
+	grid := Fig9(Options{Quick: true})
+	var buf bytes.Buffer
+	if err := grid.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 1+len(grid.Patterns)*len(grid.Graphs) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if strings.Join(rows[0], ",") != "pattern,graph,fingers_cycles,baseline_cycles,speedup" {
+		t.Errorf("header = %v", rows[0])
+	}
+	for _, row := range rows[1:] {
+		if s, err := strconv.ParseFloat(row[4], 64); err != nil || s <= 0 {
+			t.Errorf("bad speedup cell %v", row)
+		}
+	}
+}
+
+func TestFig12CSV(t *testing.T) {
+	r := Fig12(Options{Quick: true})
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 1+len(Fig12IUCounts)*len(r.Series) {
+		t.Errorf("rows = %d", len(rows))
+	}
+}
+
+func TestFig13CSV(t *testing.T) {
+	r := Fig13(Options{Quick: true, FingersPEs: 2, FlexPEs: 4})
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 1+len(r.Curves)*len(Fig13PaperCapacitiesMB) {
+		t.Errorf("rows = %d", len(rows))
+	}
+	for _, row := range rows[1:] {
+		if m, err := strconv.ParseFloat(row[4], 64); err != nil || m < 0 || m > 1 {
+			t.Errorf("bad miss rate %v", row)
+		}
+	}
+}
+
+func TestTable3AndAblationAndParallelismCSV(t *testing.T) {
+	var buf bytes.Buffer
+	t3 := Table3(quick)
+	if err := t3.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if rows := parseCSV(t, &buf); len(rows) != 1+len(t3.Rows) {
+		t.Errorf("table3 rows = %d", len(rows))
+	}
+	buf.Reset()
+	ab := AblateMaxLoad(quick)
+	if err := ab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if rows := parseCSV(t, &buf); len(rows) != 1+len(ab.Points) {
+		t.Errorf("ablation rows = %d", len(rows))
+	}
+	buf.Reset()
+	pc := Parallelism(quick)
+	if err := pc.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if rows := parseCSV(t, &buf); len(rows) != 1+len(pc.Rows) {
+		t.Errorf("parallelism rows = %d", len(rows))
+	}
+}

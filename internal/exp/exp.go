@@ -1,0 +1,183 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (§6) on the synthetic dataset analogues: Table 1 (datasets),
+// Table 2 (area), Figure 9 (single-PE speedup), Figure 10 (iso-area chip
+// speedup), Figure 11 (branch-level parallelism ablation), Figure 12 (IU
+// scaling), Figure 13 (shared-cache miss curves) and Table 3 (IU
+// utilization). Each experiment returns a structured result and renders a
+// text table; absolute magnitudes differ from the paper (re-built
+// simulator, scaled graphs) but the comparative shape is the deliverable.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"fingers/internal/accel"
+	"fingers/internal/datasets"
+	"fingers/internal/fingers"
+	"fingers/internal/flexminer"
+	"fingers/internal/graph"
+	"fingers/internal/pattern"
+	"fingers/internal/plan"
+)
+
+// Benchmarks is the paper's pattern list (§5): cliques of size 3–5,
+// tailed triangle, 4-cycle, diamond, and the 3-motif multi-pattern task.
+var Benchmarks = []string{"tc", "4cl", "5cl", "tt", "cyc", "dia", "3mc"}
+
+// Options configures an experiment run.
+type Options struct {
+	// Quick restricts graphs and patterns to a fast subset for smoke
+	// tests; full runs reproduce the paper's whole grid.
+	Quick bool
+	// FlexPEs and FingersPEs set the chip sizes for Figure 10; zero keeps
+	// the paper's iso-area 40 vs 20.
+	FlexPEs, FingersPEs int
+	// SharedCacheBytes overrides the scaled default shared cache.
+	SharedCacheBytes int64
+}
+
+func (o Options) flexPEs() int {
+	if o.FlexPEs > 0 {
+		return o.FlexPEs
+	}
+	return 40
+}
+
+func (o Options) fingersPEs() int {
+	if o.FingersPEs > 0 {
+		return o.FingersPEs
+	}
+	return 20
+}
+
+func (o Options) cacheBytes() int64 {
+	if o.SharedCacheBytes > 0 {
+		return o.SharedCacheBytes
+	}
+	return datasets.ScaledSharedCacheBytes
+}
+
+func (o Options) graphs() []*datasets.Dataset {
+	if o.Quick {
+		return datasets.Small()
+	}
+	return datasets.All()
+}
+
+func (o Options) patterns() []string {
+	if o.Quick {
+		return []string{"tc", "tt", "cyc"}
+	}
+	return Benchmarks
+}
+
+// PlansFor compiles the plan set of one benchmark mnemonic; "3mc" expands
+// to the 3-motif multi-pattern plan.
+func PlansFor(name string) ([]*plan.Plan, error) {
+	if name == "3mc" {
+		mp, err := plan.Motif(3, plan.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return mp.Plans, nil
+	}
+	p, err := pattern.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return []*plan.Plan{plan.MustCompile(p, plan.Options{})}, nil
+}
+
+// RunFingers simulates a FINGERS chip on one benchmark cell.
+func RunFingers(cfg fingers.Config, pes int, cacheBytes int64, g *graph.Graph, plans []*plan.Plan) accel.Result {
+	return fingers.NewChip(cfg, pes, cacheBytes, g, plans).Run()
+}
+
+// RunFlexMiner simulates a FlexMiner chip on one benchmark cell.
+func RunFlexMiner(pes int, cacheBytes int64, g *graph.Graph, plans []*plan.Plan) accel.Result {
+	return flexminer.NewChip(flexminer.DefaultConfig(), pes, cacheBytes, g, plans).Run()
+}
+
+// SpeedupCell is one (graph, pattern) comparison.
+type SpeedupCell struct {
+	Graph, Pattern string
+	Fingers, Flex  accel.Result
+	Speedup        float64
+}
+
+// SpeedupGrid is a patterns × graphs speedup table (Figures 9 and 10).
+type SpeedupGrid struct {
+	Title    string
+	Patterns []string
+	Graphs   []string
+	Cells    map[string]map[string]SpeedupCell // pattern → graph → cell
+}
+
+// Mean returns the geometric-mean speedup over all cells.
+func (g *SpeedupGrid) Mean() float64 {
+	logSum, n := 0.0, 0
+	for _, row := range g.Cells {
+		for _, c := range row {
+			if c.Speedup > 0 {
+				logSum += math.Log(c.Speedup)
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Max returns the largest cell speedup.
+func (g *SpeedupGrid) Max() float64 {
+	max := 0.0
+	for _, row := range g.Cells {
+		for _, c := range row {
+			if c.Speedup > max {
+				max = c.Speedup
+			}
+		}
+	}
+	return max
+}
+
+// String renders the grid in the layout of the paper's bar charts: one
+// row per pattern, one column per graph.
+func (g *SpeedupGrid) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", g.Title)
+	fmt.Fprintf(&sb, "%-5s", "")
+	for _, gr := range g.Graphs {
+		fmt.Fprintf(&sb, "%8s", gr)
+	}
+	sb.WriteString("\n")
+	for _, p := range g.Patterns {
+		fmt.Fprintf(&sb, "%-5s", p)
+		for _, gr := range g.Graphs {
+			c, ok := g.Cells[p][gr]
+			if !ok {
+				fmt.Fprintf(&sb, "%8s", "-")
+				continue
+			}
+			fmt.Fprintf(&sb, "%7.2fx", c.Speedup)
+		}
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "geomean %.2fx, max %.2fx\n", g.Mean(), g.Max())
+	return sb.String()
+}
+
+func newGrid(title string, patterns []string, graphsList []*datasets.Dataset) *SpeedupGrid {
+	g := &SpeedupGrid{Title: title, Patterns: patterns, Cells: map[string]map[string]SpeedupCell{}}
+	for _, d := range graphsList {
+		g.Graphs = append(g.Graphs, d.Name)
+	}
+	for _, p := range patterns {
+		g.Cells[p] = map[string]SpeedupCell{}
+	}
+	return g
+}

@@ -1,0 +1,29 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParallelismQuickCensus(t *testing.T) {
+	r := Parallelism(quick)
+	if len(r.Rows) != 3 { // Mi × {tc, tt, cyc}
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byPattern := map[string]ParallelismRow{}
+	for _, row := range r.Rows {
+		byPattern[row.Pattern] = row
+		if row.Branch <= 0 || row.Sets <= 0 || row.Segments <= 0 {
+			t.Errorf("%s/%s: degenerate parallelism %+v", row.Graph, row.Pattern, row)
+		}
+	}
+	// §6.2: cliques have no set-level parallelism (one shared update per
+	// task); tt carries more distinct updates.
+	if tc, tt := byPattern["tc"], byPattern["tt"]; tc.Sets > 1.01 || tt.Sets <= tc.Sets {
+		t.Errorf("set-level census off: tc=%.2f tt=%.2f", tc.Sets, tt.Sets)
+	}
+	out := r.String()
+	if !strings.Contains(out, "census") || !strings.Contains(out, "segment") {
+		t.Errorf("rendering:\n%s", out)
+	}
+}

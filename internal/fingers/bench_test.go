@@ -1,0 +1,42 @@
+package fingers
+
+import (
+	"testing"
+
+	"fingers/internal/graph/gen"
+	"fingers/internal/pattern"
+	"fingers/internal/plan"
+)
+
+// BenchmarkSinglePE measures the simulator's throughput for one FINGERS
+// PE mining tailed triangles on a power-law graph.
+func BenchmarkSinglePE(b *testing.B) {
+	g := gen.PowerLawCluster(2000, 6, 0.5, 1)
+	pls := []*plan.Plan{mustPlan(b, "tt")}
+	b.ReportAllocs()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res := NewChip(DefaultConfig(), 1, 0, g, pls).Run()
+		cycles = int64(res.Cycles)
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+}
+
+// BenchmarkChip20PE measures the full-chip configuration.
+func BenchmarkChip20PE(b *testing.B) {
+	g := gen.PowerLawCluster(2000, 6, 0.5, 1)
+	pls := []*plan.Plan{mustPlan(b, "tc")}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NewChip(DefaultConfig(), 20, 0, g, pls).Run()
+	}
+}
+
+func mustPlan(b *testing.B, name string) *plan.Plan {
+	b.Helper()
+	p, err := pattern.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan.MustCompile(p, plan.Options{})
+}

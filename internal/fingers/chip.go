@@ -1,0 +1,70 @@
+package fingers
+
+import (
+	"fingers/internal/accel"
+	"fingers/internal/graph"
+	"fingers/internal/mem"
+	"fingers/internal/noc"
+	"fingers/internal/plan"
+)
+
+// Chip assembles a multi-PE FINGERS accelerator over one shared memory
+// hierarchy (Figure 5).
+type Chip struct {
+	PEs  []*PE
+	Hier *mem.Hierarchy
+}
+
+// NewChip builds a FINGERS chip with numPEs PEs mining the given plans.
+// sharedCacheBytes = 0 keeps the paper's 4 MB default.
+func NewChip(cfg Config, numPEs int, sharedCacheBytes int64, g *graph.Graph, plans []*plan.Plan) *Chip {
+	return NewChipWithScheduler(cfg, numPEs, sharedCacheBytes, g, plans,
+		accel.NewRootScheduler(g.NumVertices()))
+}
+
+// NewChipWithScheduler builds the chip with a custom root scheduler, for
+// root-ordering studies (locality and load-balance policies, §6.3).
+func NewChipWithScheduler(cfg Config, numPEs int, sharedCacheBytes int64, g *graph.Graph, plans []*plan.Plan, sched *accel.RootScheduler) *Chip {
+	hier := mem.NewHierarchy(sharedCacheBytes)
+	c := &Chip{Hier: hier}
+	net := noc.New(noc.DefaultConfig(), numPEs)
+	for i := 0; i < numPEs; i++ {
+		c.PEs = append(c.PEs, NewPE(cfg, g, plans, sched, noc.NewPort(net, i, hier.Shared)))
+	}
+	return c
+}
+
+// Run simulates the chip to completion.
+func (c *Chip) Run() accel.Result {
+	pes := make([]accel.PE, len(c.PEs))
+	for i, pe := range c.PEs {
+		pes[i] = pe
+	}
+	makespan := accel.Run(pes)
+	res := accel.Result{
+		Cycles:      makespan,
+		SharedCache: c.Hier.Shared.Stats(),
+		DRAM:        c.Hier.DRAM.Stats(),
+	}
+	for _, pe := range c.PEs {
+		res.Count += pe.Count()
+		res.Tasks += pe.Tasks()
+		res.PEBusy += pe.Time()
+	}
+	return res
+}
+
+// AggregateStats merges the IU utilization counters of all PEs.
+func (c *Chip) AggregateStats() IUStats {
+	var out IUStats
+	for _, pe := range c.PEs {
+		s := pe.Stats()
+		out.BusyIUCycles += s.BusyIUCycles
+		out.AssignedIUCycles += s.AssignedIUCycles
+		out.TotalCycles += s.TotalCycles
+		out.BalanceNum += s.BalanceNum
+		out.BalanceDen += s.BalanceDen
+		out.NumIUs = s.NumIUs
+	}
+	return out
+}

@@ -1,0 +1,418 @@
+package fingers
+
+import (
+	"fingers/internal/accel"
+	"fingers/internal/graph"
+	"fingers/internal/mem"
+	"fingers/internal/mine"
+	"fingers/internal/plan"
+	"fingers/internal/setops"
+)
+
+// IUStats reports the utilization measures of Table 3.
+type IUStats struct {
+	// BusyIUCycles sums, over all IUs, the cycles they executed workloads.
+	BusyIUCycles mem.Cycles
+	// AssignedIUCycles sums, per compute load, its subset size times its
+	// duration — the paper's active-rate numerator (§6.4's worked
+	// example: 2 IUs assigned a 10-cycle load in a 20-cycle window on 4
+	// IUs is 25% active).
+	AssignedIUCycles mem.Cycles
+	// TotalCycles is the PE's total running time.
+	TotalCycles mem.Cycles
+	// NumIUs is the IU count the rates normalize against.
+	NumIUs int
+	// BalanceNum and BalanceDen accumulate the balance rate: for each
+	// compute load (one set operation), the per-IU busy cycles of its
+	// assigned subset over the load duration times the subset size.
+	BalanceNum float64
+	BalanceDen float64
+}
+
+// ActiveRate returns the fraction of IU-cycles with workloads assigned
+// (§6.4).
+func (s IUStats) ActiveRate() float64 {
+	if s.TotalCycles == 0 || s.NumIUs == 0 {
+		return 0
+	}
+	return float64(s.AssignedIUCycles) / (float64(s.TotalCycles) * float64(s.NumIUs))
+}
+
+// BalanceRate returns how evenly each load's IU subset was used (§6.4).
+func (s IUStats) BalanceRate() float64 {
+	if s.BalanceDen == 0 {
+		return 0
+	}
+	return s.BalanceNum / s.BalanceDen
+}
+
+// frame is one stack entry: a parent node with its remaining unexplored
+// sibling candidates — the unit the pseudo-DFS scheduler pops task groups
+// from (§4.1).
+type frame struct {
+	engine int
+	node   *mine.Node
+	cands  []uint32
+	next   int
+}
+
+// PE is one FINGERS processing element.
+type PE struct {
+	cfg     Config
+	g       *graph.Graph
+	engines []*mine.Engine
+	roots   *accel.RootScheduler
+	shared  accel.MemPort
+	now     mem.Cycles
+	count   uint64
+	tasks   int64
+	groups  int64
+	stack   []frame
+	stats   IUStats
+
+	// Adaptive group sizing: exponential moving average of the IUs one
+	// task occupies, from its workload count (§4.1 uses average set sizes;
+	// the workload count is exactly that estimate after segmentation).
+	emaIUsPerTask float64
+
+	// Scratch reused across tasks.
+	iuBusy []mem.Cycles
+	opBusy []mem.Cycles
+	iuWl   []int
+}
+
+// NewPE builds a FINGERS PE over the shared cache.
+func NewPE(cfg Config, g *graph.Graph, plans []*plan.Plan, roots *accel.RootScheduler, shared accel.MemPort) *PE {
+	pe := &PE{
+		cfg:           cfg,
+		g:             g,
+		roots:         roots,
+		shared:        shared,
+		emaIUsPerTask: float64(cfg.NumIUs),
+		iuBusy:        make([]mem.Cycles, cfg.NumIUs),
+		opBusy:        make([]mem.Cycles, cfg.NumIUs),
+		iuWl:          make([]int, cfg.NumIUs),
+	}
+	pe.stats.NumIUs = cfg.NumIUs
+	for _, pl := range plans {
+		pe.engines = append(pe.engines, mine.NewEngine(g, pl))
+	}
+	return pe
+}
+
+// Time returns the PE's local clock.
+func (pe *PE) Time() mem.Cycles { return pe.now }
+
+// Count returns the embeddings found so far.
+func (pe *PE) Count() uint64 { return pe.count }
+
+// Tasks returns the number of extension tasks executed.
+func (pe *PE) Tasks() int64 { return pe.tasks }
+
+// Stats returns the IU utilization counters (finalized with the current
+// clock).
+func (pe *PE) Stats() IUStats {
+	s := pe.stats
+	s.TotalCycles = pe.now
+	return s
+}
+
+// groupSize returns the pseudo-DFS task-group size.
+func (pe *PE) groupSize() int {
+	if !pe.cfg.PseudoDFS {
+		return 1
+	}
+	if pe.cfg.GroupSize > 0 {
+		return pe.cfg.GroupSize
+	}
+	est := pe.emaIUsPerTask
+	if est < 1 {
+		est = 1
+	}
+	g := int(float64(pe.cfg.NumIUs)/est + 0.999)
+	if g < 1 {
+		g = 1
+	}
+	if g > pe.cfg.MaxGroupSize {
+		g = pe.cfg.MaxGroupSize
+	}
+	return g
+}
+
+// Step processes one task group (or starts a new root tree).
+func (pe *PE) Step() bool {
+	// Drop exhausted frames.
+	for len(pe.stack) > 0 && pe.stack[len(pe.stack)-1].next >= len(pe.stack[len(pe.stack)-1].cands) {
+		pe.stack = pe.stack[:len(pe.stack)-1]
+	}
+	if len(pe.stack) == 0 {
+		v, ok := pe.roots.Next()
+		if !ok {
+			return false
+		}
+		pe.startRoot(v)
+		return true
+	}
+	top := &pe.stack[len(pe.stack)-1]
+	g := pe.groupSize()
+	n := len(top.cands) - top.next
+	if n > g {
+		n = g
+	}
+	group := top.cands[top.next : top.next+n]
+	engineIdx := top.engine
+	parent := top.node
+	top.next += n
+	pe.runGroup(engineIdx, parent, group)
+	return true
+}
+
+// startRoot begins the search tree rooted at v: one task per plan trunk,
+// processed as a group so multi-pattern trunks share the root fetch.
+func (pe *PE) startRoot(v uint32) {
+	start := pe.now
+	done := pe.shared.Access(start, pe.g.NeighborAddr(v), pe.g.NeighborBytes(v))
+	t := done
+	for i, e := range pe.engines {
+		node, info := e.Start(v)
+		t = pe.computeTask(t, info)
+		pe.finishTask(i, e, node)
+	}
+	pe.now = t
+	pe.groups++
+}
+
+// runGroup executes a pseudo-DFS task group: the neighbor-list fetches of
+// all member tasks are issued at once (cache hits return immediately and
+// reorder ahead, §4.1), and member tasks compute back-to-back on the IU
+// array while later fetches are still in flight.
+func (pe *PE) runGroup(engineIdx int, parent *mine.Node, cands []uint32) {
+	e := pe.engines[engineIdx]
+	start := pe.now
+	type member struct {
+		v     uint32
+		ready mem.Cycles
+	}
+	members := make([]member, 0, len(cands))
+	// Cache-resident tasks are scheduled first — the implicit selection
+	// the paper implements by letting hits return immediately.
+	for _, v := range cands {
+		if pe.shared.Probe(pe.g.NeighborAddr(v), pe.g.NeighborBytes(v)) {
+			members = append(members, member{v: v})
+		}
+	}
+	for _, v := range cands {
+		if !pe.shared.Probe(pe.g.NeighborAddr(v), pe.g.NeighborBytes(v)) {
+			members = append(members, member{v: v})
+		}
+	}
+	for i := range members {
+		members[i].ready = pe.shared.Access(start, pe.g.NeighborAddr(members[i].v), pe.g.NeighborBytes(members[i].v))
+	}
+	t := start
+	for _, m := range members {
+		ready := m.ready
+		if t > ready {
+			ready = t
+		}
+		node, info := e.Extend(parent, m.v)
+		t = pe.computeTask(ready, info)
+		pe.finishTask(engineIdx, e, node)
+	}
+	pe.now = t
+	pe.groups++
+}
+
+// finishTask counts leaves or pushes the child's frame.
+func (pe *PE) finishTask(engineIdx int, e *mine.Engine, node *mine.Node) {
+	if node.Level == e.Plan.K()-2 {
+		pe.count += e.LeafCount(node)
+		return
+	}
+	cands := e.Candidates(node)
+	if len(cands) == 0 {
+		return
+	}
+	pe.stack = append(pe.stack, frame{engine: engineIdx, node: node, cands: cands})
+}
+
+// computeTask charges one task's compute phase: every distinct set
+// operation is segment-paired by the task dividers and its workloads are
+// list-scheduled across the IU array (§4.2, §4.3). Postponed ancestor
+// fetches are charged exposed at compute start (they are almost always
+// shared-cache hits). Returns the completion time.
+//
+// The PE is a five-stage macro pipeline (§4), so back-to-back tasks are
+// throughput-bound by their slowest stage — the IU occupancy for normal
+// tasks, or the divider / round-robin collection time for tiny ones — not
+// by the sum of all stage latencies.
+func (pe *PE) computeTask(ready mem.Cycles, info mine.TaskInfo) mem.Cycles {
+	pe.tasks++
+	for i := range pe.iuBusy {
+		pe.iuBusy[i] = 0
+		pe.iuWl[i] = 0
+	}
+	// Extra fetches beyond the new vertex's list (postponed ancestors).
+	for _, v := range info.FetchVertices[1:] {
+		ready = pe.shared.Access(ready, pe.g.NeighborAddr(v), pe.g.NeighborBytes(v))
+	}
+	searchSteps := 0
+	totalWorkloads := 0
+	for _, op := range info.Ops {
+		// Candidate sets beyond the private cache spill via shared cache.
+		if int64(len(op.Short))*4 > pe.cfg.PrivateCacheBytes {
+			ready = pe.shared.Access(ready, pe.g.TotalAdjacencyBytes()+(1<<20), int64(len(op.Short))*4)
+		}
+		searchSteps, totalWorkloads = pe.chargeOp(op, searchSteps, totalWorkloads)
+	}
+	usedIUs := 0
+	var busySum mem.Cycles
+	for _, b := range pe.iuBusy {
+		if b > 0 {
+			usedIUs++
+			busySum += b
+		}
+	}
+	// Each IU receives inputs and surrenders results through the serial
+	// round-robin sweeps (§4.3), whose period is proportional to the
+	// number of IUs in flight: an IU's next workload arrives one sweep
+	// after its previous one, so its effective occupancy is at least its
+	// workload count times the sweep period. This is hidden while
+	// workloads run longer than the sweep — the paper's condition
+	// s_l + 3·s_s > #IUs — and becomes the bottleneck when iso-area
+	// scaling shrinks segments (the Figure 12 drop at 48 IUs).
+	rrPeriod := mem.Cycles(usedIUs)
+	var maxBusy mem.Cycles
+	for i, b := range pe.iuBusy {
+		eff := b
+		if rr := mem.Cycles(pe.iuWl[i]) * rrPeriod; rr > eff {
+			eff = rr
+		}
+		if eff > maxBusy {
+			maxBusy = eff
+		}
+	}
+	pe.stats.BusyIUCycles += busySum
+	// Divider stage: short heads stream through the long-head tree,
+	// spread over the parallel task dividers.
+	divider := mem.Cycles((searchSteps + pe.cfg.NumDividers - 1) / pe.cfg.NumDividers)
+	// Result-collection tail: the final sweep drains in-flight workloads.
+	drain := rrPeriod
+	// Update the adaptive group-size estimate.
+	iusThisTask := float64(totalWorkloads)
+	if iusThisTask > float64(pe.cfg.NumIUs) {
+		iusThisTask = float64(pe.cfg.NumIUs)
+	}
+	if iusThisTask < 1 {
+		iusThisTask = 1
+	}
+	const emaAlpha = 0.05
+	pe.emaIUsPerTask = (1-emaAlpha)*pe.emaIUsPerTask + emaAlpha*iusThisTask
+	// Pipeline throughput: the slowest stage bounds this task's slot.
+	step := maxBusy
+	for _, s := range []mem.Cycles{divider, drain, pe.cfg.TaskOverheadCycles} {
+		if s > step {
+			step = s
+		}
+	}
+	return ready + step
+}
+
+// chargeOp segments one set operation, derives its balanced workloads
+// (the same geometry Balance produces, without materializing them), and
+// list-schedules each onto the earliest-available IU. It returns the
+// accumulated divider search steps and workload count.
+func (pe *PE) chargeOp(op mine.SetOpExec, searchSteps, totalWorkloads int) (int, int) {
+	long := setops.Segment(op.Long, pe.cfg.LongSegLen)
+	short := setops.Segment(op.Short, pe.cfg.ShortSegLen)
+	pairing := setops.Pair(long, short)
+	// A task divider matches up to 15 long heads against up to 24 short
+	// heads at a time (§4.2); longer head lists are split into chunks,
+	// each short head re-streaming through every long-head chunk. Shorter
+	// segments mean longer head lists mean more chunking work.
+	longChunks := (long.NumSegments() + dividerLongHeads - 1) / dividerLongHeads
+	if longChunks < 1 {
+		longChunks = 1
+	}
+	searchSteps += pairing.SearchSteps * longChunks
+	maxLoad := pe.cfg.MaxLoad
+	if maxLoad < 1 {
+		maxLoad = 1
+	}
+	for i := range pe.opBusy {
+		pe.opBusy[i] = 0
+	}
+	opWorkloads := 0
+	schedule := func(cycles mem.Cycles) {
+		if cycles < 1 {
+			cycles = 1
+		}
+		best := 0
+		for j := 1; j < len(pe.iuBusy); j++ {
+			if pe.iuBusy[j] < pe.iuBusy[best] {
+				best = j
+			}
+		}
+		pe.iuBusy[best] += cycles
+		pe.opBusy[best] += cycles
+		pe.iuWl[best]++
+		opWorkloads++
+	}
+	shortLen := func(start, count int) int {
+		n := 0
+		for s := start; s < start+count; s++ {
+			n += len(short.Seg(s))
+		}
+		return n
+	}
+	covered := 0 // subtraction: next short segment not yet known unpaired
+	for j, ld := range pairing.Loads {
+		if ld.ShortCount == 0 {
+			if op.Kind == setops.OpAntiSubtract {
+				schedule(mem.Cycles(len(long.Seg(j))))
+			}
+			continue
+		}
+		if op.Kind == setops.OpSubtract {
+			// Unpaired short segments before this long's range survive
+			// wholesale and become pass-through workloads.
+			for ; covered < ld.ShortStart; covered++ {
+				schedule(mem.Cycles(len(short.Seg(covered))))
+			}
+			if end := ld.ShortStart + ld.ShortCount; end > covered {
+				covered = end
+			}
+		}
+		ll := len(long.Seg(j))
+		for s := 0; s < ld.ShortCount; s += maxLoad {
+			n := ld.ShortCount - s
+			if n > maxLoad {
+				n = maxLoad
+			}
+			schedule(mem.Cycles(ll + shortLen(ld.ShortStart+s, n)))
+		}
+	}
+	if op.Kind == setops.OpSubtract {
+		for ; covered < short.NumSegments(); covered++ {
+			schedule(mem.Cycles(len(short.Seg(covered))))
+		}
+	}
+	// Balance-rate bookkeeping for this load's IU subset.
+	var dur, sum mem.Cycles
+	subset := 0
+	for _, b := range pe.opBusy {
+		if b > 0 {
+			subset++
+			sum += b
+			if b > dur {
+				dur = b
+			}
+		}
+	}
+	if subset > 0 {
+		pe.stats.BalanceNum += float64(sum)
+		pe.stats.BalanceDen += float64(dur) * float64(subset)
+		pe.stats.AssignedIUCycles += dur * mem.Cycles(subset)
+	}
+	return searchSteps, totalWorkloads + opWorkloads
+}

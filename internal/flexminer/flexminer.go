@@ -1,0 +1,199 @@
+// Package flexminer models the paper's baseline accelerator, FlexMiner
+// (ISCA '21), as reimplemented by the FINGERS authors for their
+// methodology (§5): multiple PEs exploit only coarse-grained tree-level
+// parallelism; each PE executes a strict DFS with one merge-based compute
+// unit processing one element per cycle, so neighbor-list fetch latencies
+// are fully exposed by the DFS dependency chain (§2.3), and a neighbor
+// list too large for the PE-private cache is refetched for every set
+// operation that consumes it (§3.3, Figure 3).
+//
+// As in the paper's own reimplementation, the c-map module is omitted:
+// candidate sets are cached in the PE private cache instead (§5).
+package flexminer
+
+import (
+	"fingers/internal/accel"
+	"fingers/internal/graph"
+	"fingers/internal/mem"
+	"fingers/internal/mine"
+	"fingers/internal/noc"
+	"fingers/internal/plan"
+)
+
+// Config parameterizes a FlexMiner PE.
+type Config struct {
+	// PrivateCacheBytes is the PE-local cache for candidate sets and the
+	// current neighbor list; lists larger than this are refetched per set
+	// operation.
+	PrivateCacheBytes int64
+	// TaskOverheadCycles is the fixed scheduling cost per task.
+	TaskOverheadCycles mem.Cycles
+}
+
+// DefaultConfig matches the paper's FlexMiner setup.
+func DefaultConfig() Config {
+	return Config{PrivateCacheBytes: 32 << 10, TaskOverheadCycles: 4}
+}
+
+// workItem is one pending task: start a new root tree or extend a node.
+type workItem struct {
+	engine int
+	start  bool
+	root   uint32
+	node   *mine.Node
+	cand   uint32
+}
+
+// PE is one FlexMiner processing element.
+type PE struct {
+	cfg     Config
+	g       *graph.Graph
+	engines []*mine.Engine
+	roots   *accel.RootScheduler
+	shared  accel.MemPort
+	now     mem.Cycles
+	count   uint64
+	tasks   int64
+	stack   []workItem
+}
+
+// NewPE builds a PE mining the given plans (one for single-pattern runs,
+// several for multi-pattern) against the shared cache.
+func NewPE(cfg Config, g *graph.Graph, plans []*plan.Plan, roots *accel.RootScheduler, shared accel.MemPort) *PE {
+	pe := &PE{cfg: cfg, g: g, roots: roots, shared: shared}
+	for _, pl := range plans {
+		pe.engines = append(pe.engines, mine.NewEngine(g, pl))
+	}
+	return pe
+}
+
+// Time returns the PE's local clock.
+func (pe *PE) Time() mem.Cycles { return pe.now }
+
+// Count returns the embeddings found so far.
+func (pe *PE) Count() uint64 { return pe.count }
+
+// Tasks returns the number of extension tasks executed.
+func (pe *PE) Tasks() int64 { return pe.tasks }
+
+// Step executes one task in DFS order.
+func (pe *PE) Step() bool {
+	if len(pe.stack) == 0 {
+		v, ok := pe.roots.Next()
+		if !ok {
+			return false
+		}
+		// The trunks of all patterns share the root (multi-pattern, §2.1);
+		// push one start item per plan so the later ones reuse the
+		// freshly cached neighbor list.
+		for i := len(pe.engines) - 1; i >= 0; i-- {
+			pe.stack = append(pe.stack, workItem{engine: i, start: true, root: v})
+		}
+		return true
+	}
+	item := pe.stack[len(pe.stack)-1]
+	pe.stack = pe.stack[:len(pe.stack)-1]
+	e := pe.engines[item.engine]
+
+	var node *mine.Node
+	var info mine.TaskInfo
+	if item.start {
+		node, info = e.Start(item.root)
+	} else {
+		node, info = e.Extend(item.node, item.cand)
+	}
+	pe.charge(info)
+
+	if node.Level == e.Plan.K()-2 {
+		pe.count += e.LeafCount(node)
+		return true
+	}
+	cands := e.Candidates(node)
+	for i := len(cands) - 1; i >= 0; i-- {
+		pe.stack = append(pe.stack, workItem{engine: item.engine, node: node, cand: cands[i]})
+	}
+	return true
+}
+
+// charge advances the PE clock by the task's cost under the FlexMiner
+// model: exposed serial fetches, then serial merge compute at one element
+// per cycle, with per-op refetch of neighbor lists that overflow the
+// private cache.
+func (pe *PE) charge(info mine.TaskInfo) {
+	pe.tasks++
+	pe.now += pe.cfg.TaskOverheadCycles
+	// DFS dependency: each fetch is fully exposed before compute starts.
+	fetched := make(map[uint32]bool, len(info.FetchVertices))
+	for _, v := range info.FetchVertices {
+		if fetched[v] {
+			continue
+		}
+		fetched[v] = true
+		pe.now = pe.shared.Access(pe.now, pe.g.NeighborAddr(v), pe.g.NeighborBytes(v))
+	}
+	// Serial set operations on the single merge unit. Sequential updates
+	// refetch a long input that does not fit in the private cache
+	// (Figure 3's motivating inefficiency).
+	used := make(map[uint32]bool, 2)
+	for _, op := range info.Ops {
+		if used[op.LongVertex] && pe.g.NeighborBytes(op.LongVertex) > pe.cfg.PrivateCacheBytes {
+			pe.now = pe.shared.Access(pe.now, pe.g.NeighborAddr(op.LongVertex), pe.g.NeighborBytes(op.LongVertex))
+		}
+		used[op.LongVertex] = true
+		// A candidate set spilled beyond the private cache is read back
+		// through the shared cache.
+		if int64(len(op.Short))*4 > pe.cfg.PrivateCacheBytes {
+			pe.now = pe.shared.Access(pe.now, spillAddr(pe.g), int64(len(op.Short))*4)
+		}
+		pe.now += mem.Cycles(len(op.Short) + len(op.Long))
+	}
+}
+
+// spillAddr places candidate-set spill traffic in an address region
+// beyond the graph adjacency data.
+func spillAddr(g *graph.Graph) int64 { return g.TotalAdjacencyBytes() + (1 << 20) }
+
+// Chip assembles a multi-PE FlexMiner accelerator.
+type Chip struct {
+	PEs  []*PE
+	Hier *mem.Hierarchy
+}
+
+// NewChip builds a FlexMiner chip with numPEs PEs. sharedCacheBytes = 0
+// keeps the paper's 4 MB default.
+func NewChip(cfg Config, numPEs int, sharedCacheBytes int64, g *graph.Graph, plans []*plan.Plan) *Chip {
+	return NewChipWithScheduler(cfg, numPEs, sharedCacheBytes, g, plans,
+		accel.NewRootScheduler(g.NumVertices()))
+}
+
+// NewChipWithScheduler builds the chip with a custom root scheduler, for
+// root-ordering studies (locality and load-balance policies, §6.3).
+func NewChipWithScheduler(cfg Config, numPEs int, sharedCacheBytes int64, g *graph.Graph, plans []*plan.Plan, sched *accel.RootScheduler) *Chip {
+	hier := mem.NewHierarchy(sharedCacheBytes)
+	c := &Chip{Hier: hier}
+	net := noc.New(noc.DefaultConfig(), numPEs)
+	for i := 0; i < numPEs; i++ {
+		c.PEs = append(c.PEs, NewPE(cfg, g, plans, sched, noc.NewPort(net, i, hier.Shared)))
+	}
+	return c
+}
+
+// Run simulates the chip to completion.
+func (c *Chip) Run() accel.Result {
+	pes := make([]accel.PE, len(c.PEs))
+	for i, pe := range c.PEs {
+		pes[i] = pe
+	}
+	makespan := accel.Run(pes)
+	res := accel.Result{
+		Cycles:      makespan,
+		SharedCache: c.Hier.Shared.Stats(),
+		DRAM:        c.Hier.DRAM.Stats(),
+	}
+	for _, pe := range c.PEs {
+		res.Count += pe.Count()
+		res.Tasks += pe.Tasks()
+		res.PEBusy += pe.Time()
+	}
+	return res
+}

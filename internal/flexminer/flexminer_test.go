@@ -1,0 +1,87 @@
+package flexminer
+
+import (
+	"testing"
+
+	"fingers/internal/graph/gen"
+	"fingers/internal/mine"
+	"fingers/internal/pattern"
+	"fingers/internal/plan"
+)
+
+func compiled(t *testing.T, name string) []*plan.Plan {
+	t.Helper()
+	p, err := pattern.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*plan.Plan{plan.MustCompile(p, plan.Options{})}
+}
+
+func TestChipCountMatchesReference(t *testing.T) {
+	g := gen.PowerLawCluster(350, 5, 0.5, 99)
+	for _, name := range []string{"tc", "4cl", "tt", "cyc", "dia"} {
+		pls := compiled(t, name)
+		want := mine.Count(g, pls[0])
+		for _, pes := range []int{1, 3, 8} {
+			res := NewChip(DefaultConfig(), pes, 0, g, pls).Run()
+			if res.Count != want {
+				t.Errorf("%s with %d PEs: count = %d, want %d", name, pes, res.Count, want)
+			}
+		}
+	}
+}
+
+func TestTimeAdvancesMonotonically(t *testing.T) {
+	g := gen.ErdosRenyi(100, 400, 7)
+	pls := compiled(t, "tc")
+	res := NewChip(DefaultConfig(), 2, 0, g, pls).Run()
+	if res.Cycles <= 0 {
+		t.Errorf("cycles = %d", res.Cycles)
+	}
+	if res.Tasks <= 0 {
+		t.Errorf("tasks = %d", res.Tasks)
+	}
+}
+
+// TestRefetchPenalty: with a tiny private cache, long neighbor lists must
+// be refetched per set operation, so the run takes longer — Figure 3's
+// motivating inefficiency.
+func TestRefetchPenalty(t *testing.T) {
+	g := gen.PowerLawCluster(300, 12, 0.4, 5) // high degrees → long lists
+	pls := compiled(t, "tt")                  // two ops per task share N(u1)
+	big := DefaultConfig()
+	small := DefaultConfig()
+	small.PrivateCacheBytes = 16 // essentially no private cache
+	resBig := NewChip(big, 1, 0, g, pls).Run()
+	resSmall := NewChip(small, 1, 0, g, pls).Run()
+	if resSmall.Count != resBig.Count {
+		t.Fatal("private cache size changed the answer")
+	}
+	if resSmall.Cycles <= resBig.Cycles {
+		t.Errorf("no refetch penalty: small %d ≤ big %d", resSmall.Cycles, resBig.Cycles)
+	}
+}
+
+// TestMorePEsScale checks coarse-grained scaling of the baseline.
+func TestMorePEsScale(t *testing.T) {
+	g := gen.PowerLawCluster(500, 5, 0.5, 55)
+	pls := compiled(t, "tc")
+	one := NewChip(DefaultConfig(), 1, 0, g, pls).Run()
+	eight := NewChip(DefaultConfig(), 8, 0, g, pls).Run()
+	if eight.Cycles >= one.Cycles {
+		t.Errorf("8 PEs (%d) not faster than 1 (%d)", eight.Cycles, one.Cycles)
+	}
+}
+
+func TestSharedCacheStatsPopulated(t *testing.T) {
+	g := gen.PowerLawCluster(300, 5, 0.5, 77)
+	pls := compiled(t, "tc")
+	res := NewChip(DefaultConfig(), 2, 0, g, pls).Run()
+	if res.SharedCache.LineAccesses == 0 {
+		t.Error("no shared-cache accesses recorded")
+	}
+	if res.DRAM.BytesMoved == 0 {
+		t.Error("no DRAM traffic recorded")
+	}
+}

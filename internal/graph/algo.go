@@ -1,0 +1,220 @@
+package graph
+
+// Preprocessing algorithms graph mining systems apply before plan
+// execution: k-core decomposition (whose degeneracy order bounds clique
+// search), connected components, vertex relabeling, and induced-subgraph
+// extraction.
+
+// CoreNumbers returns the k-core number of every vertex: the largest k
+// such that the vertex survives in the subgraph where every vertex has
+// degree ≥ k. Computed with the standard peeling algorithm in O(V+E).
+func (g *Graph) CoreNumbers() []int {
+	n := g.NumVertices()
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(uint32(v))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket sort vertices by degree.
+	binStart := make([]int, maxDeg+2)
+	for _, d := range deg {
+		binStart[d+1]++
+	}
+	for i := 1; i <= maxDeg+1; i++ {
+		binStart[i] += binStart[i-1]
+	}
+	pos := make([]int, n)  // position of vertex in vert
+	vert := make([]int, n) // vertices sorted by current degree
+	fill := append([]int(nil), binStart...)
+	for v := 0; v < n; v++ {
+		pos[v] = fill[deg[v]]
+		vert[pos[v]] = v
+		fill[deg[v]]++
+	}
+	core := make([]int, n)
+	cur := append([]int(nil), deg...)
+	start := append([]int(nil), binStart...)
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		core[v] = cur[v]
+		for _, w := range g.Neighbors(uint32(v)) {
+			u := int(w)
+			if cur[u] > cur[v] {
+				// Move u one bucket down: swap with the first vertex of
+				// its current bucket.
+				du := cur[u]
+				pu := pos[u]
+				pw := start[du]
+				firstV := vert[pw]
+				if u != firstV {
+					vert[pu], vert[pw] = firstV, u
+					pos[u], pos[firstV] = pw, pu
+				}
+				start[du]++
+				cur[u]--
+			}
+		}
+	}
+	return core
+}
+
+// Degeneracy returns the graph's degeneracy: the maximum core number.
+// Any k-clique requires degeneracy ≥ k−1, so it bounds feasible clique
+// sizes cheaply.
+func (g *Graph) Degeneracy() int {
+	max := 0
+	for _, c := range g.CoreNumbers() {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// DegeneracyOrder returns the peeling order: vertices sorted by
+// non-decreasing core number (ties by ID). Mining roots in this order
+// front-loads the shallow trees.
+func (g *Graph) DegeneracyOrder() []uint32 {
+	core := g.CoreNumbers()
+	n := g.NumVertices()
+	maxCore := 0
+	for _, c := range core {
+		if c > maxCore {
+			maxCore = c
+		}
+	}
+	counts := make([]int, maxCore+2)
+	for _, c := range core {
+		counts[c+1]++
+	}
+	for i := 1; i <= maxCore+1; i++ {
+		counts[i] += counts[i-1]
+	}
+	order := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		order[counts[core[v]]] = uint32(v)
+		counts[core[v]]++
+	}
+	return order
+}
+
+// ConnectedComponents labels each vertex with a component ID in [0,
+// numComponents) and returns the labels with the component count.
+func (g *Graph) ConnectedComponents() (labels []int, num int) {
+	n := g.NumVertices()
+	labels = make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var stack []uint32
+	for v := 0; v < n; v++ {
+		if labels[v] >= 0 {
+			continue
+		}
+		labels[v] = num
+		stack = append(stack[:0], uint32(v))
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.Neighbors(u) {
+				if labels[w] < 0 {
+					labels[w] = num
+					stack = append(stack, w)
+				}
+			}
+		}
+		num++
+	}
+	return labels, num
+}
+
+// Relabel returns the graph with vertices renamed so that newID[i] =
+// position of oldID order[i]; i.e. order lists the old IDs in their new
+// order. Relabeling by degree or degeneracy improves locality of the
+// adjacency array for mining.
+func (g *Graph) Relabel(order []uint32) *Graph {
+	n := g.NumVertices()
+	if len(order) != n {
+		panic("graph: relabel order length mismatch")
+	}
+	newID := make([]uint32, n)
+	seen := make([]bool, n)
+	for i, old := range order {
+		if seen[old] {
+			panic("graph: relabel order is not a permutation")
+		}
+		seen[old] = true
+		newID[old] = uint32(i)
+	}
+	b := NewBuilder(uint32(n))
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(uint32(v)) {
+			if uint32(v) < w {
+				b.AddEdge(newID[v], newID[w])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertices,
+// relabeled densely in the order supplied, plus the mapping from new IDs
+// back to the originals.
+func (g *Graph) InducedSubgraph(vertices []uint32) (*Graph, []uint32) {
+	newID := make(map[uint32]uint32, len(vertices))
+	back := make([]uint32, len(vertices))
+	for i, v := range vertices {
+		if _, dup := newID[v]; dup {
+			panic("graph: duplicate vertex in induced subgraph")
+		}
+		newID[v] = uint32(i)
+		back[i] = v
+	}
+	b := NewBuilder(uint32(len(vertices)))
+	for _, v := range vertices {
+		for _, w := range g.Neighbors(v) {
+			if j, ok := newID[w]; ok && v < w {
+				b.AddEdge(newID[v], j)
+			}
+		}
+	}
+	return b.Build(), back
+}
+
+// TriangleCount returns the exact triangle count by degree-ordered
+// adjacency intersection — a fast special-case checker used by tests and
+// dataset characterization (independent of the plan machinery).
+func (g *Graph) TriangleCount() int64 {
+	var count int64
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		nv := g.Neighbors(uint32(v))
+		for _, u := range nv {
+			if u <= uint32(v) {
+				continue
+			}
+			// Count common neighbors w > u.
+			nu := g.Neighbors(u)
+			i, j := 0, 0
+			for i < len(nv) && j < len(nu) {
+				a, b := nv[i], nu[j]
+				switch {
+				case a < b:
+					i++
+				case a > b:
+					j++
+				default:
+					if a > u {
+						count++
+					}
+					i++
+					j++
+				}
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,238 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomGraph(seed int64, n uint32, m int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(rng.Uint32()%n, rng.Uint32()%n)
+	}
+	return b.Build()
+}
+
+// naiveCoreNumbers peels iteratively without bucketing.
+func naiveCoreNumbers(g *Graph) []int {
+	n := g.NumVertices()
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	core := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(uint32(v))
+	}
+	for k := 0; ; k++ {
+		changed := true
+		for changed {
+			changed = false
+			for v := 0; v < n; v++ {
+				if !removed[v] && deg[v] <= k {
+					removed[v] = true
+					core[v] = k
+					changed = true
+					for _, w := range g.Neighbors(uint32(v)) {
+						if !removed[w] {
+							deg[w]--
+						}
+					}
+				}
+			}
+		}
+		done := true
+		for v := 0; v < n; v++ {
+			if !removed[v] {
+				done = false
+				break
+			}
+		}
+		if done {
+			return core
+		}
+	}
+}
+
+func TestCoreNumbersAgainstNaive(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := randomGraph(seed, 40, 120)
+		got := g.CoreNumbers()
+		want := naiveCoreNumbers(g)
+		for v := range got {
+			if got[v] != want[v] {
+				t.Fatalf("seed %d: core[%d] = %d, want %d", seed, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestCoreNumbersKnownShapes(t *testing.T) {
+	// K5: every vertex has core 4.
+	k5 := FromEdges(5, completeEdges(5))
+	for v, c := range k5.CoreNumbers() {
+		if c != 4 {
+			t.Errorf("K5 core[%d] = %d", v, c)
+		}
+	}
+	if k5.Degeneracy() != 4 {
+		t.Errorf("K5 degeneracy = %d", k5.Degeneracy())
+	}
+	// A path: all cores 1 (ends included — after peeling degree-1s
+	// repeatedly everything unravels at k=1... the ends have core 1).
+	path := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	for v, c := range path.CoreNumbers() {
+		if c != 1 {
+			t.Errorf("path core[%d] = %d", v, c)
+		}
+	}
+	// A star: hub and leaves all core 1.
+	star := FromEdges(5, []Edge{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	if star.Degeneracy() != 1 {
+		t.Errorf("star degeneracy = %d", star.Degeneracy())
+	}
+}
+
+func completeEdges(n int) []Edge {
+	var out []Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out = append(out, Edge{U: uint32(i), V: uint32(j)})
+		}
+	}
+	return out
+}
+
+func TestDegeneracyOrderSorted(t *testing.T) {
+	g := randomGraph(3, 60, 200)
+	core := g.CoreNumbers()
+	order := g.DegeneracyOrder()
+	if len(order) != g.NumVertices() {
+		t.Fatalf("order length %d", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if core[order[i-1]] > core[order[i]] {
+			t.Fatalf("order not sorted by core at %d", i)
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	// Two triangles and an isolated vertex.
+	g := FromEdges(7, []Edge{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}})
+	labels, num := g.ConnectedComponents()
+	if num != 3 {
+		t.Fatalf("components = %d, want 3", num)
+	}
+	if labels[0] != labels[1] || labels[0] != labels[2] {
+		t.Error("first triangle split")
+	}
+	if labels[3] != labels[4] || labels[0] == labels[3] {
+		t.Error("components mislabeled")
+	}
+	if labels[6] == labels[0] || labels[6] == labels[3] {
+		t.Error("isolated vertex merged into a triangle's component")
+	}
+}
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	g := randomGraph(9, 30, 80)
+	order := g.DegreeOrder()
+	r := g.Relabel(order)
+	if r.NumEdges() != g.NumEdges() || r.NumVertices() != g.NumVertices() {
+		t.Fatal("relabel changed size")
+	}
+	if r.TriangleCount() != g.TriangleCount() {
+		t.Error("relabel changed triangle count")
+	}
+	// New vertex 0 is the old highest-degree vertex.
+	if r.Degree(0) != g.Degree(order[0]) {
+		t.Error("relabel order not honored")
+	}
+}
+
+func TestRelabelRejectsBadOrders(t *testing.T) {
+	g := FromEdges(3, []Edge{{0, 1}})
+	for _, order := range [][]uint32{{0, 1}, {0, 0, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("order %v accepted", order)
+				}
+			}()
+			g.Relabel(order)
+		}()
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := FromEdges(6, []Edge{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {4, 5}})
+	sub, back := g.InducedSubgraph([]uint32{0, 1, 2, 3})
+	if sub.NumVertices() != 4 || sub.NumEdges() != 4 {
+		t.Fatalf("subgraph %d/%d", sub.NumVertices(), sub.NumEdges())
+	}
+	if back[0] != 0 || back[3] != 3 {
+		t.Error("back mapping wrong")
+	}
+	if sub.TriangleCount() != 1 {
+		t.Errorf("subgraph triangles = %d", sub.TriangleCount())
+	}
+}
+
+func TestInducedSubgraphRejectsDuplicates(t *testing.T) {
+	g := FromEdges(3, []Edge{{0, 1}})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate vertex accepted")
+		}
+	}()
+	g.InducedSubgraph([]uint32{0, 0})
+}
+
+func TestTriangleCountClosedForms(t *testing.T) {
+	if got := FromEdges(6, completeEdges(6)).TriangleCount(); got != 20 {
+		t.Errorf("K6 triangles = %d, want 20", got)
+	}
+	ring := FromEdges(5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}})
+	if got := ring.TriangleCount(); got != 0 {
+		t.Errorf("C5 triangles = %d", got)
+	}
+}
+
+func TestTriangleCountMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 25, 60)
+		var naive int64
+		n := g.NumVertices()
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				for c := b + 1; c < n; c++ {
+					if g.HasEdge(uint32(a), uint32(b)) && g.HasEdge(uint32(b), uint32(c)) && g.HasEdge(uint32(a), uint32(c)) {
+						naive++
+					}
+				}
+			}
+		}
+		return g.TriangleCount() == naive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegeneracyBoundsCliques(t *testing.T) {
+	// A graph with a planted K6 must have degeneracy ≥ 5.
+	b := NewBuilder(30)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			b.AddEdge(uint32(i), uint32(j))
+		}
+	}
+	for v := uint32(6); v < 30; v++ {
+		b.AddEdge(v-1, v)
+	}
+	g := b.Build()
+	if g.Degeneracy() < 5 {
+		t.Errorf("degeneracy = %d, want ≥ 5", g.Degeneracy())
+	}
+}

@@ -1,0 +1,137 @@
+package gen
+
+import (
+	"testing"
+
+	"fingers/internal/graph"
+)
+
+func TestErdosRenyiShape(t *testing.T) {
+	g := ErdosRenyi(100, 300, 1)
+	if g.NumEdges() != 300 {
+		t.Errorf("NumEdges = %d, want 300", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(50, 100, 42)
+	b := ErdosRenyi(50, 100, 42)
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("same seed produced different sizes")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed produced different edges")
+		}
+	}
+	c := ErdosRenyi(50, 100, 43)
+	same := true
+	ec := c.Edges()
+	for i := range ea {
+		if ea[i] != ec[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestBarabasiAlbertPowerLaw(t *testing.T) {
+	g := BarabasiAlbert(2000, 4, 7)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := graph.ComputeStats(g)
+	// Preferential attachment must produce a heavy tail: the max degree
+	// should far exceed the average.
+	if float64(st.MaxDegree) < 5*st.AvgDegree {
+		t.Errorf("no heavy tail: max=%d avg=%.1f", st.MaxDegree, st.AvgDegree)
+	}
+	if st.Vertices != 2000 {
+		t.Errorf("vertices = %d", st.Vertices)
+	}
+}
+
+func countTriangles(g *graph.Graph) int {
+	n := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(uint32(v)) {
+			if u <= uint32(v) {
+				continue
+			}
+			for _, w := range g.Neighbors(u) {
+				if w > u && g.HasEdge(uint32(v), w) {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+func TestPowerLawClusterAddsTriangles(t *testing.T) {
+	plain := PowerLawCluster(1000, 4, 0, 11)
+	clustered := PowerLawCluster(1000, 4, 0.8, 11)
+	tp, tc := countTriangles(plain), countTriangles(clustered)
+	if tc <= tp {
+		t.Errorf("triad step did not increase triangles: plain=%d clustered=%d", tp, tc)
+	}
+	if err := clustered.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithPlantedCliques(t *testing.T) {
+	base := ErdosRenyi(200, 100, 3)
+	before := countTriangles(base)
+	planted := WithPlantedCliques(base, 5, 5, 9)
+	after := countTriangles(planted)
+	// Each planted 5-clique contributes C(5,3)=10 triangles (minus overlap).
+	if after < before+30 {
+		t.Errorf("cliques not planted: triangles %d → %d", before, after)
+	}
+	if err := planted.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilityGraphs(t *testing.T) {
+	k5 := Complete(5)
+	if k5.NumEdges() != 10 || countTriangles(k5) != 10 {
+		t.Errorf("K5: edges=%d triangles=%d", k5.NumEdges(), countTriangles(k5))
+	}
+	star := Star(10)
+	if star.MaxDegree() != 9 || star.NumEdges() != 9 {
+		t.Errorf("star shape wrong: max=%d m=%d", star.MaxDegree(), star.NumEdges())
+	}
+	ring := Ring(6)
+	if ring.NumEdges() != 6 || ring.MaxDegree() != 2 {
+		t.Errorf("ring shape wrong")
+	}
+	path := Path(5)
+	if path.NumEdges() != 4 {
+		t.Errorf("path shape wrong")
+	}
+	for _, g := range []*graph.Graph{k5, star, ring, path} {
+		if err := g.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestPowerLawClusterSmallN(t *testing.T) {
+	// Degenerate sizes must not loop forever or panic.
+	g := PowerLawCluster(3, 5, 0.5, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() == 0 {
+		t.Error("empty graph for small n")
+	}
+}

@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge-list text stream, the
+// format used by SNAP datasets: one "u v" pair per line, '#' or '%'
+// prefixed lines are comments. The result is normalized (undirected,
+// deduplicated, sorted).
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	b := NewBuilder(0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want two vertex IDs, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		b.AddEdge(uint32(u), uint32(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return b.Build(), nil
+}
+
+// WriteEdgeList writes the graph as a "u v" per line text edge list with
+// u < v, suitable for ReadEdgeList round-tripping.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# vertices=%d edges=%d\n", g.NumVertices(), g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(uint32(v)) {
+			if uint32(v) < u {
+				fmt.Fprintf(bw, "%d %d\n", v, u)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// binaryMagic identifies the binary CSR file format.
+const binaryMagic = 0x46475253 // "FGRS"
+
+// WriteBinary serializes the graph in a compact little-endian CSR format:
+// magic, vertex count, adjacency length, offsets, neighbors.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint64{binaryMagic, uint64(g.NumVertices()), uint64(len(g.neigh))}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return fmt.Errorf("graph: writing header: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.offsets); err != nil {
+		return fmt.Errorf("graph: writing offsets: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.neigh); err != nil {
+		return fmt.Errorf("graph: writing adjacency: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary and validates
+// its invariants.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]uint64, 3)
+	if err := binary.Read(br, binary.LittleEndian, hdr); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if hdr[0] != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", hdr[0])
+	}
+	n, m := int(hdr[1]), int(hdr[2])
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: corrupt header (n=%d, m=%d)", n, m)
+	}
+	g := &Graph{
+		offsets: make([]int64, n+1),
+		neigh:   make([]uint32, m),
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.offsets); err != nil {
+		return nil, fmt.Errorf("graph: reading offsets: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.neigh); err != nil {
+		return nil, fmt.Errorf("graph: reading adjacency: %w", err)
+	}
+	if g.offsets[n] != int64(m) {
+		return nil, fmt.Errorf("graph: offsets end %d does not match adjacency length %d", g.offsets[n], m)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// LoadFile loads a graph from path, detecting the format: ".bin" files use
+// the binary CSR format, anything else is parsed as a text edge list.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		return ReadBinary(f)
+	}
+	return ReadEdgeList(f)
+}
+
+// SaveFile writes a graph to path, using the binary format for ".bin"
+// paths and the text edge list otherwise.
+func SaveFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		return WriteBinary(f, g)
+	}
+	return WriteEdgeList(f, g)
+}

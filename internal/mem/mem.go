@@ -1,0 +1,265 @@
+// Package mem models the accelerator's memory system: multi-channel
+// DDR4-style DRAM with latency and bandwidth occupancy, and a
+// set-associative LRU shared cache with miss statistics (paper §5: 4 MB
+// shared cache, four channels of DDR4-2666 at 85 GB/s).
+//
+// The model is transaction-level: an access covers a byte range (e.g. one
+// neighbor list) and returns the cycle at which the data is fully
+// available, charging one exposed miss latency plus pipelined per-line
+// transfers. This reproduces the behaviours the paper's evaluation turns
+// on — streaming reuse, capacity pressure, and bandwidth saturation —
+// without per-beat simulation.
+package mem
+
+// Cycles counts accelerator clock cycles (1 GHz in the default config).
+type Cycles int64
+
+// DRAMConfig describes the off-chip memory.
+type DRAMConfig struct {
+	// Channels is the number of independent DRAM channels.
+	Channels int
+	// LatencyCycles is the exposed access latency of one request.
+	LatencyCycles Cycles
+	// BytesPerCycle is the aggregate bandwidth across all channels.
+	BytesPerCycle float64
+}
+
+// DefaultDRAMConfig matches the paper's setup: four channels of
+// DDR4-2666 delivering 85 GB/s against a 1 GHz core clock.
+func DefaultDRAMConfig() DRAMConfig {
+	return DRAMConfig{Channels: 4, LatencyCycles: 120, BytesPerCycle: 85}
+}
+
+// DRAMStats aggregates traffic counters.
+type DRAMStats struct {
+	Accesses   int64
+	BytesMoved int64
+}
+
+// DRAM is the off-chip memory timing model. Each access picks a channel
+// by address interleave and occupies its bandwidth for bytes divided by
+// the per-channel rate, on top of the fixed latency.
+type DRAM struct {
+	cfg      DRAMConfig
+	nextFree []Cycles
+	stats    DRAMStats
+}
+
+// NewDRAM builds a DRAM model from the config.
+func NewDRAM(cfg DRAMConfig) *DRAM {
+	if cfg.Channels < 1 {
+		cfg.Channels = 1
+	}
+	return &DRAM{cfg: cfg, nextFree: make([]Cycles, cfg.Channels)}
+}
+
+// Access requests bytes at addr at time now and returns the completion
+// cycle. Requests to a busy channel queue behind it (bandwidth model).
+func (d *DRAM) Access(now Cycles, addr int64, bytes int64) Cycles {
+	ch := int(uint64(addr) / 4096 % uint64(d.cfg.Channels))
+	start := now
+	if d.nextFree[ch] > start {
+		start = d.nextFree[ch]
+	}
+	perChannel := d.cfg.BytesPerCycle / float64(d.cfg.Channels)
+	transfer := Cycles(float64(bytes) / perChannel)
+	if transfer < 1 {
+		transfer = 1
+	}
+	d.nextFree[ch] = start + transfer
+	d.stats.Accesses++
+	d.stats.BytesMoved += bytes
+	return start + transfer + d.cfg.LatencyCycles
+}
+
+// Stats returns the traffic counters so far.
+func (d *DRAM) Stats() DRAMStats { return d.stats }
+
+// Reset clears timing and counters, keeping the configuration.
+func (d *DRAM) Reset() {
+	for i := range d.nextFree {
+		d.nextFree[i] = 0
+	}
+	d.stats = DRAMStats{}
+}
+
+// CacheConfig describes a set-associative cache.
+type CacheConfig struct {
+	// CapacityBytes is the total data capacity.
+	CapacityBytes int64
+	// LineBytes is the cache-line size.
+	LineBytes int64
+	// Ways is the associativity.
+	Ways int
+	// HitLatency is charged on every access.
+	HitLatency Cycles
+}
+
+// DefaultSharedCacheConfig matches the paper: 4 MB, 64 B lines, 16-way.
+func DefaultSharedCacheConfig() CacheConfig {
+	return CacheConfig{CapacityBytes: 4 << 20, LineBytes: 64, Ways: 16, HitLatency: 16}
+}
+
+// CacheStats aggregates line-granularity hit/miss counters.
+type CacheStats struct {
+	LineAccesses int64
+	LineMisses   int64
+}
+
+// MissRate returns misses per access in [0,1].
+func (s CacheStats) MissRate() float64 {
+	if s.LineAccesses == 0 {
+		return 0
+	}
+	return float64(s.LineMisses) / float64(s.LineAccesses)
+}
+
+type cacheLine struct {
+	tag      int64
+	valid    bool
+	lastUsed int64
+}
+
+// Cache is a set-associative LRU cache backed by DRAM. It is shared by
+// all PEs; accesses carry the requesting time so the interleaved
+// multi-PE simulation keeps one coherent LRU state.
+type Cache struct {
+	cfg     CacheConfig
+	sets    [][]cacheLine
+	numSets int64
+	backing *DRAM
+	clock   int64 // LRU tick
+	stats   CacheStats
+}
+
+// NewCache builds a cache from the config over the given DRAM.
+func NewCache(cfg CacheConfig, backing *DRAM) *Cache {
+	if cfg.Ways < 1 {
+		cfg.Ways = 1
+	}
+	if cfg.LineBytes < 4 {
+		cfg.LineBytes = 64
+	}
+	numSets := cfg.CapacityBytes / (cfg.LineBytes * int64(cfg.Ways))
+	if numSets < 1 {
+		numSets = 1
+	}
+	sets := make([][]cacheLine, numSets)
+	for i := range sets {
+		sets[i] = make([]cacheLine, cfg.Ways)
+	}
+	return &Cache{cfg: cfg, sets: sets, numSets: numSets, backing: backing}
+}
+
+// lookup touches one line, returning whether it hit and allocating it.
+func (c *Cache) lookup(lineAddr int64) bool {
+	c.clock++
+	setIdx := (lineAddr / c.cfg.LineBytes) % c.numSets
+	tag := lineAddr / c.cfg.LineBytes / c.numSets
+	set := c.sets[setIdx]
+	c.stats.LineAccesses++
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lastUsed = c.clock
+			return true
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lastUsed < set[victim].lastUsed {
+			victim = i
+		}
+	}
+	c.stats.LineMisses++
+	set[victim] = cacheLine{tag: tag, valid: true, lastUsed: c.clock}
+	return false
+}
+
+// Access reads the byte range [addr, addr+bytes) at time now and returns
+// the completion cycle. Hit lines cost the hit latency; missing lines are
+// fetched from DRAM as one pipelined burst (a single exposed latency plus
+// bandwidth occupancy for the missing bytes), modeling the streaming
+// neighbor-list fetches of §3.3.
+func (c *Cache) Access(now Cycles, addr int64, bytes int64) Cycles {
+	if bytes <= 0 {
+		return now + c.cfg.HitLatency
+	}
+	first := addr / c.cfg.LineBytes
+	last := (addr + bytes - 1) / c.cfg.LineBytes
+	missedBytes := int64(0)
+	firstMissAddr := int64(-1)
+	for line := first; line <= last; line++ {
+		if !c.lookup(line * c.cfg.LineBytes) {
+			missedBytes += c.cfg.LineBytes
+			if firstMissAddr < 0 {
+				firstMissAddr = line * c.cfg.LineBytes
+			}
+		}
+	}
+	done := now + c.cfg.HitLatency
+	if missedBytes > 0 {
+		done = c.backing.Access(now+c.cfg.HitLatency, firstMissAddr, missedBytes)
+	}
+	return done
+}
+
+// Probe reports whether the whole byte range is currently resident,
+// without updating LRU state or statistics — the pseudo-DFS scheduler's
+// implicit "hits return immediately" selection (§4.1).
+func (c *Cache) Probe(addr int64, bytes int64) bool {
+	if bytes <= 0 {
+		return true
+	}
+	first := addr / c.cfg.LineBytes
+	last := (addr + bytes - 1) / c.cfg.LineBytes
+	for line := first; line <= last; line++ {
+		lineAddr := line * c.cfg.LineBytes
+		setIdx := (lineAddr / c.cfg.LineBytes) % c.numSets
+		tag := lineAddr / c.cfg.LineBytes / c.numSets
+		hit := false
+		for i := range c.sets[setIdx] {
+			if c.sets[setIdx][i].valid && c.sets[setIdx][i].tag == tag {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats returns the hit/miss counters so far.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Reset invalidates all lines and clears counters.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = cacheLine{}
+		}
+	}
+	c.stats = CacheStats{}
+	c.clock = 0
+}
+
+// Hierarchy bundles the chip-level shared memory system.
+type Hierarchy struct {
+	DRAM   *DRAM
+	Shared *Cache
+}
+
+// NewHierarchy builds the default shared memory system, optionally
+// overriding the shared-cache capacity (bytes; 0 keeps the default).
+func NewHierarchy(sharedCapacity int64) *Hierarchy {
+	dram := NewDRAM(DefaultDRAMConfig())
+	cfg := DefaultSharedCacheConfig()
+	if sharedCapacity > 0 {
+		cfg.CapacityBytes = sharedCapacity
+	}
+	return &Hierarchy{DRAM: dram, Shared: NewCache(cfg, dram)}
+}

@@ -1,0 +1,42 @@
+package mine
+
+import (
+	"testing"
+
+	"fingers/internal/graph/gen"
+	"fingers/internal/pattern"
+	"fingers/internal/plan"
+)
+
+// BenchmarkCountTriangles measures the software reference miner on a
+// power-law clustered graph.
+func BenchmarkCountTriangles(b *testing.B) {
+	g := gen.PowerLawCluster(5000, 6, 0.5, 1)
+	pl := plan.MustCompile(pattern.Triangle(), plan.Options{})
+	b.ReportAllocs()
+	var count uint64
+	for i := 0; i < b.N; i++ {
+		count = Count(g, pl)
+	}
+	b.ReportMetric(float64(count), "triangles")
+}
+
+// BenchmarkCountTailedTriangles stresses the subtraction-heavy plan.
+func BenchmarkCountTailedTriangles(b *testing.B) {
+	g := gen.PowerLawCluster(2000, 6, 0.5, 1)
+	pl := plan.MustCompile(pattern.TailedTriangle(), plan.Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Count(g, pl)
+	}
+}
+
+// BenchmarkCountParallel measures the multi-worker miner.
+func BenchmarkCountParallel(b *testing.B) {
+	g := gen.PowerLawCluster(5000, 6, 0.5, 1)
+	pl := plan.MustCompile(pattern.Triangle(), plan.Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CountParallel(g, pl, 0)
+	}
+}

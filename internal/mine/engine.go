@@ -1,0 +1,316 @@
+// Package mine executes compiled plans on input graphs. It provides the
+// software reference miner (the correctness oracle and CPU baseline), a
+// brute-force enumerator for validation, and — via Engine — the
+// task-granular tree walk that both accelerator timing models drive:
+// each Extend call is exactly one "task" in the paper's sense (§4, "the
+// work to extend a new vertex to the current partial embedding"),
+// reporting the distinct set operations and neighbor-list fetches the
+// hardware would perform.
+package mine
+
+import (
+	"fmt"
+
+	"fingers/internal/graph"
+	"fingers/internal/plan"
+	"fingers/internal/setops"
+)
+
+// SetOpExec describes one distinct set operation within a task, after
+// common-subexpression sharing (identical updates are computed once,
+// paper §3.3).
+type SetOpExec struct {
+	// Kind is the set operation executed by the compute units.
+	Kind setops.Op
+	// Short is the partial candidate set input (the short set, §3.4).
+	Short []uint32
+	// Long is the neighbor-list input (the long set).
+	Long []uint32
+	// LongVertex is the graph vertex whose neighbor list is Long, for
+	// memory-traffic accounting.
+	LongVertex uint32
+	// Targets lists the plan levels whose candidate sets this operation
+	// materializes (several when updates are shared).
+	Targets []int
+	// Result is the operation's output.
+	Result []uint32
+}
+
+// TaskInfo reports what one task did, for the timing models.
+type TaskInfo struct {
+	// Level is the tree level the new vertex was added at.
+	Level int
+	// NewVertex is the vertex extending the embedding.
+	NewVertex uint32
+	// Ops are the distinct set operations, in dependency order.
+	Ops []SetOpExec
+	// FetchVertices are the distinct vertices whose neighbor lists the
+	// task reads: the new vertex first, then any postponed ancestors.
+	FetchVertices []uint32
+}
+
+// Node is a search-tree node: a partial embedding with the candidate sets
+// materialized so far. Nodes are immutable; Extend returns fresh nodes and
+// set slices are shared structurally, so a Node may be kept on a stack
+// while siblings are explored (the accelerators' pseudo-DFS needs this).
+type Node struct {
+	// Level is the index of the deepest chosen vertex (len(Verts)-1).
+	Level int
+	// Verts holds the chosen vertices for levels 0..Level.
+	Verts []uint32
+	// sets[j] is the materialized partial candidate set S_j(Level) for
+	// j > Level; nil when not yet started.
+	sets [][]uint32
+	// setID[j] identifies the operation that produced sets[j]; equal IDs
+	// mean shared storage (used for common-subexpression detection).
+	setID []int32
+}
+
+// Engine walks one plan's search tree on one graph. An Engine is not safe
+// for concurrent use; create one per worker goroutine.
+type Engine struct {
+	G      *graph.Graph
+	Plan   *plan.Plan
+	nextID int32
+}
+
+// NewEngine returns an engine for the plan on g.
+func NewEngine(g *graph.Graph, pl *plan.Plan) *Engine {
+	return &Engine{G: g, Plan: pl}
+}
+
+func (e *Engine) newID() int32 {
+	e.nextID++
+	return e.nextID
+}
+
+// Start creates the root node for u_0 = v0 and performs the level-0 task.
+func (e *Engine) Start(v0 uint32) (*Node, TaskInfo) {
+	k := e.Plan.K()
+	n := &Node{
+		Level: -1,
+		Verts: make([]uint32, 0, k),
+		sets:  make([][]uint32, k),
+		setID: make([]int32, k),
+	}
+	return e.extend(n, v0)
+}
+
+// Extend performs the task of adding v at level n.Level+1: it applies that
+// level's scheduled actions and returns the child node plus the task's
+// operations. v must come from Candidates(n).
+func (e *Engine) Extend(n *Node, v uint32) (*Node, TaskInfo) {
+	if n.Level+1 >= e.Plan.K()-1 {
+		panic("mine: Extend beyond the last extending level; use LeafCount")
+	}
+	return e.extend(n, v)
+}
+
+func (e *Engine) extend(n *Node, v uint32) (*Node, TaskInfo) {
+	level := n.Level + 1
+	k := e.Plan.K()
+	child := &Node{
+		Level: level,
+		Verts: append(append(make([]uint32, 0, k), n.Verts...), v),
+		sets:  append([][]uint32(nil), n.sets...),
+		setID: append([]int32(nil), n.setID...),
+	}
+	info := TaskInfo{Level: level, NewVertex: v}
+	nv := e.G.Neighbors(v)
+	info.FetchVertices = append(info.FetchVertices, v)
+
+	// Group this level's actions so shared updates compute once:
+	// initializations keyed by their pending-ancestor list, arithmetic
+	// updates keyed by (source set identity, op kind).
+	type group struct {
+		op      plan.OpKind
+		pending []int
+		srcID   int32
+		targets []int
+	}
+	var groups []group
+	findInit := func(pending []int) *group {
+		for i := range groups {
+			g := &groups[i]
+			if g.op != plan.OpInit || len(g.pending) != len(pending) {
+				continue
+			}
+			same := true
+			for x := range pending {
+				if g.pending[x] != pending[x] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return g
+			}
+		}
+		groups = append(groups, group{op: plan.OpInit, pending: pending})
+		return &groups[len(groups)-1]
+	}
+	findUpdate := func(op plan.OpKind, srcID int32) *group {
+		for i := range groups {
+			g := &groups[i]
+			if g.op == op && g.op != plan.OpInit && g.srcID == srcID {
+				return g
+			}
+		}
+		groups = append(groups, group{op: op, srcID: srcID})
+		return &groups[len(groups)-1]
+	}
+	for _, act := range e.Plan.Levels[level].Actions {
+		var g *group
+		if act.Op == plan.OpInit {
+			g = findInit(act.Pending)
+		} else {
+			g = findUpdate(act.Op, n.setID[act.Target])
+		}
+		g.targets = append(g.targets, act.Target)
+	}
+
+	for _, g := range groups {
+		var result []uint32
+		id := e.newID()
+		switch g.op {
+		case plan.OpInit:
+			result = nv
+			// Postponed anti-subtractions: peel each pending ancestor's
+			// neighbor list off N(v) (paper §2.1).
+			for _, m := range g.pending {
+				anc := child.Verts[m]
+				ancN := e.G.Neighbors(anc)
+				info.FetchVertices = append(info.FetchVertices, anc)
+				// The accumulating candidate loses ancN's members; the IU
+				// executes this as a subtraction with the candidate as the
+				// short input and the ancestor's neighbor list as the long.
+				op := SetOpExec{
+					Kind:       setops.OpSubtract,
+					Short:      result,
+					Long:       ancN,
+					LongVertex: anc,
+					Targets:    append([]int(nil), g.targets...),
+				}
+				result = setops.Subtract(result, ancN)
+				op.Result = result
+				info.Ops = append(info.Ops, op)
+			}
+		case plan.OpIntersect, plan.OpSubtract:
+			src := n.sets[g.targets[0]]
+			kind := setops.OpIntersect
+			if g.op == plan.OpSubtract {
+				kind = setops.OpSubtract
+			}
+			result = setops.Apply(kind, src, nv)
+			info.Ops = append(info.Ops, SetOpExec{
+				Kind:       kind,
+				Short:      src,
+				Long:       nv,
+				LongVertex: v,
+				Targets:    append([]int(nil), g.targets...),
+				Result:     result,
+			})
+		default:
+			panic(fmt.Sprintf("mine: unexpected op kind %v", g.op))
+		}
+		for _, t := range g.targets {
+			child.sets[t] = result
+			child.setID[t] = id
+		}
+	}
+	return child, info
+}
+
+// bounds computes the symmetry-breaking window (lo, hi) for selecting the
+// vertex at the given level: candidates must satisfy lo < v < hi.
+func (e *Engine) bounds(n *Node, level int) (lo, hi uint32, hasLo, hasHi bool) {
+	for _, r := range e.Plan.Levels[level].Restrictions {
+		bound := n.Verts[r.Earlier]
+		if r.Greater {
+			if !hasLo || bound > lo {
+				lo, hasLo = bound, true
+			}
+		} else {
+			if !hasHi || bound < hi {
+				hi, hasHi = bound, true
+			}
+		}
+	}
+	return
+}
+
+// window returns the index range [a, b) of n's candidate set for the next
+// level that survives the symmetry-breaking bounds.
+func (e *Engine) window(n *Node, set []uint32) (a, b int) {
+	lo, hi, hasLo, hasHi := e.bounds(n, n.Level+1)
+	a, b = 0, len(set)
+	if hasLo {
+		a = setops.UpperBound(set, lo)
+	}
+	if hasHi {
+		b = setops.LowerBound(set, hi)
+	}
+	if b < a {
+		b = a
+	}
+	return a, b
+}
+
+// Candidates returns the valid vertices for extending n at the next
+// level, with symmetry-breaking restrictions and already-used vertices
+// filtered out. The returned slice must not be modified.
+func (e *Engine) Candidates(n *Node) []uint32 {
+	set := n.sets[n.Level+1]
+	a, b := e.window(n, set)
+	window := set[a:b]
+	// Chosen vertices rarely appear in the window; copy only if needed.
+	clean := true
+	for _, u := range n.Verts {
+		if setops.Contains(window, u) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return window
+	}
+	out := make([]uint32, 0, len(window))
+	for _, v := range window {
+		if !containsVert(n.Verts, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// LeafCount counts the valid vertices at the final level below n, i.e.
+// the embeddings completed through n. n.Level must be K-2.
+func (e *Engine) LeafCount(n *Node) uint64 {
+	if n.Level != e.Plan.K()-2 {
+		panic("mine: LeafCount on non-penultimate node")
+	}
+	set := n.sets[n.Level+1]
+	a, b := e.window(n, set)
+	count := b - a
+	for _, u := range n.Verts {
+		if setops.Contains(set[a:b], u) {
+			count--
+		}
+	}
+	return uint64(count)
+}
+
+// LeafSet returns the final-level candidate set below n with restrictions
+// and used vertices applied, for listing embeddings.
+func (e *Engine) LeafSet(n *Node) []uint32 {
+	return e.Candidates(n)
+}
+
+func containsVert(vs []uint32, v uint32) bool {
+	for _, u := range vs {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}

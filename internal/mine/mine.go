@@ -1,0 +1,114 @@
+package mine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fingers/internal/graph"
+	"fingers/internal/plan"
+)
+
+// Count mines the plan on g and returns the number of embeddings (with
+// symmetry breaking applied, each automorphism class counts once).
+func Count(g *graph.Graph, pl *plan.Plan) uint64 {
+	e := NewEngine(g, pl)
+	var total uint64
+	for v := 0; v < g.NumVertices(); v++ {
+		total += e.CountFromRoot(uint32(v))
+	}
+	return total
+}
+
+// CountFromRoot mines the single search tree rooted at v0 — the unit of
+// coarse-grained parallelism the paper distributes across PEs (§3.1).
+func (e *Engine) CountFromRoot(v0 uint32) uint64 {
+	root, _ := e.Start(v0)
+	return e.countSubtree(root)
+}
+
+func (e *Engine) countSubtree(n *Node) uint64 {
+	if n.Level == e.Plan.K()-2 {
+		return e.LeafCount(n)
+	}
+	var total uint64
+	for _, v := range e.Candidates(n) {
+		child, _ := e.Extend(n, v)
+		total += e.countSubtree(child)
+	}
+	return total
+}
+
+// CountParallel mines the plan using workers goroutines over root
+// vertices; workers ≤ 0 uses GOMAXPROCS. The result equals Count.
+func CountParallel(g *graph.Graph, pl *plan.Plan, workers int) uint64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var next int64 = -1
+	var total uint64
+	var wg sync.WaitGroup
+	n := int64(g.NumVertices())
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := NewEngine(g, pl)
+			var local uint64
+			for {
+				v := atomic.AddInt64(&next, 1)
+				if v >= n {
+					break
+				}
+				local += e.CountFromRoot(uint32(v))
+			}
+			atomic.AddUint64(&total, local)
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// List enumerates every embedding, invoking visit with the mapped
+// vertices indexed by plan level. The slice is reused across calls; visit
+// returning false stops the enumeration.
+func List(g *graph.Graph, pl *plan.Plan, visit func(emb []uint32) bool) {
+	e := NewEngine(g, pl)
+	emb := make([]uint32, pl.K())
+	var rec func(n *Node) bool
+	rec = func(n *Node) bool {
+		if n.Level == pl.K()-2 {
+			copy(emb, n.Verts)
+			for _, v := range e.LeafSet(n) {
+				emb[pl.K()-1] = v
+				if !visit(emb) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, v := range e.Candidates(n) {
+			child, _ := e.Extend(n, v)
+			if !rec(child) {
+				return false
+			}
+		}
+		return true
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		root, _ := e.Start(uint32(v))
+		if !rec(root) {
+			return
+		}
+	}
+}
+
+// CountMulti mines every plan of a multi-pattern plan and returns the
+// per-pattern counts, in plan order (e.g. 3-motif counting, §5).
+func CountMulti(g *graph.Graph, mp *plan.MultiPlan) []uint64 {
+	counts := make([]uint64, len(mp.Plans))
+	for i, pl := range mp.Plans {
+		counts[i] = Count(g, pl)
+	}
+	return counts
+}

@@ -1,0 +1,123 @@
+// Package noc models the network-on-chip connecting the PEs to the
+// shared cache (Figure 5). The model is a 2D mesh with XY routing and a
+// centrally placed cache node: each PE's requests pay a per-hop latency
+// both ways. Queueing inside routers is not modeled — the shared cache
+// and DRAM bandwidth models already capture the throughput limits the
+// evaluation depends on — so the NoC contributes a deterministic per-PE
+// round-trip latency.
+package noc
+
+import (
+	"fmt"
+
+	"fingers/internal/mem"
+)
+
+// Config describes the mesh.
+type Config struct {
+	// HopLatency is the per-hop router+link traversal cost in cycles.
+	HopLatency mem.Cycles
+}
+
+// DefaultConfig uses a conventional 2-cycle hop.
+func DefaultConfig() Config { return Config{HopLatency: 2} }
+
+// Network is a 2D mesh NoC for a given PE count: PEs occupy the mesh
+// nodes of a near-square grid and the shared cache sits at the mesh
+// center.
+type Network struct {
+	cfg            Config
+	cols, rows     int
+	cacheX, cacheY int
+}
+
+// New builds the mesh for numPEs processing elements.
+func New(cfg Config, numPEs int) *Network {
+	if numPEs < 1 {
+		numPEs = 1
+	}
+	cols := 1
+	for cols*cols < numPEs {
+		cols++
+	}
+	rows := (numPEs + cols - 1) / cols
+	return &Network{
+		cfg:    cfg,
+		cols:   cols,
+		rows:   rows,
+		cacheX: cols / 2,
+		cacheY: rows / 2,
+	}
+}
+
+// Shape returns the mesh dimensions (columns, rows).
+func (n *Network) Shape() (cols, rows int) { return n.cols, n.rows }
+
+// position returns PE i's mesh coordinates (row-major placement).
+func (n *Network) position(pe int) (x, y int) {
+	return pe % n.cols, pe / n.cols
+}
+
+// Hops returns the XY-routing hop count between PE pe and the cache node.
+func (n *Network) Hops(pe int) int {
+	x, y := n.position(pe)
+	dx := x - n.cacheX
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := y - n.cacheY
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// RoundTrip returns the request+response NoC latency for PE pe: two
+// traversals of its hop distance, at least one hop each way (the cache
+// port itself).
+func (n *Network) RoundTrip(pe int) mem.Cycles {
+	h := n.Hops(pe)
+	if h < 1 {
+		h = 1
+	}
+	return 2 * mem.Cycles(h) * n.cfg.HopLatency
+}
+
+// MeanRoundTrip returns the average round-trip latency over numPEs PEs,
+// for reporting.
+func (n *Network) MeanRoundTrip(numPEs int) float64 {
+	total := mem.Cycles(0)
+	for pe := 0; pe < numPEs; pe++ {
+		total += n.RoundTrip(pe)
+	}
+	return float64(total) / float64(numPEs)
+}
+
+// String describes the topology.
+func (n *Network) String() string {
+	return fmt.Sprintf("mesh %d×%d, cache at (%d,%d), %d-cycle hops",
+		n.cols, n.rows, n.cacheX, n.cacheY, n.cfg.HopLatency)
+}
+
+// Port is one PE's connection to the shared cache through the NoC: it
+// forwards accesses with the PE's round-trip latency added. It implements
+// the memory interface both accelerator PE models consume.
+type Port struct {
+	Cache *mem.Cache
+	Trip  mem.Cycles
+}
+
+// NewPort returns PE pe's port onto the shared cache through network n.
+func NewPort(n *Network, pe int, cache *mem.Cache) *Port {
+	return &Port{Cache: cache, Trip: n.RoundTrip(pe)}
+}
+
+// Access reads the byte range through the NoC: the request departs at
+// now, traverses to the cache, and the completion includes the response
+// traversal.
+func (p *Port) Access(now mem.Cycles, addr, bytes int64) mem.Cycles {
+	return p.Cache.Access(now+p.Trip/2, addr, bytes) + p.Trip/2
+}
+
+// Probe reports residency without timing or statistics side effects.
+func (p *Port) Probe(addr, bytes int64) bool { return p.Cache.Probe(addr, bytes) }

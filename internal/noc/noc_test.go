@@ -1,0 +1,95 @@
+package noc
+
+import (
+	"testing"
+
+	"fingers/internal/mem"
+)
+
+func TestMeshShape(t *testing.T) {
+	cases := []struct {
+		pes        int
+		cols, rows int
+	}{
+		{1, 1, 1},
+		{4, 2, 2},
+		{20, 5, 4},
+		{40, 7, 6},
+	}
+	for _, c := range cases {
+		n := New(DefaultConfig(), c.pes)
+		cols, rows := n.Shape()
+		if cols != c.cols || rows != c.rows {
+			t.Errorf("%d PEs: mesh %d×%d, want %d×%d", c.pes, cols, rows, c.cols, c.rows)
+		}
+		if cols*rows < c.pes {
+			t.Errorf("%d PEs do not fit mesh %d×%d", c.pes, cols, rows)
+		}
+	}
+}
+
+func TestHopsSymmetricAndBounded(t *testing.T) {
+	n := New(DefaultConfig(), 20)
+	cols, rows := n.Shape()
+	maxHops := cols + rows
+	for pe := 0; pe < 20; pe++ {
+		h := n.Hops(pe)
+		if h < 0 || h > maxHops {
+			t.Errorf("PE %d: hops = %d", pe, h)
+		}
+	}
+	// The PE at the cache node has zero hops but a minimum 1-hop trip.
+	center := (rows/2)*cols + cols/2
+	if n.Hops(center) != 0 {
+		t.Errorf("center PE hops = %d", n.Hops(center))
+	}
+	if n.RoundTrip(center) != 2*DefaultConfig().HopLatency {
+		t.Errorf("center round trip = %d", n.RoundTrip(center))
+	}
+}
+
+func TestCornerFartherThanCenter(t *testing.T) {
+	n := New(DefaultConfig(), 20)
+	cols, rows := n.Shape()
+	center := (rows/2)*cols + cols/2
+	if n.RoundTrip(0) <= n.RoundTrip(center) {
+		t.Errorf("corner (%d) should pay more than center (%d)", n.RoundTrip(0), n.RoundTrip(center))
+	}
+}
+
+func TestMeanRoundTrip(t *testing.T) {
+	n := New(DefaultConfig(), 16)
+	mean := n.MeanRoundTrip(16)
+	if mean <= 0 {
+		t.Errorf("mean round trip = %v", mean)
+	}
+}
+
+func TestPortAddsLatency(t *testing.T) {
+	dram := mem.NewDRAM(mem.DefaultDRAMConfig())
+	cache := mem.NewCache(mem.DefaultSharedCacheConfig(), dram)
+	n := New(DefaultConfig(), 4)
+	port := NewPort(n, 0, cache)
+	direct := cache.Access(0, 0, 64)
+	through := port.Access(direct, 0, 64) // now a hit
+	hitOnly := cache.Config().HitLatency
+	if through-direct != hitOnly+port.Trip {
+		t.Errorf("port latency = %d, want hit %d + trip %d", through-direct, hitOnly, port.Trip)
+	}
+	if !port.Probe(0, 64) {
+		t.Error("probe through port failed")
+	}
+}
+
+func TestStringDescribesTopology(t *testing.T) {
+	if New(DefaultConfig(), 20).String() == "" {
+		t.Error("empty description")
+	}
+}
+
+func TestZeroPEs(t *testing.T) {
+	n := New(DefaultConfig(), 0)
+	if n.RoundTrip(0) <= 0 {
+		t.Error("degenerate mesh has no latency")
+	}
+}

@@ -1,0 +1,110 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The named patterns evaluated in the paper (§5 "Benchmarks"): 3-, 4- and
+// 5-clique, tailed triangle, 4-cycle and diamond, plus the wedge that
+// 3-motif counting needs.
+
+// Triangle returns the 3-clique (tc).
+func Triangle() Pattern { return Clique(3) }
+
+// Clique returns the complete pattern K_k.
+func Clique(k int) Pattern {
+	var edges [][2]int
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	return New(k, edges)
+}
+
+// TailedTriangle returns the tailed triangle (tt): a triangle 0-1-2 with a
+// tail vertex 3 attached to vertex 0 — the running example of the paper's
+// Figures 1 and 2.
+func TailedTriangle() Pattern {
+	return New(4, [][2]int{{0, 1}, {0, 2}, {1, 2}, {0, 3}})
+}
+
+// Cycle returns the k-cycle; Cycle(4) is the paper's cyc pattern.
+func Cycle(k int) Pattern {
+	var edges [][2]int
+	for i := 0; i < k; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % k})
+	}
+	return New(k, edges)
+}
+
+// Diamond returns the diamond (dia): a 4-clique missing one edge.
+func Diamond() Pattern {
+	return New(4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {2, 3}})
+}
+
+// Wedge returns the open triangle (path on three vertices, centered at
+// vertex 0), the second constituent of 3-motif counting.
+func Wedge() Pattern {
+	return New(3, [][2]int{{0, 1}, {0, 2}})
+}
+
+// PathOf returns the path pattern on k vertices.
+func PathOf(k int) Pattern {
+	var edges [][2]int
+	for i := 0; i+1 < k; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	return New(k, edges)
+}
+
+// StarOf returns the star pattern with one hub and k−1 leaves.
+func StarOf(k int) Pattern {
+	var edges [][2]int
+	for i := 1; i < k; i++ {
+		edges = append(edges, [2]int{0, i})
+	}
+	return New(k, edges)
+}
+
+// House returns the 5-vertex house pattern (4-cycle with a triangle roof),
+// a common extension benchmark.
+func House() Pattern {
+	return New(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 4}, {1, 4}})
+}
+
+// named maps the paper's benchmark mnemonics to constructors.
+var named = map[string]func() Pattern{
+	"tc":       Triangle,
+	"4cl":      func() Pattern { return Clique(4) },
+	"5cl":      func() Pattern { return Clique(5) },
+	"tt":       TailedTriangle,
+	"cyc":      func() Pattern { return Cycle(4) },
+	"dia":      Diamond,
+	"wedge":    Wedge,
+	"house":    House,
+	"5cyc":     func() Pattern { return Cycle(5) },
+	"4path":    func() Pattern { return PathOf(4) },
+	"4star":    func() Pattern { return StarOf(4) },
+	"triangle": Triangle,
+}
+
+// ByName returns the named pattern. Names follow the paper's mnemonics:
+// tc, 4cl, 5cl, tt, cyc, dia — plus wedge, house, 5cyc, 4path, 4star.
+func ByName(name string) (Pattern, error) {
+	if f, ok := named[name]; ok {
+		return f(), nil
+	}
+	return Pattern{}, fmt.Errorf("pattern: unknown name %q (known: %v)", name, Names())
+}
+
+// Names lists the available named patterns in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(named))
+	for k := range named {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,170 @@
+package pattern
+
+import (
+	"testing"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	p := TailedTriangle()
+	if p.Size() != 4 || p.NumEdges() != 4 {
+		t.Fatalf("size=%d edges=%d", p.Size(), p.NumEdges())
+	}
+	if !p.HasEdge(0, 1) || !p.HasEdge(1, 0) || p.HasEdge(1, 3) {
+		t.Error("adjacency wrong")
+	}
+	if p.Degree(0) != 3 || p.Degree(3) != 1 {
+		t.Error("degrees wrong")
+	}
+	if got := p.Neighbors(0); len(got) != 3 {
+		t.Errorf("Neighbors(0) = %v", got)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	cases := []func(){
+		func() { New(0, nil) },
+		func() { New(9, nil) },
+		func() { New(3, [][2]int{{0, 3}}) },
+		func() { New(3, [][2]int{{1, 1}}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	if !Triangle().IsConnected() {
+		t.Error("triangle not connected")
+	}
+	disconnected := New(4, [][2]int{{0, 1}, {2, 3}})
+	if disconnected.IsConnected() {
+		t.Error("disconnected pattern reported connected")
+	}
+	if !New(1, nil).IsConnected() {
+		t.Error("single vertex should be connected")
+	}
+}
+
+func TestAutomorphismCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Pattern
+		want int
+	}{
+		{"triangle", Triangle(), 6},              // S3
+		{"4-clique", Clique(4), 24},              // S4
+		{"wedge", Wedge(), 2},                    // swap leaves
+		{"tailed triangle", TailedTriangle(), 2}, // swap u1,u2
+		{"4-cycle", Cycle(4), 8},                 // dihedral D4
+		{"diamond", Diamond(), 4},                // swap degree-2 pair × swap degree-3 pair
+		{"path-4", PathOf(4), 2},                 // reversal
+	}
+	for _, c := range cases {
+		if got := len(c.p.Automorphisms()); got != c.want {
+			t.Errorf("%s: |Aut| = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestAutomorphismsPreserveAdjacency(t *testing.T) {
+	for _, name := range Names() {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, perm := range p.Automorphisms() {
+			if !p.Relabel(perm).Equal(p) {
+				t.Errorf("%s: %v is not an automorphism", name, perm)
+			}
+		}
+	}
+}
+
+func TestIsomorphicTo(t *testing.T) {
+	// The same diamond with different labels.
+	d1 := Diamond()
+	d2 := New(4, [][2]int{{1, 0}, {1, 2}, {1, 3}, {0, 3}, {3, 2}})
+	if !d1.IsomorphicTo(d2) {
+		t.Error("relabeled diamond not isomorphic")
+	}
+	if d1.IsomorphicTo(Cycle(4)) {
+		t.Error("diamond isomorphic to 4-cycle")
+	}
+	if Triangle().IsomorphicTo(Wedge()) {
+		t.Error("triangle isomorphic to wedge")
+	}
+}
+
+func TestCanonicalCode(t *testing.T) {
+	d2 := New(4, [][2]int{{1, 0}, {1, 2}, {1, 3}, {0, 3}, {3, 2}})
+	if Diamond().CanonicalCode() != d2.CanonicalCode() {
+		t.Error("isomorphic patterns have different canonical codes")
+	}
+	if Diamond().CanonicalCode() == Cycle(4).CanonicalCode() {
+		t.Error("non-isomorphic patterns share canonical code")
+	}
+	if Triangle().CanonicalCode() == Wedge().CanonicalCode() {
+		t.Error("triangle and wedge share canonical code")
+	}
+}
+
+func TestConnectedSubpatternsOfSize(t *testing.T) {
+	// Known counts of connected graphs on k vertices: 1, 1, 2, 6, 21.
+	wants := map[int]int{1: 1, 2: 1, 3: 2, 4: 6, 5: 21}
+	for k, want := range wants {
+		if got := len(ConnectedSubpatternsOfSize(k)); got != want {
+			t.Errorf("size %d: %d connected patterns, want %d", k, got, want)
+		}
+	}
+}
+
+func TestByNameLibrary(t *testing.T) {
+	shapes := map[string]struct{ n, m int }{
+		"tc":    {3, 3},
+		"4cl":   {4, 6},
+		"5cl":   {5, 10},
+		"tt":    {4, 4},
+		"cyc":   {4, 4},
+		"dia":   {4, 5},
+		"wedge": {3, 2},
+		"house": {5, 6},
+	}
+	for name, want := range shapes {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Size() != want.n || p.NumEdges() != want.m {
+			t.Errorf("%s: size=%d edges=%d, want %d/%d", name, p.Size(), p.NumEdges(), want.n, want.m)
+		}
+		if !p.IsConnected() {
+			t.Errorf("%s: not connected", name)
+		}
+	}
+	if _, err := ByName("nonsense"); err == nil {
+		t.Error("ByName accepted unknown name")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	got := Triangle().String()
+	want := "pattern(3): 0-1 0-2 1-2"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestRelabelIdentity(t *testing.T) {
+	p := House()
+	id := []int{0, 1, 2, 3, 4}
+	if !p.Relabel(id).Equal(p) {
+		t.Error("identity relabel changed pattern")
+	}
+}

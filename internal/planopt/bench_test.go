@@ -1,0 +1,21 @@
+package planopt
+
+import (
+	"testing"
+
+	"fingers/internal/graph/gen"
+	"fingers/internal/pattern"
+)
+
+// BenchmarkCompileBest measures full order-space search with sampled
+// costing for a 4-vertex pattern.
+func BenchmarkCompileBest(b *testing.B) {
+	g := gen.PowerLawCluster(500, 5, 0.5, 3)
+	p, _ := pattern.ByName("tt")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompileBest(g, p, Options{SampleRoots: 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

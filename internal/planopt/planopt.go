@@ -1,0 +1,167 @@
+// Package planopt selects execution-plan vertex orders with an empirical
+// cost model, the role the plan compilers of AutoMine/GraphZero/GraphPi
+// play in the paper's software stack (§2.1: "How to compile an optimized
+// execution plan is an extensively studied topic"). The default compiler
+// in package plan uses a connectivity heuristic; this package enumerates
+// every valid order, estimates each plan's cost by walking a sample of
+// root vertices and counting comparator work, and returns the cheapest.
+//
+// Both accelerator models accept any compiled plan, so a better order
+// benefits FINGERS and FlexMiner alike — order selection is orthogonal to
+// the architectural comparison, exactly as the paper treats it (§5).
+package planopt
+
+import (
+	"fmt"
+
+	"fingers/internal/graph"
+	"fingers/internal/mine"
+	"fingers/internal/pattern"
+	"fingers/internal/plan"
+)
+
+// Options configures the search.
+type Options struct {
+	// Plan is forwarded to plan.Compile (EdgeInduced etc.); its Order
+	// field is ignored.
+	Plan plan.Options
+	// SampleRoots is the number of root vertices walked per candidate
+	// order; 0 uses a size-dependent default.
+	SampleRoots int
+	// MaxOrders caps the candidate orders evaluated; 0 evaluates all
+	// valid orders (at most k! for a size-k pattern).
+	MaxOrders int
+}
+
+// Cost is the estimated comparator work (elements streamed through merge
+// units) of executing a plan over the sampled roots.
+type Cost int64
+
+// Result reports the chosen plan and the candidates considered.
+type Result struct {
+	Plan *plan.Plan
+	Cost Cost
+	// Evaluated is the number of candidate orders costed.
+	Evaluated int
+	// DefaultCost is the heuristic order's cost, for comparison.
+	DefaultCost Cost
+}
+
+// CompileBest compiles p with the cheapest vertex order for graph g.
+func CompileBest(g *graph.Graph, p pattern.Pattern, opts Options) (*Result, error) {
+	base := opts.Plan
+	base.Order = nil
+	defaultPlan, err := plan.Compile(p, base)
+	if err != nil {
+		return nil, err
+	}
+	sample := opts.SampleRoots
+	if sample <= 0 {
+		sample = g.NumVertices()
+		if sample > 512 {
+			sample = 512
+		}
+	}
+	res := &Result{
+		Plan:        defaultPlan,
+		Cost:        EstimateCost(g, defaultPlan, sample),
+		DefaultCost: 0,
+		Evaluated:   1,
+	}
+	res.DefaultCost = res.Cost
+
+	orders := validOrders(p, opts.MaxOrders)
+	for _, order := range orders {
+		o := base
+		o.Order = order
+		cand, err := plan.Compile(p, o)
+		if err != nil {
+			// Orders are pre-validated; an error here is a bug.
+			return nil, fmt.Errorf("planopt: candidate order %v: %w", order, err)
+		}
+		cost := EstimateCost(g, cand, sample)
+		res.Evaluated++
+		if cost < res.Cost {
+			res.Plan = cand
+			res.Cost = cost
+		}
+	}
+	return res, nil
+}
+
+// EstimateCost walks the search trees of the first sampleRoots root
+// vertices and sums the comparator work of every task's set operations —
+// the quantity both PE models charge cycles for.
+func EstimateCost(g *graph.Graph, pl *plan.Plan, sampleRoots int) Cost {
+	e := mine.NewEngine(g, pl)
+	roots := g.NumVertices()
+	if sampleRoots > 0 && roots > sampleRoots {
+		roots = sampleRoots
+	}
+	var total Cost
+	var walk func(n *mine.Node)
+	walk = func(n *mine.Node) {
+		if n.Level == pl.K()-2 {
+			return
+		}
+		for _, v := range e.Candidates(n) {
+			child, info := e.Extend(n, v)
+			for _, op := range info.Ops {
+				total += Cost(len(op.Short) + len(op.Long))
+			}
+			walk(child)
+		}
+	}
+	for v := 0; v < roots; v++ {
+		root, info := e.Start(uint32(v))
+		for _, op := range info.Ops {
+			total += Cost(len(op.Short) + len(op.Long))
+		}
+		walk(root)
+	}
+	return total
+}
+
+// validOrders enumerates vertex orders where every non-initial vertex is
+// adjacent to an earlier one (the connectivity requirement candidate
+// plans must satisfy), up to the cap.
+func validOrders(p pattern.Pattern, cap int) [][]int {
+	k := p.Size()
+	var out [][]int
+	used := make([]bool, k)
+	order := make([]int, 0, k)
+	var rec func()
+	rec = func() {
+		if cap > 0 && len(out) >= cap {
+			return
+		}
+		if len(order) == k {
+			out = append(out, append([]int(nil), order...))
+			return
+		}
+		for v := 0; v < k; v++ {
+			if used[v] {
+				continue
+			}
+			if len(order) > 0 {
+				connected := false
+				for _, u := range order {
+					if p.HasEdge(u, v) {
+						connected = true
+						break
+					}
+				}
+				if !connected {
+					continue
+				}
+			}
+			used[v] = true
+			order = append(order, v)
+			rec()
+			order = order[:len(order)-1]
+			used[v] = false
+		}
+	}
+	rec()
+	return out
+}

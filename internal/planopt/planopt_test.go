@@ -1,0 +1,105 @@
+package planopt
+
+import (
+	"testing"
+
+	"fingers/internal/graph/gen"
+	"fingers/internal/mine"
+	"fingers/internal/pattern"
+	"fingers/internal/plan"
+)
+
+func TestValidOrdersConnectivity(t *testing.T) {
+	p := pattern.TailedTriangle()
+	orders := validOrders(p, 0)
+	if len(orders) == 0 {
+		t.Fatal("no valid orders")
+	}
+	for _, order := range orders {
+		for i := 1; i < len(order); i++ {
+			ok := false
+			for j := 0; j < i; j++ {
+				if p.HasEdge(order[j], order[i]) {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("order %v violates connectivity at %d", order, i)
+			}
+		}
+	}
+	// The second vertex must always be adjacent to the first; vertex 3
+	// (the tail) only neighbors vertex 0.
+	for _, order := range orders {
+		if order[0] == 3 && order[1] != 0 {
+			t.Errorf("order %v: %d does not follow the tail's only neighbor", order, order[1])
+		}
+	}
+}
+
+func TestValidOrdersCap(t *testing.T) {
+	if got := len(validOrders(pattern.Clique(4), 5)); got != 5 {
+		t.Errorf("capped orders = %d", got)
+	}
+	// A clique admits all k! orders.
+	if got := len(validOrders(pattern.Clique(4), 0)); got != 24 {
+		t.Errorf("4-clique orders = %d, want 24", got)
+	}
+}
+
+func TestCompileBestNeverWorse(t *testing.T) {
+	g := gen.PowerLawCluster(300, 5, 0.6, 13)
+	for _, name := range []string{"tt", "cyc", "dia", "4cl"} {
+		p, err := pattern.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := CompileBest(g, p, Options{SampleRoots: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost > res.DefaultCost {
+			t.Errorf("%s: best cost %d exceeds default %d", name, res.Cost, res.DefaultCost)
+		}
+		if res.Evaluated < 2 {
+			t.Errorf("%s: evaluated only %d orders", name, res.Evaluated)
+		}
+		// Optimized order must not change the answer.
+		def := plan.MustCompile(p, plan.Options{})
+		if got, want := mine.Count(g, res.Plan), mine.Count(g, def); got != want {
+			t.Errorf("%s: optimized plan counts %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestEstimateCostMonotoneInSample(t *testing.T) {
+	g := gen.PowerLawCluster(400, 5, 0.5, 17)
+	pl := plan.MustCompile(pattern.Triangle(), plan.Options{})
+	small := EstimateCost(g, pl, 10)
+	large := EstimateCost(g, pl, 200)
+	if small > large {
+		t.Errorf("cost shrank with more roots: %d → %d", small, large)
+	}
+	if large <= 0 {
+		t.Error("no cost accumulated")
+	}
+}
+
+func TestCompileBestEdgeInduced(t *testing.T) {
+	g := gen.ErdosRenyi(100, 400, 9)
+	p, _ := pattern.ByName("dia")
+	res, err := CompileBest(g, p, Options{
+		Plan:        plan.Options{EdgeInduced: true},
+		SampleRoots: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Plan.EdgeInduced {
+		t.Error("EdgeInduced dropped")
+	}
+	def := plan.MustCompile(p, plan.Options{EdgeInduced: true})
+	if got, want := mine.Count(g, res.Plan), mine.Count(g, def); got != want {
+		t.Errorf("edge-induced optimized count %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,19 @@
+package profile
+
+import (
+	"testing"
+
+	"fingers/internal/graph/gen"
+	"fingers/internal/pattern"
+	"fingers/internal/plan"
+)
+
+// BenchmarkProfile measures the §3 parallelism profiling pass.
+func BenchmarkProfile(b *testing.B) {
+	g := gen.PowerLawCluster(2000, 5, 0.5, 3)
+	pl := plan.MustCompile(pattern.TailedTriangle(), plan.Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Run(g, pl, Config{MaxRoots: 500})
+	}
+}

@@ -1,0 +1,174 @@
+package setops
+
+// Bitvec is the result format produced by an intersect unit for one
+// segment (Figure 8): bit i tells whether the i-th element of the
+// associated segment is in the intersection of the two inputs. Segment
+// lengths are small (16 by default) but the iso-area IU sweep of Figure 12
+// grows them to 384, so the vector is backed by multiple words.
+type Bitvec []uint64
+
+// NewBitvec returns a zeroed bitvector able to hold n bits.
+func NewBitvec(n int) Bitvec {
+	return make(Bitvec, (n+63)/64)
+}
+
+// Set sets bit i.
+func (b Bitvec) Set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+// Get reports bit i.
+func (b Bitvec) Get(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Or merges other into b with bitwise OR, the collector's aggregation
+// primitive for all three set operations (§4.3).
+func (b Bitvec) Or(other Bitvec) {
+	for i := range other {
+		b[i] |= other[i]
+	}
+}
+
+// SegResult is one intersect-unit output: a bitvector together with the
+// segment it annotates. For intersection and anti-subtraction the
+// associated segment is the long segment; for subtraction it is the short
+// segment (with the padding 1s beyond the segment's real length implied).
+type SegResult struct {
+	// Assoc identifies the associated segment: its index within its
+	// segmentation. Results with equal Assoc are OR-merged.
+	Assoc int
+	// Seg is the associated segment's elements.
+	Seg []uint32
+	// Bits marks, per element of Seg, membership in the intersection of
+	// the workload's two inputs.
+	Bits Bitvec
+}
+
+// CompareSegments runs the IU compare unit on one workload: the long
+// segment is streamed against each paired short segment, always computing
+// the *intersection* regardless of op (A − B = A − (A∩B), §4.3).
+//
+// It returns one SegResult per associated segment and the number of
+// comparator cycles consumed (one element consumed per cycle, so a long
+// segment paired with m short segments costs s_l + m·s_s).
+func CompareSegments(op Op, p Pairing, w Workload) (results []SegResult, cycles int) {
+	switch {
+	case w.LongSeg < 0:
+		// Unpaired short segment under subtraction: nothing intersects,
+		// the all-zero bitvector keeps every element.
+		seg := p.Short.Seg(w.ShortStart)
+		results = append(results, SegResult{
+			Assoc: w.ShortStart,
+			Seg:   seg,
+			Bits:  NewBitvec(len(seg)),
+		})
+		cycles = len(seg)
+	case w.ShortCount == 0:
+		// Anti-subtraction long segment with no paired shorts: the
+		// all-zero bitvector keeps the entire long segment.
+		seg := p.Long.Seg(w.LongSeg)
+		results = append(results, SegResult{
+			Assoc: w.LongSeg,
+			Seg:   seg,
+			Bits:  NewBitvec(len(seg)),
+		})
+		cycles = len(seg)
+	default:
+		long := p.Long.Seg(w.LongSeg)
+		cycles = len(long)
+		switch op {
+		case OpSubtract:
+			// One bitvector per short segment, marking elements of the
+			// short segment found in the long segment.
+			for s := w.ShortStart; s < w.ShortStart+w.ShortCount; s++ {
+				short := p.Short.Seg(s)
+				cycles += len(short)
+				bv := NewBitvec(len(short))
+				i, j := 0, 0
+				for i < len(short) && j < len(long) {
+					switch {
+					case short[i] < long[j]:
+						i++
+					case short[i] > long[j]:
+						j++
+					default:
+						bv.Set(i)
+						i++
+						j++
+					}
+				}
+				results = append(results, SegResult{Assoc: s, Seg: short, Bits: bv})
+			}
+		default: // OpIntersect, OpAntiSubtract
+			// One bitvector over the long segment, marking elements found
+			// in any of the paired short segments (which cover disjoint
+			// value ranges).
+			bv := NewBitvec(len(long))
+			for s := w.ShortStart; s < w.ShortStart+w.ShortCount; s++ {
+				short := p.Short.Seg(s)
+				cycles += len(short)
+				i, j := 0, 0
+				for i < len(short) && j < len(long) {
+					switch {
+					case short[i] < long[j]:
+						i++
+					case short[i] > long[j]:
+						j++
+					default:
+						bv.Set(j)
+						i++
+						j++
+					}
+				}
+			}
+			results = append(results, SegResult{Assoc: w.LongSeg, Seg: long, Bits: bv})
+		}
+	}
+	return results, cycles
+}
+
+// Collector aggregates SegResults arriving from the IUs in round-robin
+// order and rebuilds the well-formed sorted output list (§4.3). Results
+// for the same associated segment must arrive consecutively, which the
+// Balance emission order guarantees.
+type Collector struct {
+	op    Op
+	out   []uint32
+	cur   SegResult
+	valid bool
+}
+
+// NewCollector returns a collector for the given operation.
+func NewCollector(op Op) *Collector { return &Collector{op: op} }
+
+// Add receives one IU result. Same-segment results are OR-merged; a new
+// segment flushes the previous one into the output list.
+func (c *Collector) Add(r SegResult) {
+	if c.valid && c.cur.Assoc == r.Assoc {
+		c.cur.Bits.Or(r.Bits)
+		return
+	}
+	c.flush()
+	// Own a copy of the bitvector: the producer may reuse its buffer.
+	bits := NewBitvec(len(r.Seg))
+	bits.Or(r.Bits)
+	c.cur = SegResult{Assoc: r.Assoc, Seg: r.Seg, Bits: bits}
+	c.valid = true
+}
+
+func (c *Collector) flush() {
+	if !c.valid {
+		return
+	}
+	keepSet := c.op == OpIntersect // subtraction keeps the zero bits
+	for i, v := range c.cur.Seg {
+		if c.cur.Bits.Get(i) == keepSet {
+			c.out = append(c.out, v)
+		}
+	}
+	c.valid = false
+}
+
+// Finish flushes the pending segment and returns the aggregated sorted
+// result list.
+func (c *Collector) Finish() []uint32 {
+	c.flush()
+	return c.out
+}

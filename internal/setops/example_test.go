@@ -1,0 +1,42 @@
+package setops_test
+
+import (
+	"fmt"
+
+	"fingers/internal/setops"
+)
+
+func ExampleApply() {
+	s := []uint32{1, 3, 5, 7}
+	n := []uint32{3, 4, 5, 6}
+	fmt.Println(setops.Apply(setops.OpIntersect, s, n))
+	fmt.Println(setops.Apply(setops.OpSubtract, s, n))
+	fmt.Println(setops.Apply(setops.OpAntiSubtract, s, n))
+	// Output:
+	// [3 5]
+	// [1 7]
+	// [4 6]
+}
+
+func ExampleSegmentedApply() {
+	// The same operation through the FINGERS segment pipeline: segment
+	// pairing, load balancing, compare units and bitvector aggregation.
+	short := []uint32{11, 18}
+	long := []uint32{3, 5, 7, 12, 13, 15, 18, 22}
+	result, stats := setops.SegmentedApply(setops.OpSubtract, short, long, 4, 2, 2)
+	fmt.Println(result, stats.Workloads > 0)
+	// Output: [11] true
+}
+
+func ExamplePair() {
+	long := setops.Segment([]uint32{2, 5, 9, 25, 26, 40}, 2)
+	short := setops.Segment([]uint32{3, 12, 14, 27}, 2)
+	p := setops.Pair(long, short)
+	for i, ld := range p.Loads {
+		fmt.Printf("long segment %d carries %d short segment(s)\n", i, ld.ShortCount)
+	}
+	// Output:
+	// long segment 0 carries 1 short segment(s)
+	// long segment 1 carries 2 short segment(s)
+	// long segment 2 carries 1 short segment(s)
+}

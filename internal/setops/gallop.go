@@ -1,0 +1,125 @@
+package setops
+
+// Skew-aware set operations. The merge kernels in setops.go stream both
+// inputs at one element per cycle — exactly what the IU hardware does —
+// but the *software* reference miner is free to exploit size skew: when
+// one input is much smaller, galloping (exponential-probe binary search)
+// finds each element's position in O(log) instead of O(linear). These
+// variants keep the software baseline honest for CPU comparisons and are
+// used by the plan-cost estimator on very skewed inputs.
+
+// gallopSkewThreshold is the size ratio beyond which galloping beats the
+// linear merge (a conventional cutoff; the exact value is not critical).
+const gallopSkewThreshold = 16
+
+// gallopSearch returns the first index i ≥ lo with s[i] >= v, probing
+// exponentially from lo before binary-searching the bracketed range.
+func gallopSearch(s []uint32, lo int, v uint32) int {
+	if lo >= len(s) || s[lo] >= v {
+		return lo
+	}
+	step := 1
+	hi := lo + 1
+	for hi < len(s) && s[hi] < v {
+		lo = hi
+		step <<= 1
+		hi = lo + step
+	}
+	if hi > len(s) {
+		hi = len(s)
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// IntersectGalloping returns a ∩ b, galloping through the larger input
+// when the size skew warrants it and falling back to the linear merge
+// otherwise.
+func IntersectGalloping(a, b []uint32) []uint32 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return nil
+	}
+	if len(b) < gallopSkewThreshold*len(a) {
+		return Intersect(a, b)
+	}
+	out := make([]uint32, 0, len(a))
+	j := 0
+	for _, v := range a {
+		j = gallopSearch(b, j, v)
+		if j == len(b) {
+			break
+		}
+		if b[j] == v {
+			out = append(out, v)
+			j++
+		}
+	}
+	return out
+}
+
+// SubtractGalloping returns a − b with the same skew adaptation.
+func SubtractGalloping(a, b []uint32) []uint32 {
+	if len(a) == 0 {
+		return nil
+	}
+	if len(b) < gallopSkewThreshold*len(a) {
+		return Subtract(a, b)
+	}
+	out := make([]uint32, 0, len(a))
+	j := 0
+	for _, v := range a {
+		j = gallopSearch(b, j, v)
+		if j < len(b) && b[j] == v {
+			j++
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// IntersectMany returns the intersection of all sets, smallest-first so
+// the running result only shrinks. An empty input list yields nil (the
+// caller supplies the universe; there is no implicit one).
+func IntersectMany(sets ...[]uint32) []uint32 {
+	if len(sets) == 0 {
+		return nil
+	}
+	smallest := 0
+	for i, s := range sets {
+		if len(s) < len(sets[smallest]) {
+			smallest = i
+		}
+	}
+	out := Clone(sets[smallest])
+	for i, s := range sets {
+		if i == smallest || len(out) == 0 {
+			continue
+		}
+		out = IntersectGalloping(out, s)
+	}
+	return out
+}
+
+// SubtractMany returns a minus the union of all bs, without materializing
+// the union (the postponed anti-subtraction evaluation order, §2.1).
+func SubtractMany(a []uint32, bs ...[]uint32) []uint32 {
+	out := Clone(a)
+	for _, b := range bs {
+		if len(out) == 0 {
+			break
+		}
+		out = SubtractGalloping(out, b)
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package setops
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGallopSearch(t *testing.T) {
+	s := []uint32{2, 4, 6, 8, 10, 12, 14, 16, 18, 20}
+	cases := []struct {
+		lo   int
+		v    uint32
+		want int
+	}{
+		{0, 1, 0},
+		{0, 2, 0},
+		{0, 3, 1},
+		{0, 20, 9},
+		{0, 21, 10},
+		{5, 12, 5},
+		{5, 100, 10},
+	}
+	for _, c := range cases {
+		if got := gallopSearch(s, c.lo, c.v); got != c.want {
+			t.Errorf("gallopSearch(lo=%d, v=%d) = %d, want %d", c.lo, c.v, got, c.want)
+		}
+	}
+}
+
+func TestGallopingMatchesMerge(t *testing.T) {
+	f := func(av, bv []uint32) bool {
+		a, b := mkset(av), mkset(bv)
+		if !eq(IntersectGalloping(a, b), Intersect(a, b)) {
+			return false
+		}
+		return eq(SubtractGalloping(a, b), Subtract(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGallopingSkewedInputs(t *testing.T) {
+	// Force the galloping path: a tiny set against a huge one.
+	rng := rand.New(rand.NewSource(5))
+	big := make([]uint32, 10000)
+	for i := range big {
+		big[i] = uint32(i * 3)
+	}
+	small := randomSet(rng, 20, 30000)
+	if !eq(IntersectGalloping(small, big), Intersect(small, big)) {
+		t.Error("galloping intersect diverges on skewed inputs")
+	}
+	if !eq(SubtractGalloping(small, big), Subtract(small, big)) {
+		t.Error("galloping subtract diverges on skewed inputs")
+	}
+	// Symmetric argument order must not matter for intersection.
+	if !eq(IntersectGalloping(big, small), Intersect(small, big)) {
+		t.Error("galloping intersect not symmetric")
+	}
+}
+
+func TestIntersectMany(t *testing.T) {
+	a := []uint32{1, 2, 3, 4, 5, 6}
+	b := []uint32{2, 4, 6, 8}
+	c := []uint32{4, 6, 10}
+	if got := IntersectMany(a, b, c); !eq(got, []uint32{4, 6}) {
+		t.Errorf("IntersectMany = %v", got)
+	}
+	if got := IntersectMany(a); !eq(got, a) {
+		t.Errorf("single-set IntersectMany = %v", got)
+	}
+	if got := IntersectMany(); got != nil {
+		t.Errorf("empty IntersectMany = %v", got)
+	}
+	if got := IntersectMany(a, nil); len(got) != 0 {
+		t.Errorf("IntersectMany with empty = %v", got)
+	}
+}
+
+func TestIntersectManyDoesNotAliasInput(t *testing.T) {
+	a := []uint32{1, 2, 3}
+	got := IntersectMany(a)
+	got[0] = 99
+	if a[0] != 1 {
+		t.Error("IntersectMany aliases its input")
+	}
+}
+
+func TestSubtractMany(t *testing.T) {
+	a := []uint32{1, 2, 3, 4, 5, 6, 7, 8}
+	if got := SubtractMany(a, []uint32{2, 4}, []uint32{6, 9}); !eq(got, []uint32{1, 3, 5, 7, 8}) {
+		t.Errorf("SubtractMany = %v", got)
+	}
+	if got := SubtractMany(a); !eq(got, a) {
+		t.Errorf("no-op SubtractMany = %v", got)
+	}
+	got := SubtractMany(a)
+	got[0] = 99
+	if a[0] != 1 {
+		t.Error("SubtractMany aliases its input")
+	}
+}
+
+func TestManyOpsMatchPairwise(t *testing.T) {
+	f := func(av, bv, cv []uint32) bool {
+		a, b, c := mkset(av), mkset(bv), mkset(cv)
+		if !eq(IntersectMany(a, b, c), Intersect(Intersect(a, b), c)) {
+			return false
+		}
+		return eq(SubtractMany(a, b, c), Subtract(Subtract(a, b), c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkIntersectGallopingSkewed(b *testing.B) {
+	big := make([]uint32, 100000)
+	for i := range big {
+		big[i] = uint32(i * 2)
+	}
+	small := []uint32{5, 1001, 20002, 40005, 80000, 160001, 199998}
+	b.Run("gallop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			IntersectGalloping(small, big)
+		}
+	})
+	b.Run("merge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Intersect(small, big)
+		}
+	})
+}
