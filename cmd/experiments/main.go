@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"fingers/internal/exp"
+	"fingers/internal/telemetry"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 	fmPEs := flag.Int("flex-pes", 0, "FlexMiner chip PE count (0 = paper default 40)")
 	cacheKB := flag.Int64("cache-kb", 0, "shared-cache capacity override (kB)")
 	csvDir := flag.String("csv", "", "also write per-experiment CSV files into this directory")
+	jsonOut := flag.String("json", "", "append one JSONL run record per simulated chip run to this file")
 	flag.Parse()
 
 	opts := exp.Options{
@@ -41,6 +43,15 @@ func main() {
 		FingersPEs:       *fiPEs,
 		FlexPEs:          *fmPEs,
 		SharedCacheBytes: *cacheKB << 10,
+	}
+	if *jsonOut != "" {
+		log, err := telemetry.OpenRunLog(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer log.Close()
+		opts.Log = log
 	}
 	args := flag.Args()
 	if len(args) == 0 {

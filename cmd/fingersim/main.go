@@ -1,11 +1,18 @@
 // Command fingersim simulates one graph-mining workload on the FINGERS
 // accelerator, the FlexMiner baseline, or both, and reports cycles,
-// counts, memory statistics and IU utilization.
+// counts, memory statistics, IU utilization, and the per-PE cycle
+// breakdown (compute / memory stall / overhead / idle).
 //
 // Usage:
 //
 //	fingersim -graph Lj -pattern tt -arch both -pes 20
 //	fingersim -graph path/to/edges.txt -pattern 4cl -arch fingers -ius 48
+//	fingersim -graph Mi -pattern tt -arch both -trace /tmp/t.json -json /tmp/r.jsonl
+//
+// -trace writes a Chrome trace_event file (open at ui.perfetto.dev, one
+// track per PE); -json appends one machine-readable run record per
+// simulated architecture; -progress N prints a live status line every N
+// scheduler steps for long runs.
 package main
 
 import (
@@ -13,11 +20,14 @@ import (
 	"fmt"
 	"os"
 
+	"fingers/internal/accel"
 	"fingers/internal/datasets"
 	"fingers/internal/exp"
 	fingerspe "fingers/internal/fingers"
 	"fingers/internal/flexminer"
 	"fingers/internal/graph"
+	"fingers/internal/mem"
+	"fingers/internal/telemetry"
 )
 
 func main() {
@@ -29,7 +39,16 @@ func main() {
 	isoArea := flag.Bool("iso-area", true, "shrink segment length as IUs grow (#IUs × s_l const)")
 	cacheKB := flag.Int64("cache-kb", datasets.ScaledSharedCacheBytes>>10, "shared cache capacity (kB)")
 	pseudoDFS := flag.Bool("pseudo-dfs", true, "enable pseudo-DFS task grouping")
+	traceOut := flag.String("trace", "", "write Chrome trace_event JSON here (view at ui.perfetto.dev)")
+	jsonOut := flag.String("json", "", "append one JSONL run record per simulated architecture here")
+	progressEvery := flag.Int64("progress", 0, "print a progress line to stderr every N scheduler steps (0 = off)")
 	flag.Parse()
+
+	switch *arch {
+	case "fingers", "flexminer", "both":
+	default:
+		fatal(fmt.Errorf("unknown -arch %q (valid values: fingers, flexminer, both)", *arch))
+	}
 
 	g, err := loadGraph(*graphArg)
 	if err != nil {
@@ -44,6 +63,19 @@ func main() {
 		st.Vertices, st.Edges, st.AvgDegree, st.MaxDegree)
 	fmt.Printf("pattern: %s (%d plan(s))\n", *patternArg, len(plans))
 
+	var chrome *telemetry.Chrome
+	if *traceOut != "" {
+		chrome = telemetry.NewChrome()
+	}
+	var runLog *telemetry.RunLog
+	if *jsonOut != "" {
+		runLog, err = telemetry.OpenRunLog(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer runLog.Close()
+	}
+
 	cache := *cacheKB << 10
 	if *arch == "fingers" || *arch == "both" {
 		cfg := fingerspe.DefaultConfig()
@@ -53,15 +85,87 @@ func main() {
 			cfg = cfg.WithIUsUnlimited(*ius)
 		}
 		cfg.PseudoDFS = *pseudoDFS
-		chip := fingerspe.NewChip(cfg, *pes, cache, g, plans)
-		res := chip.Run()
+		sched := accel.NewRootScheduler(g.NumVertices())
+		chip := fingerspe.NewChipWithScheduler(cfg, *pes, cache, g, plans, sched)
+		if chrome != nil {
+			chrome.StartProcess("FINGERS")
+			chip.SetTracer(chrome)
+		}
+		fn := progressFunc("FINGERS", *progressEvery, sched, chip.Hier, func() (tasks int64) {
+			for _, pe := range chip.PEs {
+				tasks += pe.Tasks()
+			}
+			return tasks
+		})
+		res := chip.RunWithProgress(*progressEvery, fn)
 		iu := chip.AggregateStats()
 		fmt.Printf("FINGERS   %2d PEs × %2d IUs (s_l=%d): %s\n", *pes, cfg.NumIUs, cfg.LongSegLen, res)
 		fmt.Printf("          IU active %.1f%%, balance %.1f%%\n", 100*iu.ActiveRate(), 100*iu.BalanceRate())
+		fmt.Printf("          breakdown: %s\n", res.Breakdown)
+		if runLog != nil {
+			rec := exp.NewRunRecord("fingers", "fingersim", *graphArg, *patternArg, *pes, cfg.NumIUs, cache, g, res, chip.PERecords())
+			rec.IUActiveRate = iu.ActiveRate()
+			rec.IUBalanceRate = iu.BalanceRate()
+			if err := runLog.Write(rec); err != nil {
+				fatal(err)
+			}
+		}
 	}
 	if *arch == "flexminer" || *arch == "both" {
-		res := flexminer.NewChip(flexminer.DefaultConfig(), *pes, cache, g, plans).Run()
+		sched := accel.NewRootScheduler(g.NumVertices())
+		chip := flexminer.NewChipWithScheduler(flexminer.DefaultConfig(), *pes, cache, g, plans, sched)
+		if chrome != nil {
+			chrome.StartProcess("FlexMiner")
+			chip.SetTracer(chrome)
+		}
+		fn := progressFunc("FlexMiner", *progressEvery, sched, chip.Hier, func() (tasks int64) {
+			for _, pe := range chip.PEs {
+				tasks += pe.Tasks()
+			}
+			return tasks
+		})
+		res := chip.RunWithProgress(*progressEvery, fn)
 		fmt.Printf("FlexMiner %2d PEs: %s\n", *pes, res)
+		fmt.Printf("          breakdown: %s\n", res.Breakdown)
+		if runLog != nil {
+			rec := exp.NewRunRecord("flexminer", "fingersim", *graphArg, *patternArg, *pes, 0, cache, g, res, chip.PERecords())
+			if err := runLog.Write(rec); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if chrome != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := chrome.WriteTo(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d events -> %s (open at ui.perfetto.dev)\n", len(chrome.Events()), *traceOut)
+	}
+}
+
+// progressFunc builds the periodic status-line callback: simulated time,
+// PEs still active, roots remaining, and the live shared-cache MPKI
+// (line misses per thousand extension tasks — the per-task analogue of
+// misses per kilo-instruction). Returns nil when progress is disabled.
+func progressFunc(label string, every int64, sched *accel.RootScheduler, hier *mem.Hierarchy, tasksFn func() int64) func(accel.Progress) {
+	if every <= 0 {
+		return nil
+	}
+	return func(p accel.Progress) {
+		cs := hier.Shared.Stats()
+		mpki := 0.0
+		if tasks := tasksFn(); tasks > 0 {
+			mpki = 1000 * float64(cs.LineMisses) / float64(tasks)
+		}
+		fmt.Fprintf(os.Stderr, "%s: steps=%d t=%dcy active-pes=%d roots-remaining=%d shared-MPKI=%.1f\n",
+			label, p.Steps, p.Now, p.Active, sched.Remaining(), mpki)
 	}
 }
 

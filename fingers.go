@@ -34,6 +34,7 @@ import (
 	"fingers/internal/mine"
 	"fingers/internal/pattern"
 	"fingers/internal/plan"
+	"fingers/internal/telemetry"
 )
 
 // Graph is an immutable undirected CSR graph with sorted neighbor lists.
@@ -72,6 +73,29 @@ type BaselineConfig = flexminer.Config
 
 // IUStats reports intersect-unit utilization (the paper's Table 3 rates).
 type IUStats = fingerspe.IUStats
+
+// CycleBreakdown attributes simulated cycles to compute, exposed memory
+// stall, pipeline overhead, and idle; SimResult carries the chip-wide
+// rollup and PE-level detail is available from the traced variants.
+type CycleBreakdown = telemetry.Breakdown
+
+// Tracer receives fine-grained simulation events (task groups, set-op
+// issues, cache accesses, DRAM bursts); nil disables tracing with zero
+// overhead.
+type Tracer = telemetry.Tracer
+
+// ChromeTrace is a Tracer that renders a Chrome trace_event JSON file,
+// viewable in Perfetto (one track per PE).
+type ChromeTrace = telemetry.Chrome
+
+// RunRecord is the machine-readable JSONL summary of one simulated run.
+type RunRecord = telemetry.RunRecord
+
+// PECycleRecord is one PE's telemetry slice of a simulated run.
+type PECycleRecord = telemetry.PERecord
+
+// NewChromeTrace returns an empty Chrome trace collector.
+func NewChromeTrace() *ChromeTrace { return telemetry.NewChrome() }
 
 // Dataset is one synthetic analogue of the paper's Table 1 graphs.
 type Dataset = datasets.Dataset
@@ -154,6 +178,27 @@ func SimulateFingersWithStats(cfg AcceleratorConfig, numPEs int, sharedCacheByte
 	chip := fingerspe.NewChip(cfg, numPEs, sharedCacheBytes, g, plans)
 	res := chip.Run()
 	return res, chip.AggregateStats()
+}
+
+// SimulateFingersTraced runs the FINGERS model with an event tracer
+// attached (nil is allowed and costs nothing) and returns the result,
+// the per-PE cycle records — each PE's compute/stall/overhead/idle
+// buckets sum to the makespan — and the IU utilization rates.
+func SimulateFingersTraced(cfg AcceleratorConfig, numPEs int, sharedCacheBytes int64, g *Graph, tr Tracer, plans ...*Plan) (SimResult, []PECycleRecord, IUStats) {
+	chip := fingerspe.NewChip(cfg, numPEs, sharedCacheBytes, g, plans)
+	chip.SetTracer(tr)
+	res := chip.Run()
+	return res, chip.PERecords(), chip.AggregateStats()
+}
+
+// SimulateFlexMinerTraced runs the FlexMiner baseline with an event
+// tracer attached (nil is allowed) and returns the result and the
+// per-PE cycle records.
+func SimulateFlexMinerTraced(cfg BaselineConfig, numPEs int, sharedCacheBytes int64, g *Graph, tr Tracer, plans ...*Plan) (SimResult, []PECycleRecord) {
+	chip := flexminer.NewChip(cfg, numPEs, sharedCacheBytes, g, plans)
+	chip.SetTracer(tr)
+	res := chip.Run()
+	return res, chip.PERecords()
 }
 
 // IsoAreaPEs returns the FINGERS PE count that fits the area budget of

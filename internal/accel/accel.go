@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"fingers/internal/mem"
+	"fingers/internal/telemetry"
 )
 
 // RootScheduler hands out search-tree root vertices to PEs — the paper's
@@ -103,6 +104,10 @@ type Result struct {
 	PEBusy mem.Cycles
 	// Tasks counts the extension tasks executed across all PEs.
 	Tasks int64
+	// Breakdown attributes the chip's PE-cycles (makespan × #PEs) to
+	// compute, exposed memory stall, pipeline overhead, and idle — the
+	// chip-wide rollup of the per-PE telemetry counters.
+	Breakdown telemetry.Breakdown
 }
 
 // Speedup returns other.Cycles / r.Cycles: how much faster r is.
@@ -119,26 +124,55 @@ func (r Result) String() string {
 		r.Cycles, r.Count, r.Tasks, 100*r.SharedCache.MissRate())
 }
 
+// Progress is a snapshot of the event loop handed to the progress
+// callback of RunWithProgress.
+type Progress struct {
+	// Steps is the number of scheduling quanta executed so far.
+	Steps int64
+	// Now is the frontmost local clock: no shared state precedes it.
+	Now mem.Cycles
+	// Active is the number of PEs that still have work.
+	Active int
+}
+
 // Run drives the PEs in event order until all are idle and returns the
 // makespan. Each heap pop selects the PE with the smallest local clock so
 // shared cache and DRAM state evolve in near-global order.
-func Run(pes []PE) mem.Cycles {
+func Run(pes []PE) mem.Cycles { return RunWithProgress(pes, 0, nil) }
+
+// RunWithProgress is Run with a periodic observer: every `every`
+// scheduling quanta it calls fn with a Progress snapshot (every <= 0 or
+// fn == nil disables the callback, reducing to Run). The callback must
+// not mutate simulation state.
+func RunWithProgress(pes []PE, every int64, fn func(Progress)) mem.Cycles {
 	h := make(peHeap, 0, len(pes))
 	var makespan mem.Cycles
 	for _, pe := range pes {
 		h = append(h, pe)
 	}
 	heap.Init(&h)
+	var steps int64
 	for h.Len() > 0 {
 		pe := h[0]
-		if pe.Step() {
+		alive := pe.Step()
+		steps++
+		if alive {
 			heap.Fix(&h, 0)
-			continue
+		} else {
+			if pe.Time() > makespan {
+				makespan = pe.Time()
+			}
+			heap.Pop(&h)
 		}
-		if pe.Time() > makespan {
-			makespan = pe.Time()
+		if every > 0 && fn != nil && steps%every == 0 {
+			var now mem.Cycles
+			if h.Len() > 0 {
+				now = h[0].Time()
+			} else {
+				now = makespan
+			}
+			fn(Progress{Steps: steps, Now: now, Active: h.Len()})
 		}
-		heap.Pop(&h)
 	}
 	return makespan
 }

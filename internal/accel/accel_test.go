@@ -136,3 +136,44 @@ func TestSchedulerWithOrder(t *testing.T) {
 		t.Error("scheduler did not exhaust")
 	}
 }
+
+// TestRunWithProgressFiresPeriodically checks the progress callback
+// cadence and snapshot fields.
+func TestRunWithProgressFiresPeriodically(t *testing.T) {
+	pes := []PE{
+		&fakePE{step: 10, left: 3},
+		&fakePE{step: 7, left: 10},
+	}
+	var snaps []Progress
+	got := RunWithProgress(pes, 4, func(p Progress) { snaps = append(snaps, p) })
+	if got != 70 {
+		t.Fatalf("makespan = %d, want 70", got)
+	}
+	// 13 work steps + 2 retiring pops = 15 quanta → callbacks at 4, 8, 12.
+	if len(snaps) != 3 {
+		t.Fatalf("got %d progress callbacks: %+v", len(snaps), snaps)
+	}
+	for i, p := range snaps {
+		if p.Steps != int64(4*(i+1)) {
+			t.Errorf("snapshot %d at steps %d", i, p.Steps)
+		}
+	}
+	if last := snaps[len(snaps)-1]; last.Active < 0 || last.Now == 0 {
+		t.Errorf("implausible final snapshot %+v", last)
+	}
+}
+
+// TestRunWithProgressDisabled checks every disabled combination reduces
+// to Run.
+func TestRunWithProgressDisabled(t *testing.T) {
+	for _, every := range []int64{0, -1, 5} {
+		pes := []PE{&fakePE{step: 5, left: 4}}
+		var fn func(Progress)
+		if every == 5 {
+			fn = nil // explicit nil fn with a period must also be silent
+		}
+		if got := RunWithProgress(pes, every, fn); got != 20 {
+			t.Errorf("every=%d: makespan = %d, want 20", every, got)
+		}
+	}
+}

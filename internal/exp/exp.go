@@ -11,6 +11,7 @@ package exp
 import (
 	"fmt"
 	"math"
+	"os"
 	"strings"
 
 	"fingers/internal/accel"
@@ -18,8 +19,10 @@ import (
 	"fingers/internal/fingers"
 	"fingers/internal/flexminer"
 	"fingers/internal/graph"
+	"fingers/internal/mem"
 	"fingers/internal/pattern"
 	"fingers/internal/plan"
+	"fingers/internal/telemetry"
 )
 
 // Benchmarks is the paper's pattern list (§5): cliques of size 3–5,
@@ -36,6 +39,9 @@ type Options struct {
 	FlexPEs, FingersPEs int
 	// SharedCacheBytes overrides the scaled default shared cache.
 	SharedCacheBytes int64
+	// Log, when non-nil, receives one telemetry.RunRecord per simulated
+	// chip run (one JSONL line per experiment cell and architecture).
+	Log *telemetry.RunLog
 }
 
 func (o Options) flexPEs() int {
@@ -98,6 +104,74 @@ func RunFingers(cfg fingers.Config, pes int, cacheBytes int64, g *graph.Graph, p
 // RunFlexMiner simulates a FlexMiner chip on one benchmark cell.
 func RunFlexMiner(pes int, cacheBytes int64, g *graph.Graph, plans []*plan.Plan) accel.Result {
 	return flexminer.NewChip(flexminer.DefaultConfig(), pes, cacheBytes, g, plans).Run()
+}
+
+// NewRunRecord assembles the machine-readable summary of one simulated
+// run for the JSONL run log. ius is 0 for architectures without IUs.
+func NewRunRecord(arch, experiment, graphName, patternName string, pes, ius int, cacheBytes int64, g *graph.Graph, res accel.Result, perPE []telemetry.PERecord) telemetry.RunRecord {
+	if cacheBytes == 0 {
+		cacheBytes = mem.DefaultSharedCacheConfig().CapacityBytes
+	}
+	st := graph.ComputeStats(g)
+	return telemetry.RunRecord{
+		Schema:     telemetry.RunSchema,
+		Arch:       arch,
+		Experiment: experiment,
+		Graph: telemetry.GraphInfo{
+			Name:      graphName,
+			Vertices:  st.Vertices,
+			Edges:     st.Edges,
+			AvgDegree: st.AvgDegree,
+			MaxDegree: st.MaxDegree,
+		},
+		Pattern:          patternName,
+		PEs:              pes,
+		IUs:              ius,
+		SharedCacheBytes: cacheBytes,
+		Cycles:           res.Cycles,
+		Count:            res.Count,
+		Tasks:            res.Tasks,
+		SharedAccesses:   res.SharedCache.LineAccesses,
+		SharedMisses:     res.SharedCache.LineMisses,
+		SharedMissRate:   res.SharedCache.MissRate(),
+		DRAMAccesses:     res.DRAM.Accesses,
+		DRAMBytes:        res.DRAM.BytesMoved,
+		Breakdown:        res.Breakdown,
+		PerPE:            perPE,
+	}
+}
+
+// logWrite appends one record to the run log, reporting (not aborting
+// on) I/O failures so a full sweep is never lost to a bad disk.
+func logWrite(log *telemetry.RunLog, rec telemetry.RunRecord) {
+	if err := log.Write(rec); err != nil {
+		fmt.Fprintln(os.Stderr, "exp: run log:", err)
+	}
+}
+
+// simFingers runs one FINGERS cell and, when a run log is attached,
+// appends its telemetry record (with IU rates and per-PE breakdowns).
+func (o Options) simFingers(experiment, graphName, patternName string, cfg fingers.Config, pes int, cacheBytes int64, g *graph.Graph, plans []*plan.Plan) accel.Result {
+	chip := fingers.NewChip(cfg, pes, cacheBytes, g, plans)
+	res := chip.Run()
+	if o.Log != nil {
+		rec := NewRunRecord("fingers", experiment, graphName, patternName, pes, cfg.NumIUs, cacheBytes, g, res, chip.PERecords())
+		iu := chip.AggregateStats()
+		rec.IUActiveRate = iu.ActiveRate()
+		rec.IUBalanceRate = iu.BalanceRate()
+		logWrite(o.Log, rec)
+	}
+	return res
+}
+
+// simFlex runs one FlexMiner cell, logging like simFingers.
+func (o Options) simFlex(experiment, graphName, patternName string, pes int, cacheBytes int64, g *graph.Graph, plans []*plan.Plan) accel.Result {
+	chip := flexminer.NewChip(flexminer.DefaultConfig(), pes, cacheBytes, g, plans)
+	res := chip.Run()
+	if o.Log != nil {
+		logWrite(o.Log, NewRunRecord("flexminer", experiment, graphName, patternName, pes, 0, cacheBytes, g, res, chip.PERecords()))
+	}
+	return res
 }
 
 // SpeedupCell is one (graph, pattern) comparison.

@@ -29,8 +29,8 @@ func Fig9(opts Options) *SpeedupGrid {
 		}
 		for _, d := range opts.graphs() {
 			g := d.Graph()
-			fi := RunFingers(fingers.DefaultConfig(), 1, opts.cacheBytes(), g, plans)
-			fm := RunFlexMiner(1, opts.cacheBytes(), g, plans)
+			fi := opts.simFingers("fig9", d.Name, name, fingers.DefaultConfig(), 1, opts.cacheBytes(), g, plans)
+			fm := opts.simFlex("fig9", d.Name, name, 1, opts.cacheBytes(), g, plans)
 			grid.Cells[name][d.Name] = SpeedupCell{
 				Graph: d.Name, Pattern: name,
 				Fingers: fi, Flex: fm, Speedup: fi.Speedup(fm),
@@ -53,8 +53,8 @@ func Fig10(opts Options) *SpeedupGrid {
 		}
 		for _, d := range opts.graphs() {
 			g := d.Graph()
-			fi := RunFingers(fingers.DefaultConfig(), fiPEs, opts.cacheBytes(), g, plans)
-			fm := RunFlexMiner(fmPEs, opts.cacheBytes(), g, plans)
+			fi := opts.simFingers("fig10", d.Name, name, fingers.DefaultConfig(), fiPEs, opts.cacheBytes(), g, plans)
+			fm := opts.simFlex("fig10", d.Name, name, fmPEs, opts.cacheBytes(), g, plans)
 			grid.Cells[name][d.Name] = SpeedupCell{
 				Graph: d.Name, Pattern: name,
 				Fingers: fi, Flex: fm, Speedup: fi.Speedup(fm),
@@ -97,8 +97,8 @@ func Fig11(opts Options) *SpeedupGrid {
 		}
 		for _, d := range graphsList {
 			g := d.Graph()
-			with := RunFingers(fingers.DefaultConfig(), 1, opts.cacheBytes(), g, plans)
-			without := RunFingers(off, 1, opts.cacheBytes(), g, plans)
+			with := opts.simFingers("fig11", d.Name, name, fingers.DefaultConfig(), 1, opts.cacheBytes(), g, plans)
+			without := opts.simFingers("fig11-strict-dfs", d.Name, name, off, 1, opts.cacheBytes(), g, plans)
 			grid.Cells[name][d.Name] = SpeedupCell{
 				Graph: d.Name, Pattern: name,
 				Fingers: with, Flex: without, Speedup: with.Speedup(without),
@@ -167,7 +167,7 @@ func Fig12(opts Options) *Fig12Result {
 			} else {
 				cfg = fingers.DefaultConfig().WithIUs(n)
 			}
-			r := RunFingers(cfg, 1, opts.cacheBytes(), g, plans)
+			r := opts.simFingers("fig12", d.Name, sw.pattern, cfg, 1, opts.cacheBytes(), g, plans)
 			if base == 0 {
 				base = r.Cycles
 			}
@@ -254,8 +254,8 @@ func Fig13(opts Options) *Fig13Result {
 		fmCurve := Fig13Curve{Graph: gn, Design: "FlexMiner", Pattern: "cyc"}
 		for _, mb := range Fig13PaperCapacitiesMB {
 			scaled := int64(mb * float64(1<<20) / datasets.CacheScale)
-			fi := RunFingers(fingers.DefaultConfig(), opts.fingersPEs(), scaled, g, plans)
-			fm := RunFlexMiner(opts.flexPEs(), scaled, g, plans)
+			fi := opts.simFingers("fig13", gn, "cyc", fingers.DefaultConfig(), opts.fingersPEs(), scaled, g, plans)
+			fm := opts.simFlex("fig13", gn, "cyc", opts.flexPEs(), scaled, g, plans)
 			fiCurve.Points = append(fiCurve.Points, Fig13Point{
 				PaperCapacityMB: mb, ScaledBytes: scaled, MissRate: fi.SharedCache.MissRate(),
 			})
@@ -315,8 +315,14 @@ func Table3(opts Options) *Table3Result {
 			panic(err)
 		}
 		chip := fingers.NewChip(fingers.DefaultConfig(), 1, opts.cacheBytes(), g, plans)
-		chip.Run()
+		runRes := chip.Run()
 		st := chip.AggregateStats()
+		if opts.Log != nil {
+			rec := NewRunRecord("fingers", "table3", d.Name, name, 1, fingers.DefaultConfig().NumIUs, opts.cacheBytes(), g, runRes, chip.PERecords())
+			rec.IUActiveRate = st.ActiveRate()
+			rec.IUBalanceRate = st.BalanceRate()
+			logWrite(opts.Log, rec)
+		}
 		res.Rows = append(res.Rows, Table3Row{
 			Pattern:     name,
 			ActiveRate:  st.ActiveRate(),

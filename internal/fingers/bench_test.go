@@ -6,6 +6,7 @@ import (
 	"fingers/internal/graph/gen"
 	"fingers/internal/pattern"
 	"fingers/internal/plan"
+	"fingers/internal/telemetry"
 )
 
 // BenchmarkSinglePE measures the simulator's throughput for one FINGERS
@@ -39,4 +40,31 @@ func mustPlan(b *testing.B, name string) *plan.Plan {
 		b.Fatal(err)
 	}
 	return plan.MustCompile(p, plan.Options{})
+}
+
+// BenchmarkSinglePENilTracer is BenchmarkSinglePE with the telemetry
+// hooks explicitly detached: it must stay within noise of the plain
+// benchmark, which is the zero-overhead-when-disabled guarantee.
+func BenchmarkSinglePENilTracer(b *testing.B) {
+	g := gen.PowerLawCluster(2000, 6, 0.5, 1)
+	pls := []*plan.Plan{mustPlan(b, "tt")}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		chip := NewChip(DefaultConfig(), 1, 0, g, pls)
+		chip.SetTracer(nil)
+		chip.Run()
+	}
+}
+
+// BenchmarkSinglePECountingTracer measures the cost of the cheapest
+// real tracer, for comparison against the nil-tracer baseline.
+func BenchmarkSinglePECountingTracer(b *testing.B) {
+	g := gen.PowerLawCluster(2000, 6, 0.5, 1)
+	pls := []*plan.Plan{mustPlan(b, "tt")}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		chip := NewChip(DefaultConfig(), 1, 0, g, pls)
+		chip.SetTracer(&telemetry.Counting{})
+		chip.Run()
+	}
 }

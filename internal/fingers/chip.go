@@ -6,6 +6,7 @@ import (
 	"fingers/internal/mem"
 	"fingers/internal/noc"
 	"fingers/internal/plan"
+	"fingers/internal/telemetry"
 )
 
 // Chip assembles a multi-PE FINGERS accelerator over one shared memory
@@ -13,6 +14,9 @@ import (
 type Chip struct {
 	PEs  []*PE
 	Hier *mem.Hierarchy
+
+	ports    []*noc.Port
+	makespan mem.Cycles
 }
 
 // NewChip builds a FINGERS chip with numPEs PEs mining the given plans.
@@ -29,18 +33,46 @@ func NewChipWithScheduler(cfg Config, numPEs int, sharedCacheBytes int64, g *gra
 	c := &Chip{Hier: hier}
 	net := noc.New(noc.DefaultConfig(), numPEs)
 	for i := 0; i < numPEs; i++ {
-		c.PEs = append(c.PEs, NewPE(cfg, g, plans, sched, noc.NewPort(net, i, hier.Shared)))
+		port := noc.NewPort(net, i, hier.Shared)
+		pe := NewPE(cfg, g, plans, sched, port)
+		pe.id = i
+		c.PEs = append(c.PEs, pe)
+		c.ports = append(c.ports, port)
 	}
 	return c
 }
 
+// SetTracer attaches an event tracer to every PE, every NoC port, and
+// the DRAM model; nil detaches, restoring the zero-overhead path.
+func (c *Chip) SetTracer(t telemetry.Tracer) {
+	for _, pe := range c.PEs {
+		pe.trc = t
+	}
+	if t == nil {
+		for _, p := range c.ports {
+			p.Obs = nil
+		}
+		c.Hier.DRAM.SetObserver(nil)
+		return
+	}
+	for _, p := range c.ports {
+		p.Obs = t
+	}
+	c.Hier.DRAM.SetObserver(t)
+}
+
 // Run simulates the chip to completion.
-func (c *Chip) Run() accel.Result {
+func (c *Chip) Run() accel.Result { return c.RunWithProgress(0, nil) }
+
+// RunWithProgress simulates the chip to completion, invoking fn with a
+// progress snapshot every `every` scheduling quanta (0 disables).
+func (c *Chip) RunWithProgress(every int64, fn func(accel.Progress)) accel.Result {
 	pes := make([]accel.PE, len(c.PEs))
 	for i, pe := range c.PEs {
 		pes[i] = pe
 	}
-	makespan := accel.Run(pes)
+	makespan := accel.RunWithProgress(pes, every, fn)
+	c.makespan = makespan
 	res := accel.Result{
 		Cycles:      makespan,
 		SharedCache: c.Hier.Shared.Stats(),
@@ -50,6 +82,9 @@ func (c *Chip) Run() accel.Result {
 		res.Count += pe.Count()
 		res.Tasks += pe.Tasks()
 		res.PEBusy += pe.Time()
+		bd := pe.Breakdown()
+		bd.Idle = makespan - pe.Time()
+		res.Breakdown.Accumulate(bd)
 	}
 	return res
 }
@@ -65,6 +100,27 @@ func (c *Chip) AggregateStats() IUStats {
 		out.BalanceNum += s.BalanceNum
 		out.BalanceDen += s.BalanceDen
 		out.NumIUs = s.NumIUs
+	}
+	return out
+}
+
+// PERecords returns each PE's telemetry record for the completed run:
+// cycle attribution (summing to the makespan), finishing time and work
+// counters. Call after Run.
+func (c *Chip) PERecords() []telemetry.PERecord {
+	out := make([]telemetry.PERecord, len(c.PEs))
+	for i, pe := range c.PEs {
+		bd := pe.Breakdown()
+		bd.Idle = c.makespan - pe.Time()
+		out[i] = telemetry.PERecord{
+			PE:         i,
+			Cycles:     c.makespan,
+			FinishedAt: pe.Time(),
+			Breakdown:  bd,
+			Tasks:      pe.Tasks(),
+			Groups:     pe.Groups(),
+			Count:      pe.Count(),
+		}
 	}
 	return out
 }

@@ -7,6 +7,7 @@ import (
 	"fingers/internal/mine"
 	"fingers/internal/plan"
 	"fingers/internal/setops"
+	"fingers/internal/telemetry"
 )
 
 // IUStats reports the utilization measures of Table 3.
@@ -70,6 +71,15 @@ type PE struct {
 	stack   []frame
 	stats   IUStats
 
+	// id is the PE's chip index, for telemetry attribution.
+	id int
+	// trc receives fine-grained events; nil (the default) disables every
+	// hook without affecting timing.
+	trc telemetry.Tracer
+	// bd attributes every local-clock advance: Compute + MemStall +
+	// Overhead == now at all times (Idle is filled by the chip rollup).
+	bd telemetry.Breakdown
+
 	// Adaptive group sizing: exponential moving average of the IUs one
 	// task occupies, from its workload count (§4.1 uses average set sizes;
 	// the workload count is exactly that estimate after segmentation).
@@ -116,6 +126,16 @@ func (pe *PE) Stats() IUStats {
 	s.TotalCycles = pe.now
 	return s
 }
+
+// Groups returns the number of task groups executed.
+func (pe *PE) Groups() int64 { return pe.groups }
+
+// Breakdown returns the PE's cycle attribution so far. Idle is zero; the
+// chip rollup fills it in as makespan − Time().
+func (pe *PE) Breakdown() telemetry.Breakdown { return pe.bd }
+
+// SetTracer attaches (or, with nil, detaches) an event tracer.
+func (pe *PE) SetTracer(t telemetry.Tracer) { pe.trc = t }
 
 // groupSize returns the pseudo-DFS task-group size.
 func (pe *PE) groupSize() int {
@@ -171,7 +191,11 @@ func (pe *PE) Step() bool {
 // processed as a group so multi-pattern trunks share the root fetch.
 func (pe *PE) startRoot(v uint32) {
 	start := pe.now
+	if pe.trc != nil {
+		pe.trc.TaskGroupBegin(pe.id, -1, start, len(pe.engines))
+	}
 	done := pe.shared.Access(start, pe.g.NeighborAddr(v), pe.g.NeighborBytes(v))
+	pe.bd.MemStall += done - start
 	t := done
 	for i, e := range pe.engines {
 		node, info := e.Start(v)
@@ -180,6 +204,9 @@ func (pe *PE) startRoot(v uint32) {
 	}
 	pe.now = t
 	pe.groups++
+	if pe.trc != nil {
+		pe.trc.TaskGroupEnd(pe.id, t)
+	}
 }
 
 // runGroup executes a pseudo-DFS task group: the neighbor-list fetches of
@@ -206,6 +233,9 @@ func (pe *PE) runGroup(engineIdx int, parent *mine.Node, cands []uint32) {
 			members = append(members, member{v: v})
 		}
 	}
+	if pe.trc != nil {
+		pe.trc.TaskGroupBegin(pe.id, engineIdx, start, len(cands))
+	}
 	for i := range members {
 		members[i].ready = pe.shared.Access(start, pe.g.NeighborAddr(members[i].v), pe.g.NeighborBytes(members[i].v))
 	}
@@ -214,6 +244,10 @@ func (pe *PE) runGroup(engineIdx int, parent *mine.Node, cands []uint32) {
 		ready := m.ready
 		if t > ready {
 			ready = t
+		} else {
+			// The fetch outlived all overlapped computation: the rest is
+			// exposed memory latency.
+			pe.bd.MemStall += ready - t
 		}
 		node, info := e.Extend(parent, m.v)
 		t = pe.computeTask(ready, info)
@@ -221,6 +255,9 @@ func (pe *PE) runGroup(engineIdx int, parent *mine.Node, cands []uint32) {
 	}
 	pe.now = t
 	pe.groups++
+	if pe.trc != nil {
+		pe.trc.TaskGroupEnd(pe.id, t)
+	}
 }
 
 // finishTask counts leaves or pushes the child's frame.
@@ -252,6 +289,7 @@ func (pe *PE) computeTask(ready mem.Cycles, info mine.TaskInfo) mem.Cycles {
 		pe.iuBusy[i] = 0
 		pe.iuWl[i] = 0
 	}
+	fetchStart := ready
 	// Extra fetches beyond the new vertex's list (postponed ancestors).
 	for _, v := range info.FetchVertices[1:] {
 		ready = pe.shared.Access(ready, pe.g.NeighborAddr(v), pe.g.NeighborBytes(v))
@@ -263,8 +301,14 @@ func (pe *PE) computeTask(ready mem.Cycles, info mine.TaskInfo) mem.Cycles {
 		if int64(len(op.Short))*4 > pe.cfg.PrivateCacheBytes {
 			ready = pe.shared.Access(ready, pe.g.TotalAdjacencyBytes()+(1<<20), int64(len(op.Short))*4)
 		}
+		before := totalWorkloads
 		searchSteps, totalWorkloads = pe.chargeOp(op, searchSteps, totalWorkloads)
+		if pe.trc != nil {
+			pe.trc.SetOpIssue(pe.id, ready, op.Kind.String(), len(op.Long), len(op.Short), totalWorkloads-before)
+		}
 	}
+	// Serialized ancestor fetches and spill traffic are exposed latency.
+	pe.bd.MemStall += ready - fetchStart
 	usedIUs := 0
 	var busySum mem.Cycles
 	for _, b := range pe.iuBusy {
@@ -315,6 +359,10 @@ func (pe *PE) computeTask(ready mem.Cycles, info mine.TaskInfo) mem.Cycles {
 			step = s
 		}
 	}
+	// Attribution: the IU-bound portion is compute; anything the divider,
+	// collector sweeps, or fixed task cost add beyond it is overhead.
+	pe.bd.Compute += maxBusy
+	pe.bd.Overhead += step - maxBusy
 	return ready + step
 }
 

@@ -1,0 +1,126 @@
+package fingers
+
+import (
+	"testing"
+
+	"fingers/internal/graph/gen"
+	"fingers/internal/telemetry"
+)
+
+// TestBreakdownSumsToMakespan checks the attribution invariant: each
+// PE's compute + memory-stall + overhead buckets equal its finishing
+// time, and with the rollup's idle bucket they equal the makespan.
+func TestBreakdownSumsToMakespan(t *testing.T) {
+	g := gen.PowerLawCluster(400, 5, 0.6, 11)
+	pls := plansFor(t, "tt")
+	chip := NewChip(DefaultConfig(), 4, 0, g, pls)
+	res := chip.Run()
+	if res.Cycles == 0 {
+		t.Fatal("empty run")
+	}
+	recs := chip.PERecords()
+	if len(recs) != 4 {
+		t.Fatalf("got %d PE records", len(recs))
+	}
+	var roll telemetry.Breakdown
+	for _, r := range recs {
+		bd := r.Breakdown
+		if busy := bd.Compute + bd.MemStall + bd.Overhead; busy != r.FinishedAt {
+			t.Errorf("PE %d: compute+stall+overhead = %d, finishing time %d", r.PE, busy, r.FinishedAt)
+		}
+		if bd.Total() != res.Cycles || r.Cycles != res.Cycles {
+			t.Errorf("PE %d: breakdown total %d != makespan %d", r.PE, bd.Total(), res.Cycles)
+		}
+		if bd.Compute <= 0 || bd.MemStall < 0 || bd.Overhead < 0 || bd.Idle < 0 {
+			t.Errorf("PE %d: implausible buckets %+v", r.PE, bd)
+		}
+		roll.Accumulate(bd)
+	}
+	if roll != res.Breakdown {
+		t.Errorf("Result.Breakdown %+v != per-PE rollup %+v", res.Breakdown, roll)
+	}
+}
+
+// TestTracerDoesNotPerturbTiming runs the same configuration with no
+// tracer and with a counting tracer: results must be identical (tracing
+// is observational) and the tracer must actually see events.
+func TestTracerDoesNotPerturbTiming(t *testing.T) {
+	g := gen.PowerLawCluster(300, 5, 0.6, 17)
+	pls := plansFor(t, "tt")
+
+	plain := NewChip(DefaultConfig(), 3, 0, g, pls).Run()
+
+	var cnt telemetry.Counting
+	chip := NewChip(DefaultConfig(), 3, 0, g, pls)
+	chip.SetTracer(&cnt)
+	traced := chip.Run()
+
+	if plain != traced {
+		t.Errorf("tracer changed the simulation:\nplain:  %+v\ntraced: %+v", plain, traced)
+	}
+	if cnt.TaskGroups == 0 || cnt.SetOps == 0 || cnt.CacheAccesses == 0 || cnt.DRAMBursts == 0 {
+		t.Errorf("tracer saw no events: %+v", cnt)
+	}
+	if cnt.CacheMisses == 0 || cnt.DRAMBytes == 0 {
+		t.Errorf("miss/burst attribution empty: %+v", cnt)
+	}
+}
+
+// TestNilTracerRecordsNothing checks that detaching the tracer restores
+// the silent path: a tracer attached and then detached before Run sees
+// zero events, and the run still matches the never-traced result.
+func TestNilTracerRecordsNothing(t *testing.T) {
+	g := gen.PowerLawCluster(300, 5, 0.6, 17)
+	pls := plansFor(t, "tc")
+
+	var cnt telemetry.Counting
+	chip := NewChip(DefaultConfig(), 2, 0, g, pls)
+	chip.SetTracer(&cnt)
+	chip.SetTracer(nil)
+	res := chip.Run()
+	if cnt != (telemetry.Counting{}) {
+		t.Errorf("nil tracer still recorded events: %+v", cnt)
+	}
+	want := NewChip(DefaultConfig(), 2, 0, g, pls).Run()
+	if res != want {
+		t.Errorf("nil-tracer run differs from plain run:\n%+v\n%+v", res, want)
+	}
+}
+
+// TestChromeTraceHasEventsPerPE drives the Chrome exporter end-to-end
+// and requires at least one event on every PE track.
+func TestChromeTraceHasEventsPerPE(t *testing.T) {
+	g := gen.PowerLawCluster(300, 5, 0.6, 23)
+	pls := plansFor(t, "tt")
+	const numPEs = 3
+	chrome := telemetry.NewChrome()
+	chrome.StartProcess("FINGERS")
+	chip := NewChip(DefaultConfig(), numPEs, 0, g, pls)
+	chip.SetTracer(chrome)
+	chip.Run()
+
+	perPE := map[int]int{}
+	for _, e := range chrome.Events() {
+		if e.Phase != "M" && e.Pid == 1 {
+			perPE[e.Tid]++
+		}
+	}
+	for pe := 0; pe < numPEs; pe++ {
+		if perPE[pe] == 0 {
+			t.Errorf("PE %d track has no events", pe)
+		}
+	}
+}
+
+// TestMultiTracerFansOut checks Multi delivers every event to all sinks.
+func TestMultiTracerFansOut(t *testing.T) {
+	g := gen.PowerLawCluster(200, 4, 0.5, 29)
+	pls := plansFor(t, "tc")
+	var a, b telemetry.Counting
+	chip := NewChip(DefaultConfig(), 2, 0, g, pls)
+	chip.SetTracer(telemetry.Multi{&a, &b})
+	chip.Run()
+	if a == (telemetry.Counting{}) || a != b {
+		t.Errorf("fan-out mismatch: a=%+v b=%+v", a, b)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fingers/internal/mine"
 	"fingers/internal/noc"
 	"fingers/internal/plan"
+	"fingers/internal/telemetry"
 )
 
 // Config parameterizes a FlexMiner PE.
@@ -55,6 +56,14 @@ type PE struct {
 	count   uint64
 	tasks   int64
 	stack   []workItem
+
+	// id is the PE's chip index, for telemetry attribution.
+	id int
+	// trc receives events; nil (the default) disables every hook.
+	trc telemetry.Tracer
+	// bd attributes every clock advance: Compute + MemStall + Overhead
+	// == now at all times (Idle is filled by the chip rollup).
+	bd telemetry.Breakdown
 }
 
 // NewPE builds a PE mining the given plans (one for single-pattern runs,
@@ -75,6 +84,13 @@ func (pe *PE) Count() uint64 { return pe.count }
 
 // Tasks returns the number of extension tasks executed.
 func (pe *PE) Tasks() int64 { return pe.tasks }
+
+// Breakdown returns the PE's cycle attribution so far. Idle is zero; the
+// chip rollup fills it in as makespan − Time().
+func (pe *PE) Breakdown() telemetry.Breakdown { return pe.bd }
+
+// SetTracer attaches (or, with nil, detaches) an event tracer.
+func (pe *PE) SetTracer(t telemetry.Tracer) { pe.trc = t }
 
 // Step executes one task in DFS order.
 func (pe *PE) Step() bool {
@@ -121,7 +137,12 @@ func (pe *PE) Step() bool {
 // private cache.
 func (pe *PE) charge(info mine.TaskInfo) {
 	pe.tasks++
+	start := pe.now
+	if pe.trc != nil {
+		pe.trc.TaskGroupBegin(pe.id, -1, start, 1)
+	}
 	pe.now += pe.cfg.TaskOverheadCycles
+	pe.bd.Overhead += pe.cfg.TaskOverheadCycles
 	// DFS dependency: each fetch is fully exposed before compute starts.
 	fetched := make(map[uint32]bool, len(info.FetchVertices))
 	for _, v := range info.FetchVertices {
@@ -129,7 +150,9 @@ func (pe *PE) charge(info mine.TaskInfo) {
 			continue
 		}
 		fetched[v] = true
+		t0 := pe.now
 		pe.now = pe.shared.Access(pe.now, pe.g.NeighborAddr(v), pe.g.NeighborBytes(v))
+		pe.bd.MemStall += pe.now - t0
 	}
 	// Serial set operations on the single merge unit. Sequential updates
 	// refetch a long input that does not fit in the private cache
@@ -137,15 +160,27 @@ func (pe *PE) charge(info mine.TaskInfo) {
 	used := make(map[uint32]bool, 2)
 	for _, op := range info.Ops {
 		if used[op.LongVertex] && pe.g.NeighborBytes(op.LongVertex) > pe.cfg.PrivateCacheBytes {
+			t0 := pe.now
 			pe.now = pe.shared.Access(pe.now, pe.g.NeighborAddr(op.LongVertex), pe.g.NeighborBytes(op.LongVertex))
+			pe.bd.MemStall += pe.now - t0
 		}
 		used[op.LongVertex] = true
 		// A candidate set spilled beyond the private cache is read back
 		// through the shared cache.
 		if int64(len(op.Short))*4 > pe.cfg.PrivateCacheBytes {
+			t0 := pe.now
 			pe.now = pe.shared.Access(pe.now, spillAddr(pe.g), int64(len(op.Short))*4)
+			pe.bd.MemStall += pe.now - t0
 		}
-		pe.now += mem.Cycles(len(op.Short) + len(op.Long))
+		if pe.trc != nil {
+			pe.trc.SetOpIssue(pe.id, pe.now, op.Kind.String(), len(op.Long), len(op.Short), 1)
+		}
+		merge := mem.Cycles(len(op.Short) + len(op.Long))
+		pe.now += merge
+		pe.bd.Compute += merge
+	}
+	if pe.trc != nil {
+		pe.trc.TaskGroupEnd(pe.id, pe.now)
 	}
 }
 
@@ -157,6 +192,9 @@ func spillAddr(g *graph.Graph) int64 { return g.TotalAdjacencyBytes() + (1 << 20
 type Chip struct {
 	PEs  []*PE
 	Hier *mem.Hierarchy
+
+	ports    []*noc.Port
+	makespan mem.Cycles
 }
 
 // NewChip builds a FlexMiner chip with numPEs PEs. sharedCacheBytes = 0
@@ -173,18 +211,46 @@ func NewChipWithScheduler(cfg Config, numPEs int, sharedCacheBytes int64, g *gra
 	c := &Chip{Hier: hier}
 	net := noc.New(noc.DefaultConfig(), numPEs)
 	for i := 0; i < numPEs; i++ {
-		c.PEs = append(c.PEs, NewPE(cfg, g, plans, sched, noc.NewPort(net, i, hier.Shared)))
+		port := noc.NewPort(net, i, hier.Shared)
+		pe := NewPE(cfg, g, plans, sched, port)
+		pe.id = i
+		c.PEs = append(c.PEs, pe)
+		c.ports = append(c.ports, port)
 	}
 	return c
 }
 
+// SetTracer attaches an event tracer to every PE, every NoC port, and
+// the DRAM model; nil detaches, restoring the zero-overhead path.
+func (c *Chip) SetTracer(t telemetry.Tracer) {
+	for _, pe := range c.PEs {
+		pe.trc = t
+	}
+	if t == nil {
+		for _, p := range c.ports {
+			p.Obs = nil
+		}
+		c.Hier.DRAM.SetObserver(nil)
+		return
+	}
+	for _, p := range c.ports {
+		p.Obs = t
+	}
+	c.Hier.DRAM.SetObserver(t)
+}
+
 // Run simulates the chip to completion.
-func (c *Chip) Run() accel.Result {
+func (c *Chip) Run() accel.Result { return c.RunWithProgress(0, nil) }
+
+// RunWithProgress simulates the chip to completion, invoking fn with a
+// progress snapshot every `every` scheduling quanta (0 disables).
+func (c *Chip) RunWithProgress(every int64, fn func(accel.Progress)) accel.Result {
 	pes := make([]accel.PE, len(c.PEs))
 	for i, pe := range c.PEs {
 		pes[i] = pe
 	}
-	makespan := accel.Run(pes)
+	makespan := accel.RunWithProgress(pes, every, fn)
+	c.makespan = makespan
 	res := accel.Result{
 		Cycles:      makespan,
 		SharedCache: c.Hier.Shared.Stats(),
@@ -194,6 +260,28 @@ func (c *Chip) Run() accel.Result {
 		res.Count += pe.Count()
 		res.Tasks += pe.Tasks()
 		res.PEBusy += pe.Time()
+		bd := pe.Breakdown()
+		bd.Idle = makespan - pe.Time()
+		res.Breakdown.Accumulate(bd)
 	}
 	return res
+}
+
+// PERecords returns each PE's telemetry record for the completed run.
+// Call after Run.
+func (c *Chip) PERecords() []telemetry.PERecord {
+	out := make([]telemetry.PERecord, len(c.PEs))
+	for i, pe := range c.PEs {
+		bd := pe.Breakdown()
+		bd.Idle = c.makespan - pe.Time()
+		out[i] = telemetry.PERecord{
+			PE:         i,
+			Cycles:     c.makespan,
+			FinishedAt: pe.Time(),
+			Breakdown:  bd,
+			Tasks:      pe.Tasks(),
+			Count:      pe.Count(),
+		}
+	}
+	return out
 }

@@ -36,6 +36,15 @@ type DRAMStats struct {
 	BytesMoved int64
 }
 
+// DRAMObserver receives one event per off-chip burst, for telemetry.
+// Implementations must not mutate timing state; a nil observer (the
+// default) adds no work to the access path.
+type DRAMObserver interface {
+	// DRAMBurst reports a burst that started occupying its channel at
+	// start and delivered its last byte at done.
+	DRAMBurst(start, done Cycles, addr, bytes int64)
+}
+
 // DRAM is the off-chip memory timing model. Each access picks a channel
 // by address interleave and occupies its bandwidth for bytes divided by
 // the per-channel rate, on top of the fixed latency.
@@ -43,7 +52,11 @@ type DRAM struct {
 	cfg      DRAMConfig
 	nextFree []Cycles
 	stats    DRAMStats
+	obs      DRAMObserver
 }
+
+// SetObserver attaches (or, with nil, detaches) a burst observer.
+func (d *DRAM) SetObserver(o DRAMObserver) { d.obs = o }
 
 // NewDRAM builds a DRAM model from the config.
 func NewDRAM(cfg DRAMConfig) *DRAM {
@@ -69,7 +82,11 @@ func (d *DRAM) Access(now Cycles, addr int64, bytes int64) Cycles {
 	d.nextFree[ch] = start + transfer
 	d.stats.Accesses++
 	d.stats.BytesMoved += bytes
-	return start + transfer + d.cfg.LatencyCycles
+	done := start + transfer + d.cfg.LatencyCycles
+	if d.obs != nil {
+		d.obs.DRAMBurst(start, done, addr, bytes)
+	}
+	return done
 }
 
 // Stats returns the traffic counters so far.

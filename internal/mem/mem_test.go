@@ -170,3 +170,47 @@ func TestCacheReset(t *testing.T) {
 		t.Error("reset did not invalidate lines")
 	}
 }
+
+type burstRecorder struct {
+	start, done Cycles
+	addr, bytes int64
+	calls       int
+}
+
+func (b *burstRecorder) DRAMBurst(start, done Cycles, addr, bytes int64) {
+	b.start, b.done, b.addr, b.bytes = start, done, addr, bytes
+	b.calls++
+}
+
+func TestDRAMObserverSeesBursts(t *testing.T) {
+	d := NewDRAM(DefaultDRAMConfig())
+	var rec burstRecorder
+	d.SetObserver(&rec)
+	done := d.Access(50, 1<<16, 256)
+	if rec.calls != 1 {
+		t.Fatalf("observer called %d times", rec.calls)
+	}
+	if rec.done != done || rec.addr != 1<<16 || rec.bytes != 256 {
+		t.Errorf("burst fields: %+v, done=%d", rec, done)
+	}
+	if rec.start < 50 || rec.start > done {
+		t.Errorf("burst start %d outside [50, %d]", rec.start, done)
+	}
+	d.SetObserver(nil)
+	d.Access(done, 0, 64)
+	if rec.calls != 1 {
+		t.Error("detached observer still called")
+	}
+}
+
+func TestDRAMObserverDoesNotChangeTiming(t *testing.T) {
+	run := func(obs DRAMObserver) Cycles {
+		d := NewDRAM(DefaultDRAMConfig())
+		d.SetObserver(obs)
+		t0 := d.Access(0, 0, 512)
+		return d.Access(t0, 1<<20, 128)
+	}
+	if plain, observed := run(nil), run(&burstRecorder{}); plain != observed {
+		t.Errorf("observer changed timing: %d vs %d", plain, observed)
+	}
+}

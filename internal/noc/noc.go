@@ -99,24 +99,47 @@ func (n *Network) String() string {
 		n.cols, n.rows, n.cacheX, n.cacheY, n.cfg.HopLatency)
 }
 
+// AccessObserver receives one event per shared-cache access made through
+// a Port, attributed to the requesting PE. telemetry.Tracer satisfies it.
+type AccessObserver interface {
+	// CacheAccess reports an access covering bytes that touched lines
+	// cache lines, of which misses missed, issued at at and completing
+	// at done (NoC round trip included).
+	CacheAccess(pe int, at mem.Cycles, bytes, lines, misses int64, done mem.Cycles)
+}
+
 // Port is one PE's connection to the shared cache through the NoC: it
 // forwards accesses with the PE's round-trip latency added. It implements
 // the memory interface both accelerator PE models consume.
 type Port struct {
 	Cache *mem.Cache
 	Trip  mem.Cycles
+	// PE is the owning PE's index, for event attribution.
+	PE int
+	// Obs, when non-nil, observes every access through this port.
+	Obs AccessObserver
 }
 
 // NewPort returns PE pe's port onto the shared cache through network n.
 func NewPort(n *Network, pe int, cache *mem.Cache) *Port {
-	return &Port{Cache: cache, Trip: n.RoundTrip(pe)}
+	return &Port{Cache: cache, Trip: n.RoundTrip(pe), PE: pe}
 }
 
 // Access reads the byte range through the NoC: the request departs at
 // now, traverses to the cache, and the completion includes the response
 // traversal.
 func (p *Port) Access(now mem.Cycles, addr, bytes int64) mem.Cycles {
-	return p.Cache.Access(now+p.Trip/2, addr, bytes) + p.Trip/2
+	if p.Obs == nil {
+		return p.Cache.Access(now+p.Trip/2, addr, bytes) + p.Trip/2
+	}
+	// The event loop interleaves PEs but never preempts mid-access, so
+	// the stats delta around this call is exactly this access's lines.
+	before := p.Cache.Stats()
+	done := p.Cache.Access(now+p.Trip/2, addr, bytes) + p.Trip/2
+	after := p.Cache.Stats()
+	p.Obs.CacheAccess(p.PE, now, bytes,
+		after.LineAccesses-before.LineAccesses, after.LineMisses-before.LineMisses, done)
+	return done
 }
 
 // Probe reports residency without timing or statistics side effects.

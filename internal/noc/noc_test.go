@@ -93,3 +93,58 @@ func TestZeroPEs(t *testing.T) {
 		t.Error("degenerate mesh has no latency")
 	}
 }
+
+type recordingObserver struct {
+	pe     int
+	at     mem.Cycles
+	bytes  int64
+	lines  int64
+	misses int64
+	done   mem.Cycles
+	calls  int
+}
+
+func (r *recordingObserver) CacheAccess(pe int, at mem.Cycles, bytes, lines, misses int64, done mem.Cycles) {
+	r.pe, r.at, r.bytes, r.lines, r.misses, r.done = pe, at, bytes, lines, misses, done
+	r.calls++
+}
+
+func TestPortObserverSeesAccess(t *testing.T) {
+	dram := mem.NewDRAM(mem.DefaultDRAMConfig())
+	cache := mem.NewCache(mem.DefaultSharedCacheConfig(), dram)
+	n := New(DefaultConfig(), 4)
+	port := NewPort(n, 2, cache)
+	var obs recordingObserver
+	port.Obs = &obs
+	done := port.Access(100, 0, 200) // cold: 4 lines, 4 misses
+	if obs.calls != 1 {
+		t.Fatalf("observer called %d times", obs.calls)
+	}
+	if obs.pe != 2 || obs.at != 100 || obs.bytes != 200 || obs.done != done {
+		t.Errorf("observer saw pe=%d at=%d bytes=%d done=%d (port done %d)", obs.pe, obs.at, obs.bytes, obs.done, done)
+	}
+	if obs.lines != 4 || obs.misses != 4 {
+		t.Errorf("cold access attribution: lines=%d misses=%d, want 4/4", obs.lines, obs.misses)
+	}
+	// A repeat access hits; the delta attribution must show zero misses.
+	port.Access(done, 0, 200)
+	if obs.misses != 0 || obs.lines != 4 {
+		t.Errorf("hot access attribution: lines=%d misses=%d, want 4/0", obs.lines, obs.misses)
+	}
+}
+
+func TestPortObserverDoesNotChangeTiming(t *testing.T) {
+	mk := func(withObs bool) mem.Cycles {
+		dram := mem.NewDRAM(mem.DefaultDRAMConfig())
+		cache := mem.NewCache(mem.DefaultSharedCacheConfig(), dram)
+		port := NewPort(New(DefaultConfig(), 4), 1, cache)
+		if withObs {
+			port.Obs = &recordingObserver{}
+		}
+		t0 := port.Access(0, 0, 512)
+		return port.Access(t0, 4096, 512)
+	}
+	if plain, observed := mk(false), mk(true); plain != observed {
+		t.Errorf("observer changed timing: %d vs %d", plain, observed)
+	}
+}

@@ -112,3 +112,45 @@ func TestHistogramTotalMatchesAdds(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSummaryMerge(t *testing.T) {
+	var a, b, whole Summary
+	for i, v := range []float64{5, 1, 9, 2, 8, 3} {
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+		whole.Add(v)
+	}
+	a.Merge(b)
+	if a.Count() != whole.Count() || a.Sum() != whole.Sum() {
+		t.Fatalf("merge lost observations: n=%d sum=%v", a.Count(), a.Sum())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 1} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q=%v: merged %v, streamed %v", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+	if a.Max() != whole.Max() || a.Mean() != whole.Mean() {
+		t.Errorf("merged moments differ: max %v/%v mean %v/%v", a.Max(), whole.Max(), a.Mean(), whole.Mean())
+	}
+}
+
+func TestSummaryMergeEmptyAndSelf(t *testing.T) {
+	var a, empty Summary
+	a.Add(4)
+	a.Merge(empty)
+	if a.Count() != 1 || a.Sum() != 4 {
+		t.Fatalf("merging empty changed summary: %+v", a)
+	}
+	empty.Merge(a)
+	if empty.Count() != 1 || empty.Quantile(0.5) != 4 {
+		t.Fatalf("merge into empty failed: n=%d", empty.Count())
+	}
+	// The source must be untouched and still usable afterwards.
+	a.Add(6)
+	if a.Count() != 2 || a.Quantile(1) != 6 {
+		t.Fatalf("source summary corrupted after merge: %+v", a)
+	}
+}

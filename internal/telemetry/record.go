@@ -1,0 +1,128 @@
+// JSONL run records: one self-describing JSON object per simulated run,
+// appended to a log file so sweeps accumulate a machine-readable history
+// that downstream tooling (plots, regression checks, the BENCH
+// trajectory) can consume without re-running the simulator.
+
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+
+	"fingers/internal/mem"
+)
+
+// RunSchema identifies the record layout; bump on breaking changes.
+const RunSchema = "fingers.run/v1"
+
+// GraphInfo is the input graph's Table-1 summary embedded in a record.
+type GraphInfo struct {
+	Name      string  `json:"name"`
+	Vertices  int     `json:"vertices"`
+	Edges     int64   `json:"edges"`
+	AvgDegree float64 `json:"avg_degree"`
+	MaxDegree int     `json:"max_degree"`
+}
+
+// PERecord is one PE's slice of a run: its cycle attribution (the four
+// buckets sum to Cycles, the chip makespan), local finishing time, and
+// work counters.
+type PERecord struct {
+	PE         int        `json:"pe"`
+	Cycles     mem.Cycles `json:"cycles"`
+	FinishedAt mem.Cycles `json:"finished_at"`
+	Breakdown  Breakdown  `json:"breakdown"`
+	Tasks      int64      `json:"tasks"`
+	Groups     int64      `json:"groups,omitempty"`
+	Count      uint64     `json:"count"`
+}
+
+// RunRecord is the machine-readable summary of one simulated run.
+type RunRecord struct {
+	Schema           string     `json:"schema"`
+	Arch             string     `json:"arch"`
+	Experiment       string     `json:"experiment,omitempty"`
+	Graph            GraphInfo  `json:"graph"`
+	Pattern          string     `json:"pattern"`
+	PEs              int        `json:"pes"`
+	IUs              int        `json:"ius,omitempty"`
+	SharedCacheBytes int64      `json:"shared_cache_bytes"`
+	Cycles           mem.Cycles `json:"cycles"`
+	Count            uint64     `json:"count"`
+	Tasks            int64      `json:"tasks"`
+	SharedAccesses   int64      `json:"shared_line_accesses"`
+	SharedMisses     int64      `json:"shared_line_misses"`
+	SharedMissRate   float64    `json:"shared_miss_rate"`
+	DRAMAccesses     int64      `json:"dram_accesses"`
+	DRAMBytes        int64      `json:"dram_bytes"`
+	IUActiveRate     float64    `json:"iu_active_rate,omitempty"`
+	IUBalanceRate    float64    `json:"iu_balance_rate,omitempty"`
+	Breakdown        Breakdown  `json:"breakdown"`
+	PerPE            []PERecord `json:"per_pe,omitempty"`
+}
+
+// WriteRecord appends one record to w as a single JSONL line.
+func WriteRecord(w io.Writer, rec RunRecord) error {
+	if rec.Schema == "" {
+		rec.Schema = RunSchema
+	}
+	return json.NewEncoder(w).Encode(rec)
+}
+
+// ReadRecords decodes every JSONL line of r, skipping blank lines.
+func ReadRecords(r io.Reader) ([]RunRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var out []RunRecord
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec RunRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}
+
+// RunLog is a concurrency-safe append-only JSONL sink.
+type RunLog struct {
+	mu sync.Mutex
+	w  io.Writer
+	c  io.Closer
+}
+
+// NewRunLog wraps any writer (e.g. a bytes.Buffer in tests).
+func NewRunLog(w io.Writer) *RunLog { return &RunLog{w: w} }
+
+// OpenRunLog opens (creating or appending to) the JSONL file at path.
+func OpenRunLog(path string) (*RunLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &RunLog{w: f, c: f}, nil
+}
+
+// Write appends one record.
+func (l *RunLog) Write(rec RunRecord) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return WriteRecord(l.w, rec)
+}
+
+// Close closes the underlying file, if the log owns one.
+func (l *RunLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.c != nil {
+		return l.c.Close()
+	}
+	return nil
+}
