@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test race vet bench bench-smoke clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the software-miner benchmarks in benchstat-friendly text
+# form (BENCH_softmine.txt — feed two of these to `benchstat old new`)
+# and mirrors the raw go-test output as JSON events in
+# BENCH_softmine.json for machine consumption.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkSoftMine -benchmem -count 5 \
+		./internal/mine/ | tee BENCH_softmine.txt
+	$(GO) test -run '^$$' -bench BenchmarkSoftMine -benchmem -count 1 -json \
+		./internal/mine/ > BENCH_softmine.json
+
+# bench-smoke compiles and runs every benchmark once — the CI guard that
+# keeps the benchmark suite from bit-rotting without paying full runtime.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+clean:
+	rm -f BENCH_softmine.txt BENCH_softmine.json

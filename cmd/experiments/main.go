@@ -15,13 +15,19 @@
 //	-fingers-pes N  FINGERS chip size (default 20, the iso-area point)
 //	-flex-pes N     FlexMiner chip size (default 40)
 //	-cache-kb N     shared-cache capacity override in kB
+//	-workers N      worker pool width for independent cells (0 = all cores)
+//
+// A first SIGINT cancels the sweep after the in-flight cells finish;
+// partial tables are not printed and the process exits non-zero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"time"
 
@@ -34,15 +40,21 @@ func main() {
 	fiPEs := flag.Int("fingers-pes", 0, "FINGERS chip PE count (0 = paper default 20)")
 	fmPEs := flag.Int("flex-pes", 0, "FlexMiner chip PE count (0 = paper default 40)")
 	cacheKB := flag.Int64("cache-kb", 0, "shared-cache capacity override (kB)")
+	workers := flag.Int("workers", 0, "experiment-cell worker pool width (0 = GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "also write per-experiment CSV files into this directory")
 	jsonOut := flag.String("json", "", "append one JSONL run record per simulated chip run to this file")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	opts := exp.Options{
 		Quick:            *quick,
 		FingersPEs:       *fiPEs,
 		FlexPEs:          *fmPEs,
 		SharedCacheBytes: *cacheKB << 10,
+		Workers:          *workers,
+		Ctx:              ctx,
 	}
 	if *jsonOut != "" {
 		log, err := telemetry.OpenRunLog(*jsonOut)
@@ -65,8 +77,11 @@ func main() {
 		}
 	}
 	for _, name := range args {
-		if err := run(name, opts, *csvDir); err != nil {
+		if err := run(ctx, name, opts, *csvDir); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
+			if ctx.Err() != nil {
+				os.Exit(130)
+			}
 			os.Exit(1)
 		}
 	}
@@ -90,71 +105,63 @@ func saveCSV(dir, name string, r csvWriter) error {
 	return r.WriteCSV(f)
 }
 
-func run(name string, opts exp.Options, csvDir string) error {
+func run(ctx context.Context, name string, opts exp.Options, csvDir string) error {
 	started := time.Now()
+	if ctx.Err() != nil {
+		return fmt.Errorf("interrupted before %s", name)
+	}
+	var results []any
 	switch name {
 	case "table1":
-		fmt.Println(exp.Table1())
+		results = append(results, exp.Table1())
 	case "table2":
-		fmt.Println(exp.Table2())
+		results = append(results, exp.Table2())
 	case "fig9":
-		r := exp.Fig9(opts)
-		fmt.Println(r)
-		if err := saveCSV(csvDir, name, r); err != nil {
-			return err
-		}
+		results = append(results, exp.Fig9(opts))
 	case "fig10":
-		r := exp.Fig10(opts)
-		fmt.Println(r)
-		if err := saveCSV(csvDir, name, r); err != nil {
-			return err
-		}
+		results = append(results, exp.Fig10(opts))
 	case "fig11":
-		r := exp.Fig11(opts)
-		fmt.Println(r)
-		if err := saveCSV(csvDir, name, r); err != nil {
-			return err
-		}
+		results = append(results, exp.Fig11(opts))
 	case "fig12":
-		r := exp.Fig12(opts)
-		fmt.Println(r)
-		if err := saveCSV(csvDir, name, r); err != nil {
-			return err
-		}
+		results = append(results, exp.Fig12(opts))
 	case "fig13":
-		r := exp.Fig13(opts)
-		fmt.Println(r)
-		if err := saveCSV(csvDir, name, r); err != nil {
-			return err
-		}
+		results = append(results, exp.Fig13(opts))
 	case "table3":
-		r := exp.Table3(opts)
-		fmt.Println(r)
-		if err := saveCSV(csvDir, name, r); err != nil {
-			return err
-		}
+		results = append(results, exp.Table3(opts))
 	case "ablate":
-		for i, r := range exp.Ablations(opts) {
-			fmt.Println(r)
-			if err := saveCSV(csvDir, fmt.Sprintf("ablate_%d", i), r); err != nil {
-				return err
-			}
+		for _, r := range exp.Ablations(opts) {
+			results = append(results, r)
 		}
 	case "parallelism":
-		r := exp.Parallelism(opts)
-		fmt.Println(r)
-		if err := saveCSV(csvDir, name, r); err != nil {
-			return err
-		}
+		results = append(results, exp.Parallelism(opts))
 	case "all":
 		for _, n := range []string{"table1", "table2", "fig9", "fig10", "fig11", "fig12", "fig13", "table3"} {
-			if err := run(n, opts, csvDir); err != nil {
+			if err := run(ctx, n, opts, csvDir); err != nil {
 				return err
 			}
 		}
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
+	}
+	// A cancelled sweep returns with unreached cells missing; discard the
+	// partial table rather than print misleading holes.
+	if ctx.Err() != nil {
+		return fmt.Errorf("%s interrupted, partial result discarded", name)
+	}
+	for i, r := range results {
+		fmt.Println(r)
+		w, ok := r.(csvWriter)
+		if !ok {
+			continue
+		}
+		csvName := name
+		if len(results) > 1 {
+			csvName = fmt.Sprintf("%s_%d", name, i)
+		}
+		if err := saveCSV(csvDir, csvName, w); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("[%s completed in %v]\n\n", name, time.Since(started).Round(time.Millisecond))
 	return nil

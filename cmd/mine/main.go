@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"fingers/internal/datasets"
@@ -37,6 +39,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mine: -graph is required")
 		os.Exit(2)
 	}
+	// SIGINT cancels the count: workers drain their current root chunk,
+	// the partial count is reported, and the process exits non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	g, err := loadGraph(*graphArg)
 	if err != nil {
 		fatal(err)
@@ -88,7 +94,11 @@ func main() {
 				fatal(err)
 			}
 		}
-		count := mine.CountParallel(g, pl, *workers)
+		count, err := mine.CountCtx(ctx, g, pl, *workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mine: interrupted; partial count over the roots mined so far: %d\n", count)
+			os.Exit(130)
+		}
 		fmt.Printf("%s embeddings: %d\n", *patternArg, count)
 	}
 	fmt.Fprintf(os.Stderr, "[%v]\n", time.Since(started).Round(time.Millisecond))

@@ -1,0 +1,63 @@
+package fingers_test
+
+import (
+	"context"
+	"fmt"
+
+	"fingers"
+)
+
+// ExampleSimulate shows the unified simulation entry point: pick an
+// architecture, pass the graph and plans, and tune with options.
+func ExampleSimulate() {
+	g := fingers.GenerateErdosRenyi(200, 600, 1)
+	pat, _ := fingers.PatternByName("tc")
+	pl, _ := fingers.CompilePlan(pat, fingers.PlanOptions{})
+
+	rep := fingers.Simulate(fingers.ArchFingers, g, []*fingers.Plan{pl},
+		fingers.WithPEs(2), fingers.WithSharedCache(64<<10))
+
+	fmt.Println(rep.Result.Count == fingers.Count(g, pl))
+	// Output: true
+}
+
+// ExampleSimulate_stats requests telemetry: per-PE cycle records and the
+// IU utilization rates of the paper's Table 3.
+func ExampleSimulate_stats() {
+	g := fingers.GeneratePowerLawCluster(300, 4, 0.5, 2)
+	pat, _ := fingers.PatternByName("tt")
+	pl, _ := fingers.CompilePlan(pat, fingers.PlanOptions{})
+
+	rep := fingers.Simulate(fingers.ArchFingers, g, []*fingers.Plan{pl},
+		fingers.WithPEs(2), fingers.WithStats())
+
+	fmt.Println(len(rep.PerPE), rep.IU.ActiveRate() > 0)
+	// Output: 2 true
+}
+
+// ExampleSimulate_comparison reruns the same workload on both
+// architectures, the shape of every speedup figure in the paper.
+func ExampleSimulate_comparison() {
+	g := fingers.GeneratePowerLawCluster(300, 4, 0.5, 2)
+	pat, _ := fingers.PatternByName("cyc")
+	pl, _ := fingers.CompilePlan(pat, fingers.PlanOptions{})
+	plans := []*fingers.Plan{pl}
+
+	fi := fingers.Simulate(fingers.ArchFingers, g, plans)
+	fm := fingers.Simulate(fingers.ArchFlexMiner, g, plans)
+
+	fmt.Println(fi.Result.Count == fm.Result.Count, fi.Result.Speedup(fm.Result) > 1)
+	// Output: true true
+}
+
+// ExampleCountCtx mines with a cancellable context; an expired context
+// returns the partial count and the context's error.
+func ExampleCountCtx() {
+	g := fingers.GenerateErdosRenyi(500, 2000, 3)
+	pat, _ := fingers.PatternByName("tc")
+	pl, _ := fingers.CompilePlan(pat, fingers.PlanOptions{})
+
+	n, err := fingers.CountCtx(context.Background(), g, pl, 4)
+	fmt.Println(n == fingers.Count(g, pl), err)
+	// Output: true <nil>
+}

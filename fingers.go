@@ -15,8 +15,8 @@
 //	pat, _ := fingers.PatternByName("tt")
 //	pl, _ := fingers.CompilePlan(pat, fingers.PlanOptions{})
 //	n := fingers.CountParallel(g, pl, 0)              // software mining
-//	res := fingers.SimulateFingers(fingers.DefaultAcceleratorConfig(), 20, 0, g, pl)
-//	fmt.Println(n, res.Cycles)
+//	res := fingers.Simulate(fingers.ArchFingers, g, []*fingers.Plan{pl}, fingers.WithPEs(20))
+//	fmt.Println(n, res.Result.Cycles)
 //
 // The building blocks live in internal packages (graph, pattern, plan,
 // mine, setops, mem, accel, fingers, flexminer, area, datasets, exp) and
@@ -163,42 +163,53 @@ func DefaultBaselineConfig() BaselineConfig { return flexminer.DefaultConfig() }
 // SimulateFingers runs the FINGERS accelerator timing model with numPEs
 // processing elements; sharedCacheBytes = 0 keeps the 4 MB default. The
 // returned count is exact.
+//
+// Deprecated: use Simulate with ArchFingers.
 func SimulateFingers(cfg AcceleratorConfig, numPEs int, sharedCacheBytes int64, g *Graph, plans ...*Plan) SimResult {
-	return fingerspe.NewChip(cfg, numPEs, sharedCacheBytes, g, plans).Run()
+	return Simulate(ArchFingers, g, plans,
+		WithAcceleratorConfig(cfg), WithPEs(numPEs), WithSharedCache(sharedCacheBytes)).Result
 }
 
 // SimulateFlexMiner runs the FlexMiner baseline timing model.
+//
+// Deprecated: use Simulate with ArchFlexMiner.
 func SimulateFlexMiner(cfg BaselineConfig, numPEs int, sharedCacheBytes int64, g *Graph, plans ...*Plan) SimResult {
-	return flexminer.NewChip(cfg, numPEs, sharedCacheBytes, g, plans).Run()
+	return Simulate(ArchFlexMiner, g, plans,
+		WithBaselineConfig(cfg), WithPEs(numPEs), WithSharedCache(sharedCacheBytes)).Result
 }
 
 // SimulateFingersWithStats runs the FINGERS model and also returns the
 // aggregated IU utilization statistics (Table 3's rates).
+//
+// Deprecated: use Simulate with ArchFingers and WithStats.
 func SimulateFingersWithStats(cfg AcceleratorConfig, numPEs int, sharedCacheBytes int64, g *Graph, plans ...*Plan) (SimResult, IUStats) {
-	chip := fingerspe.NewChip(cfg, numPEs, sharedCacheBytes, g, plans)
-	res := chip.Run()
-	return res, chip.AggregateStats()
+	rep := Simulate(ArchFingers, g, plans,
+		WithAcceleratorConfig(cfg), WithPEs(numPEs), WithSharedCache(sharedCacheBytes), WithStats())
+	return rep.Result, rep.IU
 }
 
 // SimulateFingersTraced runs the FINGERS model with an event tracer
 // attached (nil is allowed and costs nothing) and returns the result,
 // the per-PE cycle records — each PE's compute/stall/overhead/idle
 // buckets sum to the makespan — and the IU utilization rates.
+//
+// Deprecated: use Simulate with ArchFingers, WithTracer and WithStats.
 func SimulateFingersTraced(cfg AcceleratorConfig, numPEs int, sharedCacheBytes int64, g *Graph, tr Tracer, plans ...*Plan) (SimResult, []PECycleRecord, IUStats) {
-	chip := fingerspe.NewChip(cfg, numPEs, sharedCacheBytes, g, plans)
-	chip.SetTracer(tr)
-	res := chip.Run()
-	return res, chip.PERecords(), chip.AggregateStats()
+	rep := Simulate(ArchFingers, g, plans,
+		WithAcceleratorConfig(cfg), WithPEs(numPEs), WithSharedCache(sharedCacheBytes),
+		WithTracer(tr), WithStats())
+	return rep.Result, rep.PerPE, rep.IU
 }
 
 // SimulateFlexMinerTraced runs the FlexMiner baseline with an event
 // tracer attached (nil is allowed) and returns the result and the
 // per-PE cycle records.
+//
+// Deprecated: use Simulate with ArchFlexMiner and WithTracer.
 func SimulateFlexMinerTraced(cfg BaselineConfig, numPEs int, sharedCacheBytes int64, g *Graph, tr Tracer, plans ...*Plan) (SimResult, []PECycleRecord) {
-	chip := flexminer.NewChip(cfg, numPEs, sharedCacheBytes, g, plans)
-	chip.SetTracer(tr)
-	res := chip.Run()
-	return res, chip.PERecords()
+	rep := Simulate(ArchFlexMiner, g, plans,
+		WithBaselineConfig(cfg), WithPEs(numPEs), WithSharedCache(sharedCacheBytes), WithTracer(tr))
+	return rep.Result, rep.PerPE
 }
 
 // IsoAreaPEs returns the FINGERS PE count that fits the area budget of

@@ -9,10 +9,14 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"fingers/internal/accel"
 	"fingers/internal/datasets"
@@ -42,6 +46,16 @@ type Options struct {
 	// Log, when non-nil, receives one telemetry.RunRecord per simulated
 	// chip run (one JSONL line per experiment cell and architecture).
 	Log *telemetry.RunLog
+	// Workers bounds the worker pool the experiments fan their
+	// independent (dataset, pattern, arch) cells across; zero or negative
+	// uses GOMAXPROCS. The simulated chips themselves stay
+	// single-threaded — parallelism is across cells only, so cycle
+	// results are identical to a serial run.
+	Workers int
+	// Ctx, when non-nil, cancels a sweep early: in-flight cells finish,
+	// remaining cells are skipped and left out of the result. Nil means
+	// run to completion.
+	Ctx context.Context
 }
 
 func (o Options) flexPEs() int {
@@ -254,4 +268,89 @@ func newGrid(title string, patterns []string, graphsList []*datasets.Dataset) *S
 		g.Cells[p] = map[string]SpeedupCell{}
 	}
 	return g
+}
+
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// runCells evaluates n independent experiment cells on a bounded worker
+// pool (Options.Workers wide). Each cell writes only its own slot of a
+// preallocated result slice, so the callers need no locking; cancellation
+// via Options.Ctx skips cells that have not started. With one worker the
+// cells run inline in index order, exactly like the old serial loops.
+func (o Options) runCells(n int, cell func(i int)) {
+	workers := o.workerCount()
+	if workers > n {
+		workers = n
+	}
+	ctx := o.ctx()
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			cell(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				cell(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// gridCell is one (pattern, graph) coordinate of a speedup grid, with the
+// pattern's plans compiled once up front (outside the worker pool) so the
+// compiler runs per pattern, not per cell.
+type gridCell struct {
+	pattern string
+	plans   []*plan.Plan
+	d       *datasets.Dataset
+}
+
+func gridCells(patterns []string, graphsList []*datasets.Dataset) []gridCell {
+	out := make([]gridCell, 0, len(patterns)*len(graphsList))
+	for _, name := range patterns {
+		plans, err := PlansFor(name)
+		if err != nil {
+			panic(err)
+		}
+		for _, d := range graphsList {
+			out = append(out, gridCell{pattern: name, plans: plans, d: d})
+		}
+	}
+	return out
+}
+
+// fillGrid copies the computed cells into the grid map, skipping slots a
+// cancelled sweep never reached.
+func fillGrid(grid *SpeedupGrid, cells []gridCell, out []SpeedupCell, done []bool) {
+	for i, c := range cells {
+		if done[i] {
+			grid.Cells[c.pattern][c.d.Name] = out[i]
+		}
+	}
 }

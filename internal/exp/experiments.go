@@ -22,21 +22,21 @@ func Table2() string { return area.Table2(fingers.DefaultConfig()) }
 // across all benchmark patterns and graphs.
 func Fig9(opts Options) *SpeedupGrid {
 	grid := newGrid("Figure 9: single-PE speedup, FINGERS vs FlexMiner", opts.patterns(), opts.graphs())
-	for _, name := range opts.patterns() {
-		plans, err := PlansFor(name)
-		if err != nil {
-			panic(err)
+	cells := gridCells(opts.patterns(), opts.graphs())
+	out := make([]SpeedupCell, len(cells))
+	done := make([]bool, len(cells))
+	opts.runCells(len(cells), func(i int) {
+		c := cells[i]
+		g := c.d.Graph()
+		fi := opts.simFingers("fig9", c.d.Name, c.pattern, fingers.DefaultConfig(), 1, opts.cacheBytes(), g, c.plans)
+		fm := opts.simFlex("fig9", c.d.Name, c.pattern, 1, opts.cacheBytes(), g, c.plans)
+		out[i] = SpeedupCell{
+			Graph: c.d.Name, Pattern: c.pattern,
+			Fingers: fi, Flex: fm, Speedup: fi.Speedup(fm),
 		}
-		for _, d := range opts.graphs() {
-			g := d.Graph()
-			fi := opts.simFingers("fig9", d.Name, name, fingers.DefaultConfig(), 1, opts.cacheBytes(), g, plans)
-			fm := opts.simFlex("fig9", d.Name, name, 1, opts.cacheBytes(), g, plans)
-			grid.Cells[name][d.Name] = SpeedupCell{
-				Graph: d.Name, Pattern: name,
-				Fingers: fi, Flex: fm, Speedup: fi.Speedup(fm),
-			}
-		}
-	}
+		done[i] = true
+	})
+	fillGrid(grid, cells, out, done)
 	return grid
 }
 
@@ -46,21 +46,21 @@ func Fig10(opts Options) *SpeedupGrid {
 	fiPEs, fmPEs := opts.fingersPEs(), opts.flexPEs()
 	title := fmt.Sprintf("Figure 10: overall speedup, FINGERS %d PEs vs FlexMiner %d PEs", fiPEs, fmPEs)
 	grid := newGrid(title, opts.patterns(), opts.graphs())
-	for _, name := range opts.patterns() {
-		plans, err := PlansFor(name)
-		if err != nil {
-			panic(err)
+	cells := gridCells(opts.patterns(), opts.graphs())
+	out := make([]SpeedupCell, len(cells))
+	done := make([]bool, len(cells))
+	opts.runCells(len(cells), func(i int) {
+		c := cells[i]
+		g := c.d.Graph()
+		fi := opts.simFingers("fig10", c.d.Name, c.pattern, fingers.DefaultConfig(), fiPEs, opts.cacheBytes(), g, c.plans)
+		fm := opts.simFlex("fig10", c.d.Name, c.pattern, fmPEs, opts.cacheBytes(), g, c.plans)
+		out[i] = SpeedupCell{
+			Graph: c.d.Name, Pattern: c.pattern,
+			Fingers: fi, Flex: fm, Speedup: fi.Speedup(fm),
 		}
-		for _, d := range opts.graphs() {
-			g := d.Graph()
-			fi := opts.simFingers("fig10", d.Name, name, fingers.DefaultConfig(), fiPEs, opts.cacheBytes(), g, plans)
-			fm := opts.simFlex("fig10", d.Name, name, fmPEs, opts.cacheBytes(), g, plans)
-			grid.Cells[name][d.Name] = SpeedupCell{
-				Graph: d.Name, Pattern: name,
-				Fingers: fi, Flex: fm, Speedup: fi.Speedup(fm),
-			}
-		}
-	}
+		done[i] = true
+	})
+	fillGrid(grid, cells, out, done)
 	return grid
 }
 
@@ -90,21 +90,21 @@ func Fig11(opts Options) *SpeedupGrid {
 		opts.patterns(), graphsList)
 	off := fingers.DefaultConfig()
 	off.PseudoDFS = false
-	for _, name := range opts.patterns() {
-		plans, err := PlansFor(name)
-		if err != nil {
-			panic(err)
+	cells := gridCells(opts.patterns(), graphsList)
+	out := make([]SpeedupCell, len(cells))
+	done := make([]bool, len(cells))
+	opts.runCells(len(cells), func(i int) {
+		c := cells[i]
+		g := c.d.Graph()
+		with := opts.simFingers("fig11", c.d.Name, c.pattern, fingers.DefaultConfig(), 1, opts.cacheBytes(), g, c.plans)
+		without := opts.simFingers("fig11-strict-dfs", c.d.Name, c.pattern, off, 1, opts.cacheBytes(), g, c.plans)
+		out[i] = SpeedupCell{
+			Graph: c.d.Name, Pattern: c.pattern,
+			Fingers: with, Flex: without, Speedup: with.Speedup(without),
 		}
-		for _, d := range graphsList {
-			g := d.Graph()
-			with := opts.simFingers("fig11", d.Name, name, fingers.DefaultConfig(), 1, opts.cacheBytes(), g, plans)
-			without := opts.simFingers("fig11-strict-dfs", d.Name, name, off, 1, opts.cacheBytes(), g, plans)
-			grid.Cells[name][d.Name] = SpeedupCell{
-				Graph: d.Name, Pattern: name,
-				Fingers: with, Flex: without, Speedup: with.Speedup(without),
-			}
-		}
-	}
+		done[i] = true
+	})
+	fillGrid(grid, cells, out, done)
 	return grid
 }
 
@@ -153,32 +153,45 @@ func Fig12(opts Options) *Fig12Result {
 	if opts.Quick {
 		sweeps = []series{{"tt", false}}
 	}
-	for _, sw := range sweeps {
+	res.Series = make([]Fig12Series, len(sweeps))
+	for si, sw := range sweeps {
+		res.Series[si] = Fig12Series{
+			Pattern:   sw.pattern,
+			Unlimited: sw.unlimited,
+			Points:    make([]Fig12Point, len(Fig12IUCounts)),
+		}
+	}
+	// Every (series, IU count) simulation is independent; only the
+	// speedup normalization needs the 1-IU baseline, so it is derived
+	// after the parallel sweep.
+	opts.runCells(len(sweeps)*len(Fig12IUCounts), func(i int) {
+		sw := sweeps[i/len(Fig12IUCounts)]
+		pi := i % len(Fig12IUCounts)
+		n := Fig12IUCounts[pi]
 		plans, err := PlansFor(sw.pattern)
 		if err != nil {
 			panic(err)
 		}
-		s := Fig12Series{Pattern: sw.pattern, Unlimited: sw.unlimited}
-		var base mem.Cycles
-		for _, n := range Fig12IUCounts {
-			var cfg fingers.Config
-			if sw.unlimited {
-				cfg = fingers.DefaultConfig().WithIUsUnlimited(n)
-			} else {
-				cfg = fingers.DefaultConfig().WithIUs(n)
-			}
-			r := opts.simFingers("fig12", d.Name, sw.pattern, cfg, 1, opts.cacheBytes(), g, plans)
-			if base == 0 {
-				base = r.Cycles
-			}
-			s.Points = append(s.Points, Fig12Point{
-				IUs:     n,
-				SegLen:  cfg.LongSegLen,
-				Speedup: float64(base) / float64(r.Cycles),
-				Cycles:  r.Cycles,
-			})
+		var cfg fingers.Config
+		if sw.unlimited {
+			cfg = fingers.DefaultConfig().WithIUsUnlimited(n)
+		} else {
+			cfg = fingers.DefaultConfig().WithIUs(n)
 		}
-		res.Series = append(res.Series, s)
+		r := opts.simFingers("fig12", d.Name, sw.pattern, cfg, 1, opts.cacheBytes(), g, plans)
+		res.Series[i/len(Fig12IUCounts)].Points[pi] = Fig12Point{
+			IUs:    n,
+			SegLen: cfg.LongSegLen,
+			Cycles: r.Cycles,
+		}
+	})
+	for si := range res.Series {
+		base := res.Series[si].Points[0].Cycles
+		for pi := range res.Series[si].Points {
+			if c := res.Series[si].Points[pi].Cycles; base > 0 && c > 0 {
+				res.Series[si].Points[pi].Speedup = float64(base) / float64(c)
+			}
+		}
 	}
 	return res
 }
@@ -244,27 +257,31 @@ func Fig13(opts Options) *Fig13Result {
 		panic(err)
 	}
 	res := &Fig13Result{}
+	nCaps := len(Fig13PaperCapacitiesMB)
 	for _, gn := range graphNames {
+		res.Curves = append(res.Curves,
+			Fig13Curve{Graph: gn, Design: "FINGERS", Pattern: "cyc", Points: make([]Fig13Point, nCaps)},
+			Fig13Curve{Graph: gn, Design: "FlexMiner", Pattern: "cyc", Points: make([]Fig13Point, nCaps)})
+	}
+	opts.runCells(len(graphNames)*nCaps, func(i int) {
+		gn := graphNames[i/nCaps]
+		ci := i % nCaps
 		d, err := datasets.ByName(gn)
 		if err != nil {
 			panic(err)
 		}
 		g := d.Graph()
-		fiCurve := Fig13Curve{Graph: gn, Design: "FINGERS", Pattern: "cyc"}
-		fmCurve := Fig13Curve{Graph: gn, Design: "FlexMiner", Pattern: "cyc"}
-		for _, mb := range Fig13PaperCapacitiesMB {
-			scaled := int64(mb * float64(1<<20) / datasets.CacheScale)
-			fi := opts.simFingers("fig13", gn, "cyc", fingers.DefaultConfig(), opts.fingersPEs(), scaled, g, plans)
-			fm := opts.simFlex("fig13", gn, "cyc", opts.flexPEs(), scaled, g, plans)
-			fiCurve.Points = append(fiCurve.Points, Fig13Point{
-				PaperCapacityMB: mb, ScaledBytes: scaled, MissRate: fi.SharedCache.MissRate(),
-			})
-			fmCurve.Points = append(fmCurve.Points, Fig13Point{
-				PaperCapacityMB: mb, ScaledBytes: scaled, MissRate: fm.SharedCache.MissRate(),
-			})
+		mb := Fig13PaperCapacitiesMB[ci]
+		scaled := int64(mb * float64(1<<20) / datasets.CacheScale)
+		fi := opts.simFingers("fig13", gn, "cyc", fingers.DefaultConfig(), opts.fingersPEs(), scaled, g, plans)
+		fm := opts.simFlex("fig13", gn, "cyc", opts.flexPEs(), scaled, g, plans)
+		res.Curves[2*(i/nCaps)].Points[ci] = Fig13Point{
+			PaperCapacityMB: mb, ScaledBytes: scaled, MissRate: fi.SharedCache.MissRate(),
 		}
-		res.Curves = append(res.Curves, fiCurve, fmCurve)
-	}
+		res.Curves[2*(i/nCaps)+1].Points[ci] = Fig13Point{
+			PaperCapacityMB: mb, ScaledBytes: scaled, MissRate: fm.SharedCache.MissRate(),
+		}
+	})
 	return res
 }
 
@@ -309,7 +326,10 @@ func Table3(opts Options) *Table3Result {
 	}
 	g := d.Graph()
 	res := &Table3Result{Graph: d.Name}
-	for _, name := range opts.patterns() {
+	names := opts.patterns()
+	res.Rows = make([]Table3Row, len(names))
+	opts.runCells(len(names), func(i int) {
+		name := names[i]
 		plans, err := PlansFor(name)
 		if err != nil {
 			panic(err)
@@ -323,12 +343,12 @@ func Table3(opts Options) *Table3Result {
 			rec.IUBalanceRate = st.BalanceRate()
 			logWrite(opts.Log, rec)
 		}
-		res.Rows = append(res.Rows, Table3Row{
+		res.Rows[i] = Table3Row{
 			Pattern:     name,
 			ActiveRate:  st.ActiveRate(),
 			BalanceRate: st.BalanceRate(),
-		})
-	}
+		}
+	})
 	return res
 }
 

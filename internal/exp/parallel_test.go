@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"context"
+	"testing"
+)
+
+// TestParallelMatchesSerial runs the same quick sweeps with one worker
+// and with a wide pool and requires identical results: the worker pool
+// only reorders cell evaluation, and each cell's simulated chip is
+// deterministic and isolated, so cycles, counts and rates must not move.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := quick
+	serial.Workers = 1
+	wide := quick
+	wide.Workers = 8
+
+	gs, gw := Fig9(serial), Fig9(wide)
+	for _, p := range gs.Patterns {
+		for _, g := range gs.Graphs {
+			cs, cw := gs.Cells[p][g], gw.Cells[p][g]
+			if cs.Fingers.Cycles != cw.Fingers.Cycles || cs.Flex.Cycles != cw.Flex.Cycles ||
+				cs.Fingers.Count != cw.Fingers.Count {
+				t.Errorf("fig9 %s/%s: serial %+v parallel %+v", p, g, cs, cw)
+			}
+		}
+	}
+
+	fs, fw := Fig12(serial), Fig12(wide)
+	for si := range fs.Series {
+		for pi := range fs.Series[si].Points {
+			ps, pw := fs.Series[si].Points[pi], fw.Series[si].Points[pi]
+			if ps != pw {
+				t.Errorf("fig12 series %d point %d: serial %+v parallel %+v", si, pi, ps, pw)
+			}
+		}
+	}
+
+	ts, tw := Table3(serial), Table3(wide)
+	for i := range ts.Rows {
+		if ts.Rows[i] != tw.Rows[i] {
+			t.Errorf("table3 row %d: serial %+v parallel %+v", i, ts.Rows[i], tw.Rows[i])
+		}
+	}
+}
+
+// TestParallelCancellation checks that a pre-cancelled context yields an
+// empty (but well-formed) grid rather than hanging or panicking.
+func TestParallelCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := quick
+	opts.Workers = 4
+	opts.Ctx = ctx
+	grid := Fig9(opts)
+	for _, p := range grid.Patterns {
+		for _, g := range grid.Graphs {
+			if _, ok := grid.Cells[p][g]; ok {
+				t.Errorf("cancelled sweep still produced cell %s/%s", p, g)
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Graph is an undirected graph in CSR form. Neighbor lists are sorted
@@ -18,6 +19,9 @@ import (
 type Graph struct {
 	offsets []int64  // len = NumVertices()+1
 	neigh   []uint32 // len = 2 × undirected edge count
+
+	hubOnce sync.Once
+	hubIdx  *HubIndex // lazily built by Hubs
 }
 
 // Edge is one undirected edge between two vertex IDs.

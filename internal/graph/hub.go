@@ -1,0 +1,83 @@
+package graph
+
+// HubIndex holds dense membership bitsets for the graph's hub vertices —
+// those whose degree is at least its threshold. A hub's row spans the
+// whole vertex universe (one bit per vertex), so a set operation against
+// the hub's neighbor list degenerates into per-element bit probes over
+// the other input: O(|other|) instead of O(|other| + degree). On
+// power-law graphs the handful of hubs absorb a disproportionate share
+// of set-operation work (SISA's bitvector-kernel observation), which is
+// what makes the index pay for itself.
+//
+// A HubIndex is immutable after construction and safe for concurrent
+// readers.
+type HubIndex struct {
+	threshold int
+	rows      map[uint32][]uint64
+}
+
+// hubMinDegree floors the default threshold so small graphs build no
+// index at all (the lists are too short for bit probes to matter).
+const hubMinDegree = 128
+
+// hubFraction sets the default threshold to NumVertices/hubFraction: a
+// row costs n/8 bytes versus 4·degree bytes for the list, so degree ≥
+// n/32 is the break-even point where the bitset is no larger than the
+// neighbor list it shadows. Total index memory is then bounded by
+// 2E/threshold rows × n/8 bytes = E bytes.
+const hubFraction = 32
+
+// DefaultHubThreshold returns the degree threshold Hubs uses for a graph
+// with n vertices.
+func DefaultHubThreshold(n int) int {
+	t := n / hubFraction
+	if t < hubMinDegree {
+		t = hubMinDegree
+	}
+	return t
+}
+
+// NewHubIndex builds an index with an explicit degree threshold, chiefly
+// for tests and tuning studies; threshold ≤ 0 selects the default.
+func NewHubIndex(g *Graph, threshold int) *HubIndex {
+	n := g.NumVertices()
+	if threshold <= 0 {
+		threshold = DefaultHubThreshold(n)
+	}
+	idx := &HubIndex{threshold: threshold, rows: map[uint32][]uint64{}}
+	words := (n + 63) / 64
+	for v := 0; v < n; v++ {
+		if g.Degree(uint32(v)) < threshold {
+			continue
+		}
+		row := make([]uint64, words)
+		for _, w := range g.Neighbors(uint32(v)) {
+			row[w>>6] |= 1 << (w & 63)
+		}
+		idx.rows[uint32(v)] = row
+	}
+	return idx
+}
+
+// Hubs returns the graph's hub index with the default threshold, building
+// it on first use and caching it for the graph's lifetime. Safe for
+// concurrent callers.
+func (g *Graph) Hubs() *HubIndex {
+	g.hubOnce.Do(func() { g.hubIdx = NewHubIndex(g, 0) })
+	return g.hubIdx
+}
+
+// Threshold returns the degree at or above which vertices have rows.
+func (h *HubIndex) Threshold() int { return h.threshold }
+
+// NumHubs returns the number of indexed vertices.
+func (h *HubIndex) NumHubs() int { return len(h.rows) }
+
+// Row returns v's membership bitset, or nil when v is not a hub. The
+// returned slice is shared and must not be modified.
+func (h *HubIndex) Row(v uint32) []uint64 {
+	if h == nil || len(h.rows) == 0 {
+		return nil
+	}
+	return h.rows[v]
+}

@@ -1,0 +1,58 @@
+package graph
+
+import "testing"
+
+func hubTestGraph() *Graph {
+	// Star center 0 with 10 leaves, plus a 1-2 edge for a non-hub op.
+	b := NewBuilder(11)
+	for v := uint32(1); v <= 10; v++ {
+		b.AddEdge(0, v)
+	}
+	b.AddEdge(1, 2)
+	return b.Build()
+}
+
+func TestHubIndexRows(t *testing.T) {
+	g := hubTestGraph()
+	h := NewHubIndex(g, 5)
+	if h.Threshold() != 5 {
+		t.Fatalf("Threshold = %d", h.Threshold())
+	}
+	if h.NumHubs() != 1 {
+		t.Fatalf("NumHubs = %d, want 1 (only the star center)", h.NumHubs())
+	}
+	row := h.Row(0)
+	if row == nil {
+		t.Fatal("center has no row")
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		got := row[v>>6]&(1<<(uint(v)&63)) != 0
+		if want := g.HasEdge(0, uint32(v)); got != want {
+			t.Errorf("row bit %d = %v, want %v", v, got, want)
+		}
+	}
+	if h.Row(1) != nil {
+		t.Error("leaf vertex has a row")
+	}
+	var nilIdx *HubIndex
+	if nilIdx.Row(0) != nil {
+		t.Error("nil index returned a row")
+	}
+}
+
+func TestHubsCachedAndDefaultThreshold(t *testing.T) {
+	g := hubTestGraph()
+	if g.Hubs() != g.Hubs() {
+		t.Error("Hubs not cached")
+	}
+	// Default threshold floors at hubMinDegree, so this tiny graph has none.
+	if g.Hubs().NumHubs() != 0 {
+		t.Errorf("tiny graph has %d default hubs, want 0", g.Hubs().NumHubs())
+	}
+	if got := DefaultHubThreshold(100); got != hubMinDegree {
+		t.Errorf("DefaultHubThreshold(100) = %d, want floor %d", got, hubMinDegree)
+	}
+	if got := DefaultHubThreshold(1 << 20); got != (1<<20)/hubFraction {
+		t.Errorf("DefaultHubThreshold(1M) = %d", got)
+	}
+}

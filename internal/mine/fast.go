@@ -1,0 +1,330 @@
+package mine
+
+import (
+	"fingers/internal/graph"
+	"fingers/internal/plan"
+	"fingers/internal/setops"
+)
+
+// Counter is the adaptive software miner: it walks the same search tree
+// as Engine but is built for CPU throughput rather than hardware-model
+// fidelity. Three things distinguish it (and are why Count/CountParallel
+// route through it):
+//
+//   - adaptive kernel dispatch: every set operation picks merge,
+//     galloping, or dense-bitvector probing per call, from the input size
+//     ratio and whether the neighbor-list side belongs to a hub vertex
+//     with a precomputed bitset row (graph.HubIndex);
+//   - zero steady-state allocation: candidate sets live in per-level
+//     scratch buffers that are reused across siblings and roots, so after
+//     buffer capacities warm up, mining a root allocates nothing;
+//   - leaf counting without materialization: when the last extending
+//     level performs a single intersect/subtract, the embedding count is
+//     computed directly from counting kernels over the symmetry-breaking
+//     window.
+//
+// A Counter is not safe for concurrent use; create one per worker (it is
+// the "per-worker scratch arena" of the work-stealing scheduler).
+// Counts are bit-identical to Engine's: the kernels differ, the set
+// algebra does not.
+type Counter struct {
+	g     *graph.Graph
+	pl    *plan.Plan
+	sched [][]step
+	hub   *graph.HubIndex
+	k     int
+
+	verts  []uint32
+	frames []frame
+	stats  KernelStats
+}
+
+// frame is one level's scratch arena.
+type frame struct {
+	// sets[j] is the candidate set for slot j after this level's steps,
+	// pointing into a buf below, a shallower frame's buf, or graph
+	// storage. Reading sets[st.src] before the step writes its targets
+	// yields the parent's value (each slot is written once per level).
+	sets [][]uint32
+	// bufs[i] is step i's reusable result buffer; capacity only grows.
+	bufs [][]uint32
+}
+
+// KernelStats counts kernel-dispatch decisions, split between
+// materializing operations and leaf counting.
+type KernelStats struct {
+	Merge, Gallop, Bits                uint64
+	CountMerge, CountGallop, CountBits uint64
+}
+
+// Total returns the number of dispatched operations.
+func (s KernelStats) Total() uint64 {
+	return s.Merge + s.Gallop + s.Bits + s.CountMerge + s.CountGallop + s.CountBits
+}
+
+// NewCounter returns a reusable adaptive miner for the plan on g, using
+// the graph's default hub index (built and cached on first use).
+func NewCounter(g *graph.Graph, pl *plan.Plan) *Counter {
+	c := &Counter{
+		g:     g,
+		pl:    pl,
+		sched: buildSchedule(pl),
+		hub:   g.Hubs(),
+		k:     pl.K(),
+	}
+	c.verts = make([]uint32, c.k)
+	c.frames = make([]frame, c.k-1)
+	for level := range c.frames {
+		c.frames[level].sets = make([][]uint32, c.k)
+		c.frames[level].bufs = make([][]uint32, len(c.sched[level]))
+	}
+	return c
+}
+
+// SetHubIndex overrides the hub index, primarily so tests can force the
+// bitvector kernels on small graphs; nil disables them.
+func (c *Counter) SetHubIndex(h *graph.HubIndex) { c.hub = h }
+
+// Stats returns the kernel-dispatch counters accumulated so far.
+func (c *Counter) Stats() KernelStats { return c.stats }
+
+// Root mines the search tree rooted at v0 and returns its embedding
+// count. After buffer warm-up it performs no heap allocation.
+func (c *Counter) Root(v0 uint32) uint64 {
+	return c.descend(0, v0)
+}
+
+func (c *Counter) descend(level int, v uint32) uint64 {
+	c.verts[level] = v
+	f := &c.frames[level]
+	if level == 0 {
+		for i := range f.sets {
+			f.sets[i] = nil
+		}
+	} else {
+		copy(f.sets, c.frames[level-1].sets)
+	}
+	nv := c.g.Neighbors(v)
+	steps := c.sched[level]
+
+	if level == c.k-2 {
+		// Leaf fast path: a lone update step materializing only the final
+		// slot can be counted without writing the result.
+		if len(steps) == 1 && steps[0].op != plan.OpInit {
+			return c.leafCountUpdate(&steps[0], f, nv, v)
+		}
+		c.applySteps(f, steps, nv, v)
+		return c.leafCountSet(f.sets[c.k-1])
+	}
+
+	c.applySteps(f, steps, nv, v)
+	set := f.sets[level+1]
+	a, b := c.window(level+1, set)
+	used := c.verts[:level+1]
+	var total uint64
+	for _, w := range set[a:b] {
+		if containsVert(used, w) {
+			continue
+		}
+		total += c.descend(level+1, w)
+	}
+	return total
+}
+
+// applySteps executes one level's schedule into the frame's arenas.
+func (c *Counter) applySteps(f *frame, steps []step, nv []uint32, v uint32) {
+	for si := range steps {
+		st := &steps[si]
+		var result []uint32
+		if st.op == plan.OpInit {
+			if len(st.pending) == 0 {
+				// No postponed ancestors: the slot aliases the (read-only)
+				// neighbor list, costing nothing.
+				result = nv
+			} else {
+				buf := f.bufs[si][:0]
+				anc := c.verts[st.pending[0]]
+				buf = c.subtractNeighborsInto(buf, nv, anc)
+				for _, m := range st.pending[1:] {
+					buf = c.subtractNeighborsInPlace(buf, c.verts[m])
+				}
+				f.bufs[si] = buf
+				result = buf
+			}
+		} else {
+			src := f.sets[st.src] // parent's value: targets not yet written
+			buf := c.updateInto(st.op, f.bufs[si][:0], src, nv, v)
+			f.bufs[si] = buf
+			result = buf
+		}
+		for _, t := range st.targets {
+			f.sets[t] = result
+		}
+	}
+}
+
+// updateInto computes op(src, N(v)) into dst with adaptive dispatch.
+func (c *Counter) updateInto(op plan.OpKind, dst, src, nv []uint32, v uint32) []uint32 {
+	row := c.hub.Row(v)
+	if op == plan.OpIntersect {
+		switch {
+		case row != nil:
+			c.stats.Bits++
+			return setops.IntersectBitsInto(dst, src, row)
+		case skewed(src, nv):
+			c.stats.Gallop++
+			return setops.IntersectGallopingInto(dst, src, nv)
+		default:
+			c.stats.Merge++
+			return setops.IntersectInto(dst, src, nv)
+		}
+	}
+	switch {
+	case row != nil:
+		c.stats.Bits++
+		return setops.SubtractBitsInto(dst, src, row)
+	case len(nv) >= setops.GallopSkewThreshold*len(src):
+		c.stats.Gallop++
+		return setops.SubtractGallopingInto(dst, src, nv)
+	default:
+		c.stats.Merge++
+		return setops.SubtractInto(dst, src, nv)
+	}
+}
+
+// subtractNeighborsInto computes a − N(anc) into dst (the postponed
+// anti-subtraction of §2.1, candidate side first).
+func (c *Counter) subtractNeighborsInto(dst, a []uint32, anc uint32) []uint32 {
+	if row := c.hub.Row(anc); row != nil {
+		c.stats.Bits++
+		return setops.SubtractBitsInto(dst, a, row)
+	}
+	ancN := c.g.Neighbors(anc)
+	if len(ancN) >= setops.GallopSkewThreshold*len(a) {
+		c.stats.Gallop++
+	} else {
+		c.stats.Merge++
+	}
+	return setops.SubtractGallopingInto(dst, a, ancN)
+}
+
+// subtractNeighborsInPlace compacts a to a − N(anc) in place.
+func (c *Counter) subtractNeighborsInPlace(a []uint32, anc uint32) []uint32 {
+	if row := c.hub.Row(anc); row != nil {
+		c.stats.Bits++
+		return setops.SubtractBitsInPlace(a, row)
+	}
+	ancN := c.g.Neighbors(anc)
+	if len(ancN) >= setops.GallopSkewThreshold*len(a) {
+		c.stats.Gallop++
+	} else {
+		c.stats.Merge++
+	}
+	return setops.SubtractInPlace(a, ancN)
+}
+
+// skewed reports whether either input dwarfs the other enough for the
+// galloping kernels to engage.
+func skewed(a, b []uint32) bool {
+	return len(b) >= setops.GallopSkewThreshold*len(a) ||
+		len(a) >= setops.GallopSkewThreshold*len(b)
+}
+
+// leafCountUpdate counts op(src, N(v)) restricted to the final level's
+// symmetry-breaking window, excluding already-used vertices, without
+// materializing the result.
+func (c *Counter) leafCountUpdate(st *step, f *frame, nv []uint32, v uint32) uint64 {
+	src := f.sets[st.src]
+	a, b := c.window(c.k-1, src)
+	win := src[a:b]
+	row := c.hub.Row(v)
+	used := c.verts[:c.k-1]
+	var cnt int
+	if st.op == plan.OpIntersect {
+		switch {
+		case row != nil:
+			c.stats.CountBits++
+			cnt = setops.IntersectCountBits(win, row)
+		case skewed(win, nv):
+			c.stats.CountGallop++
+			cnt = setops.IntersectCountGalloping(win, nv)
+		default:
+			c.stats.CountMerge++
+			cnt = setops.IntersectCount(win, nv)
+		}
+		for _, u := range used {
+			if setops.Contains(win, u) && c.leafMember(nv, row, u) {
+				cnt--
+			}
+		}
+	} else {
+		switch {
+		case row != nil:
+			c.stats.CountBits++
+			cnt = len(win) - setops.IntersectCountBits(win, row)
+		case skewed(win, nv):
+			c.stats.CountGallop++
+			cnt = len(win) - setops.IntersectCountGalloping(win, nv)
+		default:
+			c.stats.CountMerge++
+			cnt = len(win) - setops.IntersectCount(win, nv)
+		}
+		for _, u := range used {
+			if setops.Contains(win, u) && !c.leafMember(nv, row, u) {
+				cnt--
+			}
+		}
+	}
+	return uint64(cnt)
+}
+
+// leafMember reports u ∈ N(v) through the hub row when available.
+func (c *Counter) leafMember(nv []uint32, row []uint64, u uint32) bool {
+	if row != nil {
+		return setops.BitsContain(row, u)
+	}
+	return setops.Contains(nv, u)
+}
+
+// leafCountSet counts a materialized final-level set within its window,
+// excluding used vertices (the generic leaf path).
+func (c *Counter) leafCountSet(set []uint32) uint64 {
+	a, b := c.window(c.k-1, set)
+	cnt := b - a
+	for _, u := range c.verts[:c.k-1] {
+		if setops.Contains(set[a:b], u) {
+			cnt--
+		}
+	}
+	return uint64(cnt)
+}
+
+// window returns the index range of set surviving the symmetry-breaking
+// restrictions of the given level, mirroring Engine.window.
+func (c *Counter) window(level int, set []uint32) (a, b int) {
+	var lo, hi uint32
+	var hasLo, hasHi bool
+	for _, r := range c.pl.Levels[level].Restrictions {
+		bound := c.verts[r.Earlier]
+		if r.Greater {
+			if !hasLo || bound > lo {
+				lo, hasLo = bound, true
+			}
+		} else {
+			if !hasHi || bound < hi {
+				hi, hasHi = bound, true
+			}
+		}
+	}
+	a, b = 0, len(set)
+	if hasLo {
+		a = setops.UpperBound(set, lo)
+	}
+	if hasHi {
+		b = setops.LowerBound(set, hi)
+	}
+	if b < a {
+		b = a
+	}
+	return a, b
+}

@@ -1,0 +1,216 @@
+package mine
+
+import (
+	"context"
+	"testing"
+
+	"fingers/internal/datasets"
+	"fingers/internal/graph"
+	"fingers/internal/graph/gen"
+	"fingers/internal/pattern"
+	"fingers/internal/plan"
+)
+
+// sampleRoots picks a bounded root sample that still exercises every
+// kernel class: a stride through the whole ID range (whose subtrees
+// touch hub vertices as candidates) plus a few heavier-than-average
+// roots, capped at 4× the mean degree so the oracle side of the
+// cross-check doesn't spend minutes inside one hub's tree.
+func sampleRoots(g *graph.Graph, stride, heavy int) []uint32 {
+	n := g.NumVertices()
+	var roots []uint32
+	step := n / stride
+	if step < 1 {
+		step = 1
+	}
+	for v := 0; v < n; v += step {
+		roots = append(roots, uint32(v))
+	}
+	cap := int(4 * g.AvgDegree())
+	for _, v := range g.DegreeOrder() {
+		if heavy == 0 {
+			break
+		}
+		if g.Degree(v) <= cap {
+			roots = append(roots, v)
+			heavy--
+		}
+	}
+	return roots
+}
+
+// TestAdaptiveMatchesOracleOnDatasets cross-checks the adaptive Counter
+// against the reference Engine on every named pattern × every synthetic
+// dataset analogue, comparing per-root subtree counts over a root sample
+// (full counts over the whole grid would take the oracle minutes).
+func TestAdaptiveMatchesOracleOnDatasets(t *testing.T) {
+	dsets := datasets.All()
+	if testing.Short() {
+		dsets = datasets.Small()
+	}
+	for _, d := range dsets {
+		g := d.Graph()
+		roots := sampleRoots(g, 12, 4)
+		for _, name := range pattern.Names() {
+			p, err := pattern.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl, err := plan.Compile(p, plan.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := NewCounter(g, pl)
+			e := NewEngine(g, pl)
+			for _, v := range roots {
+				if got, want := c.Root(v), e.CountFromRoot(v); got != want {
+					t.Fatalf("%s/%s root %d: adaptive %d, oracle %d",
+						d.Name, name, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptiveFullCountsMatchOracle compares whole-graph counts on the
+// cache-resident datasets for the cheap benchmark patterns, covering the
+// root loop itself (not just sampled subtrees).
+func TestAdaptiveFullCountsMatchOracle(t *testing.T) {
+	for _, d := range datasets.Small() {
+		g := d.Graph()
+		for _, name := range []string{"tc", "tt", "cyc", "dia"} {
+			p, err := pattern.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl := plan.MustCompile(p, plan.Options{})
+			got := Count(g, pl)
+			want := CountOracle(g, pl)
+			if got != want {
+				t.Errorf("%s/%s: adaptive %d, oracle %d", d.Name, name, got, want)
+			}
+			if par := CountParallel(g, pl, 4); par != want {
+				t.Errorf("%s/%s: parallel %d, oracle %d", d.Name, name, par, want)
+			}
+		}
+	}
+}
+
+// TestForcedHubKernels lowers the hub threshold so the dense-bitvector
+// kernels run on graphs small enough to brute-force, for every named
+// pattern and both induced semantics.
+func TestForcedHubKernels(t *testing.T) {
+	graphs := []*graph.Graph{
+		gen.Complete(8),
+		gen.Star(12),
+		gen.PowerLawCluster(60, 5, 0.6, 7),
+		gen.ErdosRenyi(40, 220, 3),
+	}
+	for gi, g := range graphs {
+		hub := graph.NewHubIndex(g, 1) // every vertex gets a row
+		for _, name := range pattern.Names() {
+			p, err := pattern.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, edgeInduced := range []bool{false, true} {
+				pl, err := plan.Compile(p, plan.Options{EdgeInduced: edgeInduced})
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := NewCounter(g, pl)
+				c.SetHubIndex(hub)
+				var got uint64
+				for v := 0; v < g.NumVertices(); v++ {
+					got += c.Root(uint32(v))
+				}
+				if want := CountOracle(g, pl); got != want {
+					t.Errorf("graph %d %s edgeInduced=%v: forced-bits %d, oracle %d",
+						gi, name, edgeInduced, got, want)
+				}
+				// Edge-induced star/path plans dispatch no set ops at all
+				// (init-only schedules); only demand bits where ops ran.
+				if st := c.Stats(); st.Total() > 0 && st.Bits+st.CountBits == 0 {
+					t.Errorf("graph %d %s edgeInduced=%v: ops ran but bit kernels never dispatched",
+						gi, name, edgeInduced)
+				}
+			}
+		}
+	}
+}
+
+// TestCounterSteadyStateAllocs verifies the tentpole's zero-allocation
+// claim: after one warm-up pass grows the scratch arenas, mining any
+// root allocates nothing.
+func TestCounterSteadyStateAllocs(t *testing.T) {
+	g := gen.PowerLawCluster(2000, 8, 0.5, 11)
+	for _, name := range []string{"tc", "4cl", "tt", "cyc", "house"} {
+		p, err := pattern.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl := plan.MustCompile(p, plan.Options{})
+		c := NewCounter(g, pl)
+		for v := 0; v < g.NumVertices(); v++ {
+			c.Root(uint32(v)) // warm up arenas
+		}
+		avg := testing.AllocsPerRun(10, func() {
+			for v := 0; v < 200; v++ {
+				c.Root(uint32(v))
+			}
+		})
+		if avg != 0 {
+			t.Errorf("%s: %v allocs per 200 steady-state roots, want 0", name, avg)
+		}
+	}
+}
+
+// TestCountParallelRace drives the work-stealing scheduler with many
+// workers and tiny chunks so the race detector sees real contention on
+// the shared cursor (CI runs the suite with -race).
+func TestCountParallelRace(t *testing.T) {
+	g := gen.PowerLawCluster(600, 6, 0.5, 3)
+	pl := plan.MustCompile(pattern.Triangle(), plan.Options{})
+	want := Count(g, pl)
+	for _, workers := range []int{2, 4, 16, 1000} {
+		if got := CountParallel(g, pl, workers); got != want {
+			t.Errorf("workers=%d: %d, want %d", workers, got, want)
+		}
+	}
+}
+
+// TestCountCtxCancellation checks that a cancelled context stops the
+// scheduler early and is reported, and that an uncancelled run is exact.
+func TestCountCtxCancellation(t *testing.T) {
+	g := gen.PowerLawCluster(3000, 8, 0.5, 5)
+	pl := plan.MustCompile(pattern.Clique(4), plan.Options{})
+	want := Count(g, pl)
+
+	for _, workers := range []int{1, 4} {
+		got, err := CountCtx(context.Background(), g, pl, workers)
+		if err != nil || got != want {
+			t.Errorf("workers=%d: count %d err %v, want %d <nil>", workers, got, err, want)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		got, err = CountCtx(ctx, g, pl, workers)
+		if err != context.Canceled {
+			t.Errorf("workers=%d: cancelled err = %v", workers, err)
+		}
+		if got > want {
+			t.Errorf("workers=%d: partial count %d exceeds total %d", workers, got, want)
+		}
+	}
+}
+
+// TestCountEmptyGraph covers the degenerate scheduler inputs.
+func TestCountEmptyGraph(t *testing.T) {
+	g := graph.FromEdges(0, nil)
+	pl := plan.MustCompile(pattern.Triangle(), plan.Options{})
+	if got := Count(g, pl); got != 0 {
+		t.Errorf("empty graph Count = %d", got)
+	}
+	if got := CountParallel(g, pl, 8); got != 0 {
+		t.Errorf("empty graph CountParallel = %d", got)
+	}
+}

@@ -1,6 +1,7 @@
 package mine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -10,8 +11,22 @@ import (
 )
 
 // Count mines the plan on g and returns the number of embeddings (with
-// symmetry breaking applied, each automorphism class counts once).
+// symmetry breaking applied, each automorphism class counts once). It
+// runs the adaptive Counter; the result is bit-identical to CountOracle.
 func Count(g *graph.Graph, pl *plan.Plan) uint64 {
+	c := NewCounter(g, pl)
+	var total uint64
+	for v := 0; v < g.NumVertices(); v++ {
+		total += c.Root(uint32(v))
+	}
+	return total
+}
+
+// CountOracle mines the plan with the reference Engine — the slow,
+// allocation-heavy tree walk the accelerator timing models replay. It
+// exists so tests can cross-check the adaptive Counter's kernels against
+// an independent implementation.
+func CountOracle(g *graph.Graph, pl *plan.Plan) uint64 {
 	e := NewEngine(g, pl)
 	var total uint64
 	for v := 0; v < g.NumVertices(); v++ {
@@ -39,34 +54,92 @@ func (e *Engine) countSubtree(n *Node) uint64 {
 	return total
 }
 
-// CountParallel mines the plan using workers goroutines over root
-// vertices; workers ≤ 0 uses GOMAXPROCS. The result equals Count.
+// chunksPerWorker sizes the dynamic chunks: enough chunks per worker
+// that a straggler holding one chunk cannot serialize the tail, few
+// enough that the shared cursor stays cold.
+const chunksPerWorker = 32
+
+// maxRootChunk caps the chunk size so even enormous graphs keep the
+// steal granularity fine.
+const maxRootChunk = 256
+
+// CountParallel mines the plan with work-stealing dynamic chunking over
+// root vertices: workers pull fixed-size chunks of roots off a shared
+// atomic cursor, each mining into its own Counter arena (zero
+// steady-state allocation), with roots served in descending-degree order
+// so the heavy hub trees of power-law graphs are in flight first rather
+// than left to straggle at the tail. workers ≤ 0 uses GOMAXPROCS. The
+// result is bit-identical to Count.
 func CountParallel(g *graph.Graph, pl *plan.Plan, workers int) uint64 {
+	n, _ := CountCtx(context.Background(), g, pl, workers)
+	return n
+}
+
+// CountCtx is CountParallel with cancellation: the scheduler checks ctx
+// once per chunk and drains early when it fires, returning the partial
+// count alongside ctx.Err(). A nil error means the count is complete.
+func CountCtx(ctx context.Context, g *graph.Graph, pl *plan.Plan, workers int) (uint64, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	var next int64 = -1
-	var total uint64
-	var wg sync.WaitGroup
 	n := int64(g.NumVertices())
+	if n == 0 {
+		return 0, ctx.Err()
+	}
+	if int64(workers) > n {
+		workers = int(n)
+	}
+	if workers == 1 {
+		// Serial fast path: no scheduler, but still cancellable.
+		c := NewCounter(g, pl)
+		var total uint64
+		for v := int64(0); v < n; v++ {
+			if v%maxRootChunk == 0 && ctx.Err() != nil {
+				return total, ctx.Err()
+			}
+			total += c.Root(uint32(v))
+		}
+		return total, ctx.Err()
+	}
+
+	chunk := n / int64(workers*chunksPerWorker)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > maxRootChunk {
+		chunk = maxRootChunk
+	}
+	// Degree-descending service order: the most expensive search trees
+	// are claimed first, so the makespan tail is a cheap tree, not a hub.
+	order := g.DegreeOrder()
+
+	var cursor atomic.Int64
+	var total atomic.Uint64
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			e := NewEngine(g, pl)
+			c := NewCounter(g, pl)
 			var local uint64
 			for {
-				v := atomic.AddInt64(&next, 1)
-				if v >= n {
+				base := cursor.Add(chunk) - chunk
+				if base >= n || ctx.Err() != nil {
 					break
 				}
-				local += e.CountFromRoot(uint32(v))
+				end := base + chunk
+				if end > n {
+					end = n
+				}
+				for _, v := range order[base:end] {
+					local += c.Root(v)
+				}
 			}
-			atomic.AddUint64(&total, local)
+			total.Add(local)
 		}()
 	}
 	wg.Wait()
-	return total
+	return total.Load(), ctx.Err()
 }
 
 // List enumerates every embedding, invoking visit with the mapped

@@ -1,0 +1,45 @@
+package mine
+
+import (
+	"fmt"
+	"testing"
+
+	"fingers/internal/datasets"
+	"fingers/internal/pattern"
+	"fingers/internal/plan"
+)
+
+// BenchmarkSoftMine is the hot-path suite EXPERIMENTS.md records: the
+// software miner on the two densest dataset analogues (Lj, Or) with the
+// patterns whose cost is dominated by set operations (tc) and by deep
+// candidate reuse (4cl), serial and parallel.
+func BenchmarkSoftMine(b *testing.B) {
+	for _, gn := range []string{"Lj", "Or"} {
+		d, err := datasets.ByName(gn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := d.Graph()
+		for _, pn := range []string{"tc", "4cl"} {
+			p, err := pattern.ByName(pn)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pl := plan.MustCompile(p, plan.Options{})
+			b.Run(fmt.Sprintf("%s/%s/serial", gn, pn), func(b *testing.B) {
+				b.ReportAllocs()
+				var n uint64
+				for i := 0; i < b.N; i++ {
+					n = Count(g, pl)
+				}
+				b.ReportMetric(float64(n), "embeddings")
+			})
+			b.Run(fmt.Sprintf("%s/%s/parallel", gn, pn), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					CountParallel(g, pl, 0)
+				}
+			})
+		}
+	}
+}

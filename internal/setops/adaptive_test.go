@@ -1,0 +1,108 @@
+package setops
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// mkbits builds a dense membership bitset over [0, universe) from a set.
+func mkbits(universe int, members []uint32) []uint64 {
+	bits := make([]uint64, (universe+63)/64)
+	for _, v := range members {
+		bits[v>>6] |= 1 << (v & 63)
+	}
+	return bits
+}
+
+func TestIntoVariantsMatchAllocating(t *testing.T) {
+	f := func(av, bv []uint32) bool {
+		a, b := mkset(av), mkset(bv)
+		if !eq(IntersectGallopingInto(nil, a, b), Intersect(a, b)) {
+			return false
+		}
+		if !eq(SubtractGallopingInto(nil, a, b), Subtract(a, b)) {
+			return false
+		}
+		if IntersectCountGalloping(a, b) != IntersectCount(a, b) {
+			return false
+		}
+		scratch := append([]uint32(nil), a...)
+		return eq(SubtractInPlace(scratch, b), Subtract(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsKernelsMatchMerge(t *testing.T) {
+	const universe = 4096
+	f := func(av, bv []uint32) bool {
+		a, b := mksetMod(av, universe), mksetMod(bv, universe)
+		bits := mkbits(universe, b)
+		if !eq(IntersectBitsInto(nil, a, bits), Intersect(a, b)) {
+			return false
+		}
+		if !eq(SubtractBitsInto(nil, a, bits), Subtract(a, b)) {
+			return false
+		}
+		if IntersectCountBits(a, bits) != IntersectCount(a, b) {
+			return false
+		}
+		scratch := append([]uint32(nil), a...)
+		return eq(SubtractBitsInPlace(scratch, bits), Subtract(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsContain(t *testing.T) {
+	bits := mkbits(200, []uint32{0, 63, 64, 199})
+	for _, v := range []uint32{0, 63, 64, 199} {
+		if !BitsContain(bits, v) {
+			t.Errorf("BitsContain(%d) = false", v)
+		}
+	}
+	for _, v := range []uint32{1, 65, 198, 200, 1 << 20} {
+		if BitsContain(bits, v) {
+			t.Errorf("BitsContain(%d) = true", v)
+		}
+	}
+}
+
+// mksetMod is mkset with values folded into [0, universe), preserving
+// strict ascent.
+func mksetMod(vs []uint32, universe uint32) []uint32 {
+	var out []uint32
+	for _, v := range vs {
+		v %= universe
+		if len(out) == 0 || v > out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestGallopingIntoSkewedForced(t *testing.T) {
+	big := make([]uint32, 8192)
+	for i := range big {
+		big[i] = uint32(i * 3)
+	}
+	small := []uint32{0, 7, 9, 300, 8191 * 3}
+	if !eq(IntersectGallopingInto(nil, small, big), Intersect(small, big)) {
+		t.Error("forced-gallop intersect diverges")
+	}
+	if !eq(IntersectGallopingInto(nil, big, small), Intersect(small, big)) {
+		t.Error("forced-gallop intersect (swapped) diverges")
+	}
+	if !eq(SubtractGallopingInto(nil, small, big), Subtract(small, big)) {
+		t.Error("forced-gallop subtract diverges")
+	}
+	if got, want := IntersectCountGalloping(small, big), IntersectCount(small, big); got != want {
+		t.Errorf("forced-gallop count = %d, want %d", got, want)
+	}
+	scratch := append([]uint32(nil), small...)
+	if !eq(SubtractInPlace(scratch, big), Subtract(small, big)) {
+		t.Error("forced-gallop in-place subtract diverges")
+	}
+}

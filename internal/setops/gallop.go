@@ -8,9 +8,14 @@ package setops
 // variants keep the software baseline honest for CPU comparisons and are
 // used by the plan-cost estimator on very skewed inputs.
 
-// gallopSkewThreshold is the size ratio beyond which galloping beats the
+// GallopSkewThreshold is the size ratio beyond which galloping beats the
 // linear merge (a conventional cutoff; the exact value is not critical).
-const gallopSkewThreshold = 16
+// It is exported so adaptive dispatchers above this package can predict
+// which kernel the *Galloping entry points will select.
+const GallopSkewThreshold = 16
+
+// gallopSkewThreshold is the internal alias the kernels use.
+const gallopSkewThreshold = GallopSkewThreshold
 
 // gallopSearch returns the first index i ≥ lo with s[i] >= v, probing
 // exponentially from lo before binary-searching the bracketed range.
@@ -89,11 +94,15 @@ func SubtractGalloping(a, b []uint32) []uint32 {
 }
 
 // IntersectMany returns the intersection of all sets, smallest-first so
-// the running result only shrinks. An empty input list yields nil (the
-// caller supplies the universe; there is no implicit one).
+// the running result only shrinks. Zero sets yield an empty, non-nil
+// slice (the caller supplies the universe; there is no implicit one).
+//
+// Like every set-returning function in this package, the result is
+// freshly allocated and never aliases an input — in particular the
+// single-set call returns a copy — so callers may mutate it freely.
 func IntersectMany(sets ...[]uint32) []uint32 {
 	if len(sets) == 0 {
-		return nil
+		return []uint32{}
 	}
 	smallest := 0
 	for i, s := range sets {
@@ -112,7 +121,8 @@ func IntersectMany(sets ...[]uint32) []uint32 {
 }
 
 // SubtractMany returns a minus the union of all bs, without materializing
-// the union (the postponed anti-subtraction evaluation order, §2.1).
+// the union (the postponed anti-subtraction evaluation order, §2.1). The
+// result is freshly allocated and never aliases a or any b.
 func SubtractMany(a []uint32, bs ...[]uint32) []uint32 {
 	out := Clone(a)
 	for _, b := range bs {

@@ -71,8 +71,8 @@ func TestIntersectMany(t *testing.T) {
 	if got := IntersectMany(a); !eq(got, a) {
 		t.Errorf("single-set IntersectMany = %v", got)
 	}
-	if got := IntersectMany(); got != nil {
-		t.Errorf("empty IntersectMany = %v", got)
+	if got := IntersectMany(); got == nil || len(got) != 0 {
+		t.Errorf("zero-set IntersectMany = %v, want empty non-nil", got)
 	}
 	if got := IntersectMany(a, nil); len(got) != 0 {
 		t.Errorf("IntersectMany with empty = %v", got)

@@ -9,6 +9,14 @@
 // FINGERS processing element: fixed-length segments, head lists, the
 // segment-pairing binary search, and the bitvector result format produced
 // by the intersect units (paper §3.4, §4.2, §4.3).
+//
+// # Aliasing contract
+//
+// Every function that returns a set allocates fresh storage: results
+// never alias an input slice, so callers may mutate or append to them
+// freely. The explicit exceptions are the *Into variants, which append to
+// a caller-owned dst (dst must not alias either input), and the *InPlace
+// variants, which compact their first argument's prefix.
 package setops
 
 // Op identifies one of the three set operations of Equation (1) in the

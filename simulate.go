@@ -1,0 +1,139 @@
+package fingers
+
+import (
+	"context"
+	"fmt"
+
+	fingerspe "fingers/internal/fingers"
+	"fingers/internal/flexminer"
+	"fingers/internal/mine"
+)
+
+// Arch selects which accelerator timing model Simulate runs.
+type Arch int
+
+const (
+	// ArchFingers is the FINGERS design: FlexMiner's PE organization
+	// augmented with the paper's three fine-grained parallelism
+	// mechanisms (segmented set units, task dividers, pseudo-DFS).
+	ArchFingers Arch = iota
+	// ArchFlexMiner is the FlexMiner baseline the paper compares against.
+	ArchFlexMiner
+)
+
+// String returns the architecture's display name.
+func (a Arch) String() string {
+	switch a {
+	case ArchFingers:
+		return "FINGERS"
+	case ArchFlexMiner:
+		return "FlexMiner"
+	}
+	return fmt.Sprintf("Arch(%d)", int(a))
+}
+
+// simConfig collects the functional options of one Simulate call.
+type simConfig struct {
+	pes        int
+	cacheBytes int64
+	tracer     Tracer
+	stats      bool
+	fiCfg      AcceleratorConfig
+	fmCfg      BaselineConfig
+}
+
+// SimOption configures a Simulate call; the constructors below are the
+// full set.
+type SimOption func(*simConfig)
+
+// WithPEs sets the number of processing elements (default 1).
+func WithPEs(n int) SimOption { return func(c *simConfig) { c.pes = n } }
+
+// WithSharedCache sets the shared-cache capacity in bytes; zero (the
+// default) keeps the model's 4 MB.
+func WithSharedCache(bytes int64) SimOption { return func(c *simConfig) { c.cacheBytes = bytes } }
+
+// WithTracer attaches an event tracer (nil is allowed and costs nothing)
+// and fills the report's PerPE cycle records.
+func WithTracer(tr Tracer) SimOption { return func(c *simConfig) { c.tracer = tr } }
+
+// WithStats fills the report's PerPE cycle records and, on ArchFingers,
+// the IU utilization rates of the paper's Table 3.
+func WithStats() SimOption { return func(c *simConfig) { c.stats = true } }
+
+// WithAcceleratorConfig overrides the FINGERS PE configuration (ignored
+// by ArchFlexMiner).
+func WithAcceleratorConfig(cfg AcceleratorConfig) SimOption {
+	return func(c *simConfig) { c.fiCfg = cfg }
+}
+
+// WithBaselineConfig overrides the FlexMiner PE configuration (ignored by
+// ArchFingers).
+func WithBaselineConfig(cfg BaselineConfig) SimOption {
+	return func(c *simConfig) { c.fmCfg = cfg }
+}
+
+// SimReport is the outcome of one Simulate call. Result is always
+// filled; the telemetry fields are populated on request (WithTracer,
+// WithStats) because assembling them is not free on large chips.
+type SimReport struct {
+	// Result is the simulation outcome: cycles, exact embedding count,
+	// cache and DRAM statistics, and the chip-wide cycle breakdown.
+	Result SimResult
+	// PerPE holds each PE's cycle attribution (buckets sum to the
+	// makespan); nil unless WithTracer or WithStats was given.
+	PerPE []PECycleRecord
+	// IU holds the intersect-unit active/balance rates; the zero value
+	// unless WithStats was given on ArchFingers.
+	IU IUStats
+}
+
+// Simulate runs one accelerator timing model over the graph and plans
+// and returns its report. It subsumes the deprecated Simulate* variants:
+//
+//	res := fingers.Simulate(fingers.ArchFingers, g, plans,
+//	        fingers.WithPEs(20), fingers.WithStats())
+//	fmt.Println(res.Result.Cycles, res.IU.ActiveRate())
+//
+// Defaults: 1 PE, the model's shared cache, no tracer, and the paper's
+// default PE configuration for the chosen architecture.
+func Simulate(arch Arch, g *Graph, plans []*Plan, opts ...SimOption) SimReport {
+	cfg := simConfig{
+		pes:   1,
+		fiCfg: fingerspe.DefaultConfig(),
+		fmCfg: flexminer.DefaultConfig(),
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	var rep SimReport
+	switch arch {
+	case ArchFingers:
+		chip := fingerspe.NewChip(cfg.fiCfg, cfg.pes, cfg.cacheBytes, g, plans)
+		chip.SetTracer(cfg.tracer)
+		rep.Result = chip.Run()
+		if cfg.stats || cfg.tracer != nil {
+			rep.PerPE = chip.PERecords()
+		}
+		if cfg.stats {
+			rep.IU = chip.AggregateStats()
+		}
+	case ArchFlexMiner:
+		chip := flexminer.NewChip(cfg.fmCfg, cfg.pes, cfg.cacheBytes, g, plans)
+		chip.SetTracer(cfg.tracer)
+		rep.Result = chip.Run()
+		if cfg.stats || cfg.tracer != nil {
+			rep.PerPE = chip.PERecords()
+		}
+	default:
+		panic(fmt.Sprintf("fingers: unknown architecture %d", int(arch)))
+	}
+	return rep
+}
+
+// CountCtx is CountParallel with cancellation: the root scheduler checks
+// ctx between chunks and returns the partial count alongside ctx.Err()
+// when it fires. A nil error means the count is complete.
+func CountCtx(ctx context.Context, g *Graph, pl *Plan, workers int) (uint64, error) {
+	return mine.CountCtx(ctx, g, pl, workers)
+}

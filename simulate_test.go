@@ -1,0 +1,77 @@
+package fingers_test
+
+import (
+	"testing"
+
+	"fingers"
+)
+
+// TestSimulateReportShape checks which report fields each option set
+// populates, and that both architectures agree on the exact count.
+func TestSimulateReportShape(t *testing.T) {
+	g := fingers.GeneratePowerLawCluster(400, 5, 0.5, 4)
+	pat, err := fingers.PatternByName("tt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := fingers.CompilePlan(pat, fingers.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := []*fingers.Plan{pl}
+	want := fingers.Count(g, pl)
+
+	plain := fingers.Simulate(fingers.ArchFingers, g, plans, fingers.WithPEs(2))
+	if plain.Result.Count != want {
+		t.Errorf("count = %d, want %d", plain.Result.Count, want)
+	}
+	if plain.PerPE != nil || plain.IU.ActiveRate() != 0 {
+		t.Errorf("plain report carries telemetry: %+v", plain)
+	}
+
+	stats := fingers.Simulate(fingers.ArchFingers, g, plans, fingers.WithPEs(2), fingers.WithStats())
+	if len(stats.PerPE) != 2 || stats.IU.ActiveRate() <= 0 {
+		t.Errorf("stats report incomplete: PerPE=%d active=%.2f", len(stats.PerPE), stats.IU.ActiveRate())
+	}
+	if stats.Result.Cycles != plain.Result.Cycles {
+		t.Errorf("WithStats changed cycles: %d vs %d", stats.Result.Cycles, plain.Result.Cycles)
+	}
+
+	tr := fingers.NewChromeTrace()
+	traced := fingers.Simulate(fingers.ArchFlexMiner, g, plans, fingers.WithTracer(tr))
+	if traced.Result.Count != want || len(traced.PerPE) != 1 {
+		t.Errorf("traced flexminer: count=%d PerPE=%d", traced.Result.Count, len(traced.PerPE))
+	}
+
+	if fingers.ArchFingers.String() != "FINGERS" || fingers.ArchFlexMiner.String() != "FlexMiner" {
+		t.Errorf("arch names: %s / %s", fingers.ArchFingers, fingers.ArchFlexMiner)
+	}
+}
+
+// TestDeprecatedWrappersDelegate pins the compatibility contract: the old
+// entry points must return exactly what Simulate returns for the same
+// configuration.
+func TestDeprecatedWrappersDelegate(t *testing.T) {
+	g := fingers.GenerateErdosRenyi(300, 900, 5)
+	pat, err := fingers.PatternByName("tc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := fingers.CompilePlan(pat, fingers.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := []*fingers.Plan{pl}
+
+	oldRes := fingers.SimulateFingers(fingers.DefaultAcceleratorConfig(), 2, 0, g, pl)
+	newRes := fingers.Simulate(fingers.ArchFingers, g, plans, fingers.WithPEs(2))
+	if oldRes != newRes.Result {
+		t.Errorf("SimulateFingers diverged: %+v vs %+v", oldRes, newRes.Result)
+	}
+
+	oldFm := fingers.SimulateFlexMiner(fingers.DefaultBaselineConfig(), 2, 0, g, pl)
+	newFm := fingers.Simulate(fingers.ArchFlexMiner, g, plans, fingers.WithPEs(2))
+	if oldFm != newFm.Result {
+		t.Errorf("SimulateFlexMiner diverged: %+v vs %+v", oldFm, newFm.Result)
+	}
+}
