@@ -19,12 +19,17 @@ vet:
 # bench runs the software-miner benchmarks in benchstat-friendly text
 # form (BENCH_softmine.txt — feed two of these to `benchstat old new`)
 # and mirrors the raw go-test output as JSON events in
-# BENCH_softmine.json for machine consumption.
+# BENCH_softmine.json for machine consumption. It then benchmarks the
+# simulator itself — serial event loop vs the bounded-lag parallel
+# engine on the quick grid — into BENCH_sim.json (wall time, simulated
+# cycles/sec, speedup, makespan divergence; wall-clock speedup needs a
+# multi-core host, determinism holds anywhere).
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkSoftMine -benchmem -count 5 \
 		./internal/mine/ | tee BENCH_softmine.txt
 	$(GO) test -run '^$$' -bench BenchmarkSoftMine -benchmem -count 1 -json \
 		./internal/mine/ > BENCH_softmine.json
+	$(GO) run ./cmd/simbench -o BENCH_sim.json
 
 # bench-smoke compiles and runs every benchmark once — the CI guard that
 # keeps the benchmark suite from bit-rotting without paying full runtime.
@@ -32,4 +37,4 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 clean:
-	rm -f BENCH_softmine.txt BENCH_softmine.json
+	rm -f BENCH_softmine.txt BENCH_softmine.json BENCH_sim.json

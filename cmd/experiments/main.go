@@ -16,6 +16,10 @@
 //	-flex-pes N     FlexMiner chip size (default 40)
 //	-cache-kb N     shared-cache capacity override in kB
 //	-workers N      worker pool width for independent cells (0 = all cores)
+//	-sim-workers N  run each chip on the parallel engine with N host threads
+//	-sim-window Δ   parallel engine epoch width in simulated cycles
+//	-cpuprofile F   write a CPU profile to F
+//	-memprofile F   write a heap profile to F on exit
 //
 // A first SIGINT cancels the sweep after the in-flight cells finish;
 // partial tables are not printed and the process exits non-zero.
@@ -29,9 +33,12 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime/pprof"
 	"time"
 
+	"fingers/internal/accel"
 	"fingers/internal/exp"
+	"fingers/internal/mem"
 	"fingers/internal/telemetry"
 )
 
@@ -43,6 +50,10 @@ func main() {
 	workers := flag.Int("workers", 0, "experiment-cell worker pool width (0 = GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "also write per-experiment CSV files into this directory")
 	jsonOut := flag.String("json", "", "append one JSONL run record per simulated chip run to this file")
+	simWorkers := flag.Int("sim-workers", 0, "run each simulated chip on the parallel engine with this many host threads (0 = serial event loop)")
+	simWindow := flag.Int64("sim-window", int64(accel.DefaultWindow), "parallel engine epoch window Δ in simulated cycles")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile here")
+	memProfile := flag.String("memprofile", "", "write a heap profile here on exit")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -55,6 +66,42 @@ func main() {
 		SharedCacheBytes: *cacheKB << 10,
 		Workers:          *workers,
 		Ctx:              ctx,
+	}
+	if *simWorkers > 0 {
+		pcfg := accel.ParallelConfig{Window: mem.Cycles(*simWindow), Workers: *simWorkers}
+		if err := pcfg.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		opts.SimParallel = &pcfg
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
 	}
 	if *jsonOut != "" {
 		log, err := telemetry.OpenRunLog(*jsonOut)

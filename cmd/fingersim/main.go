@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"fingers/internal/accel"
 	"fingers/internal/datasets"
@@ -42,12 +43,48 @@ func main() {
 	traceOut := flag.String("trace", "", "write Chrome trace_event JSON here (view at ui.perfetto.dev)")
 	jsonOut := flag.String("json", "", "append one JSONL run record per simulated architecture here")
 	progressEvery := flag.Int64("progress", 0, "print a progress line to stderr every N scheduler steps (0 = off)")
+	simWorkers := flag.Int("sim-workers", 0, "run the chip on the parallel engine with this many host threads (0 = serial event loop)")
+	simWindow := flag.Int64("sim-window", int64(accel.DefaultWindow), "parallel engine epoch window Δ in simulated cycles (results depend only on this; 1 = cycle-exact)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile here")
+	memProfile := flag.String("memprofile", "", "write a heap profile here on exit")
 	flag.Parse()
 
 	switch *arch {
 	case "fingers", "flexminer", "both":
 	default:
 		fatal(fmt.Errorf("unknown -arch %q (valid values: fingers, flexminer, both)", *arch))
+	}
+	var pcfg *accel.ParallelConfig
+	if *simWorkers > 0 {
+		pcfg = &accel.ParallelConfig{Window: mem.Cycles(*simWindow), Workers: *simWorkers}
+		if err := pcfg.Validate(); err != nil {
+			fatal(err)
+		}
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 
 	g, err := loadGraph(*graphArg)
@@ -97,7 +134,7 @@ func main() {
 			}
 			return tasks
 		})
-		res := chip.RunWithProgress(*progressEvery, fn)
+		res := runChip(pcfg, *progressEvery, fn, chip.RunWithProgress, chip.RunParallelWithProgress)
 		iu := chip.AggregateStats()
 		fmt.Printf("FINGERS   %2d PEs × %2d IUs (s_l=%d): %s\n", *pes, cfg.NumIUs, cfg.LongSegLen, res)
 		fmt.Printf("          IU active %.1f%%, balance %.1f%%\n", 100*iu.ActiveRate(), 100*iu.BalanceRate())
@@ -124,7 +161,7 @@ func main() {
 			}
 			return tasks
 		})
-		res := chip.RunWithProgress(*progressEvery, fn)
+		res := runChip(pcfg, *progressEvery, fn, chip.RunWithProgress, chip.RunParallelWithProgress)
 		fmt.Printf("FlexMiner %2d PEs: %s\n", *pes, res)
 		fmt.Printf("          breakdown: %s\n", res.Breakdown)
 		if runLog != nil {
@@ -148,6 +185,21 @@ func main() {
 		}
 		fmt.Printf("trace: %d events -> %s (open at ui.perfetto.dev)\n", len(chrome.Events()), *traceOut)
 	}
+}
+
+// runChip runs one chip on the selected engine: the serial event loop,
+// or — when -sim-workers is set — the bounded-lag parallel engine.
+func runChip(pcfg *accel.ParallelConfig, every int64, fn func(accel.Progress),
+	serial func(int64, func(accel.Progress)) accel.Result,
+	parallel func(accel.ParallelConfig, int64, func(accel.Progress)) (accel.Result, error)) accel.Result {
+	if pcfg == nil {
+		return serial(every, fn)
+	}
+	res, err := parallel(*pcfg, every, fn)
+	if err != nil {
+		fatal(err)
+	}
+	return res
 }
 
 // progressFunc builds the periodic status-line callback: simulated time,

@@ -1,0 +1,175 @@
+// Command simbench benchmarks the simulator itself: it runs the quick
+// experiment grid (small datasets × {tc, tt, cyc}) on the serial event
+// loop and on the bounded-lag parallel engine, and reports wall time,
+// simulated cycles per second, the parallel/serial wall-clock speedup,
+// and the makespan divergence of the approximate parallel schedule.
+//
+// Usage:
+//
+//	simbench [-pes 8] [-sim-workers 8] [-sim-window 256] [-o BENCH_sim.json]
+//
+// The JSON report records the host core count: wall-clock speedup needs
+// real cores, while the determinism contract (counts bit-identical,
+// divergence bounded) holds on any host.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"fingers/internal/accel"
+	"fingers/internal/datasets"
+	"fingers/internal/exp"
+	fingerspe "fingers/internal/fingers"
+	"fingers/internal/mem"
+)
+
+// Cell is one (graph, pattern) benchmark measurement.
+type Cell struct {
+	Graph   string `json:"graph"`
+	Pattern string `json:"pattern"`
+
+	SimCycles       mem.Cycles `json:"sim_cycles"`        // serial makespan
+	ParallelCycles  mem.Cycles `json:"parallel_cycles"`   // parallel makespan
+	DivergencePct   float64    `json:"divergence_pct"`    // |par-serial|/serial × 100
+	CountsIdentical bool       `json:"counts_identical"`  // embedding counts bit-identical
+	SerialWallNS    int64      `json:"serial_wall_ns"`    // serial engine wall time
+	ParallelWallNS  int64      `json:"parallel_wall_ns"`  // parallel engine wall time
+	Speedup         float64    `json:"speedup"`           // serial wall / parallel wall
+	SerialCyclesSec float64    `json:"serial_cycles_sec"` // simulated cycles per wall second
+	ParCyclesSec    float64    `json:"parallel_cycles_sec"`
+}
+
+// Report is the BENCH_sim.json schema.
+type Report struct {
+	Schema       string     `json:"schema"`
+	PEs          int        `json:"pes"`
+	Workers      int        `json:"workers"`
+	Window       mem.Cycles `json:"window"`
+	HostCores    int        `json:"host_cores"`
+	GoMaxProcs   int        `json:"gomaxprocs"`
+	Cells        []Cell     `json:"cells"`
+	GeomeanSpeed float64    `json:"geomean_speedup"`
+	GeomeanDivPc float64    `json:"geomean_divergence_pct"`
+	MaxDivPct    float64    `json:"max_divergence_pct"`
+	Note         string     `json:"note"`
+}
+
+func main() {
+	pes := flag.Int("pes", 8, "simulated chip PE count")
+	workers := flag.Int("sim-workers", runtime.GOMAXPROCS(0), "parallel engine host threads")
+	window := flag.Int64("sim-window", int64(accel.DefaultWindow), "parallel engine epoch window Δ (simulated cycles)")
+	reps := flag.Int("reps", 3, "timed repetitions per cell (best-of)")
+	out := flag.String("o", "BENCH_sim.json", "output JSON path")
+	flag.Parse()
+
+	pcfg := accel.ParallelConfig{Window: mem.Cycles(*window), Workers: *workers}
+	if err := pcfg.Validate(); err != nil {
+		fatal(err)
+	}
+
+	rep := Report{
+		Schema:     "fingers/simbench/v1",
+		PEs:        *pes,
+		Workers:    *workers,
+		Window:     pcfg.Window,
+		HostCores:  runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Note: "wall-clock speedup requires free host cores (workers > 1 on a multi-core host); " +
+			"simulated results are deterministic in the window on any host",
+	}
+
+	logSpeed, logDiv, nDiv := 0.0, 0.0, 0
+	for _, d := range datasets.Small() {
+		g := d.Graph()
+		for _, pat := range []string{"tc", "tt", "cyc"} {
+			plans, err := exp.PlansFor(pat)
+			if err != nil {
+				fatal(err)
+			}
+			cell := Cell{Graph: d.Name, Pattern: pat}
+
+			var serial, par accel.Result
+			cell.SerialWallNS = int64(math.MaxInt64)
+			cell.ParallelWallNS = int64(math.MaxInt64)
+			for r := 0; r < *reps; r++ {
+				chip := fingerspe.NewChip(fingerspe.DefaultConfig(), *pes, 0, g, plans)
+				t0 := time.Now()
+				serial = chip.Run()
+				if ns := time.Since(t0).Nanoseconds(); ns < cell.SerialWallNS {
+					cell.SerialWallNS = ns
+				}
+
+				chip = fingerspe.NewChip(fingerspe.DefaultConfig(), *pes, 0, g, plans)
+				t0 = time.Now()
+				par, err = chip.RunParallel(pcfg)
+				if err != nil {
+					fatal(err)
+				}
+				if ns := time.Since(t0).Nanoseconds(); ns < cell.ParallelWallNS {
+					cell.ParallelWallNS = ns
+				}
+			}
+
+			cell.SimCycles = serial.Cycles
+			cell.ParallelCycles = par.Cycles
+			cell.CountsIdentical = serial.Count == par.Count && serial.Tasks == par.Tasks
+			cell.DivergencePct = 100 * math.Abs(float64(par.Cycles)-float64(serial.Cycles)) / float64(serial.Cycles)
+			cell.Speedup = float64(cell.SerialWallNS) / float64(cell.ParallelWallNS)
+			cell.SerialCyclesSec = float64(serial.Cycles) / (float64(cell.SerialWallNS) / 1e9)
+			cell.ParCyclesSec = float64(par.Cycles) / (float64(cell.ParallelWallNS) / 1e9)
+			rep.Cells = append(rep.Cells, cell)
+
+			logSpeed += math.Log(cell.Speedup)
+			if cell.DivergencePct > rep.MaxDivPct {
+				rep.MaxDivPct = cell.DivergencePct
+			}
+			// Geomean over non-zero divergences only (log of 0 is -inf);
+			// exact cells pull the geomean to 0 via nDiv weighting below.
+			if cell.DivergencePct > 0 {
+				logDiv += math.Log(cell.DivergencePct)
+				nDiv++
+			}
+
+			fmt.Printf("%-3s %-4s serial %8.1fms  parallel %8.1fms  speedup %5.2fx  div %.3f%%  counts-ok %v\n",
+				d.Name, pat, float64(cell.SerialWallNS)/1e6, float64(cell.ParallelWallNS)/1e6,
+				cell.Speedup, cell.DivergencePct, cell.CountsIdentical)
+
+			if !cell.CountsIdentical {
+				fatal(fmt.Errorf("%s/%s: parallel counts diverge from serial", d.Name, pat))
+			}
+		}
+	}
+	rep.GeomeanSpeed = math.Exp(logSpeed / float64(len(rep.Cells)))
+	if nDiv > 0 {
+		rep.GeomeanDivPc = math.Exp(logDiv / float64(nDiv))
+	}
+
+	fmt.Printf("geomean speedup %.2fx (host cores %d, workers %d), geomean divergence %.3f%%, max %.3f%%\n",
+		rep.GeomeanSpeed, rep.HostCores, rep.Workers, rep.GeomeanDivPc, rep.MaxDivPct)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simbench:", err)
+	os.Exit(1)
+}

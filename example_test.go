@@ -14,7 +14,7 @@ func ExampleSimulate() {
 	pat, _ := fingers.PatternByName("tc")
 	pl, _ := fingers.CompilePlan(pat, fingers.PlanOptions{})
 
-	rep := fingers.Simulate(fingers.ArchFingers, g, []*fingers.Plan{pl},
+	rep, _ := fingers.Simulate(fingers.ArchFingers, g, []*fingers.Plan{pl},
 		fingers.WithPEs(2), fingers.WithSharedCache(64<<10))
 
 	fmt.Println(rep.Result.Count == fingers.Count(g, pl))
@@ -28,7 +28,7 @@ func ExampleSimulate_stats() {
 	pat, _ := fingers.PatternByName("tt")
 	pl, _ := fingers.CompilePlan(pat, fingers.PlanOptions{})
 
-	rep := fingers.Simulate(fingers.ArchFingers, g, []*fingers.Plan{pl},
+	rep, _ := fingers.Simulate(fingers.ArchFingers, g, []*fingers.Plan{pl},
 		fingers.WithPEs(2), fingers.WithStats())
 
 	fmt.Println(len(rep.PerPE), rep.IU.ActiveRate() > 0)
@@ -43,8 +43,8 @@ func ExampleSimulate_comparison() {
 	pl, _ := fingers.CompilePlan(pat, fingers.PlanOptions{})
 	plans := []*fingers.Plan{pl}
 
-	fi := fingers.Simulate(fingers.ArchFingers, g, plans)
-	fm := fingers.Simulate(fingers.ArchFlexMiner, g, plans)
+	fi, _ := fingers.Simulate(fingers.ArchFingers, g, plans)
+	fm, _ := fingers.Simulate(fingers.ArchFlexMiner, g, plans)
 
 	fmt.Println(fi.Result.Count == fm.Result.Count, fi.Result.Speedup(fm.Result) > 1)
 	// Output: true true

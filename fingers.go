@@ -15,7 +15,7 @@
 //	pat, _ := fingers.PatternByName("tt")
 //	pl, _ := fingers.CompilePlan(pat, fingers.PlanOptions{})
 //	n := fingers.CountParallel(g, pl, 0)              // software mining
-//	res := fingers.Simulate(fingers.ArchFingers, g, []*fingers.Plan{pl}, fingers.WithPEs(20))
+//	res, _ := fingers.Simulate(fingers.ArchFingers, g, []*fingers.Plan{pl}, fingers.WithPEs(20))
 //	fmt.Println(n, res.Result.Cycles)
 //
 // The building blocks live in internal packages (graph, pattern, plan,
@@ -64,6 +64,12 @@ type PlanOptions = plan.Options
 
 // SimResult is the outcome of one accelerator simulation.
 type SimResult = accel.Result
+
+// ParallelConfig parameterizes the bounded-lag parallel simulation
+// engine (WithParallelSim): Window is the epoch width Δ in simulated
+// cycles (results depend only on it; Window=1 reproduces the serial
+// engine exactly), Workers the number of host threads.
+type ParallelConfig = accel.ParallelConfig
 
 // AcceleratorConfig parameterizes a FINGERS processing element.
 type AcceleratorConfig = fingerspe.Config
@@ -160,22 +166,34 @@ func DefaultAcceleratorConfig() AcceleratorConfig { return fingerspe.DefaultConf
 // DefaultBaselineConfig returns the FlexMiner PE configuration.
 func DefaultBaselineConfig() BaselineConfig { return flexminer.DefaultConfig() }
 
+// DefaultParallelConfig returns the tuned parallel-engine default: the
+// divergence-validated epoch window and one worker per host CPU.
+func DefaultParallelConfig() ParallelConfig { return accel.DefaultParallelConfig() }
+
 // SimulateFingers runs the FINGERS accelerator timing model with numPEs
 // processing elements; sharedCacheBytes = 0 keeps the 4 MB default. The
 // returned count is exact.
 //
 // Deprecated: use Simulate with ArchFingers.
 func SimulateFingers(cfg AcceleratorConfig, numPEs int, sharedCacheBytes int64, g *Graph, plans ...*Plan) SimResult {
-	return Simulate(ArchFingers, g, plans,
-		WithAcceleratorConfig(cfg), WithPEs(numPEs), WithSharedCache(sharedCacheBytes)).Result
+	rep, err := Simulate(ArchFingers, g, plans,
+		WithAcceleratorConfig(cfg), WithPEs(numPEs), WithSharedCache(sharedCacheBytes))
+	if err != nil {
+		panic(err)
+	}
+	return rep.Result
 }
 
 // SimulateFlexMiner runs the FlexMiner baseline timing model.
 //
 // Deprecated: use Simulate with ArchFlexMiner.
 func SimulateFlexMiner(cfg BaselineConfig, numPEs int, sharedCacheBytes int64, g *Graph, plans ...*Plan) SimResult {
-	return Simulate(ArchFlexMiner, g, plans,
-		WithBaselineConfig(cfg), WithPEs(numPEs), WithSharedCache(sharedCacheBytes)).Result
+	rep, err := Simulate(ArchFlexMiner, g, plans,
+		WithBaselineConfig(cfg), WithPEs(numPEs), WithSharedCache(sharedCacheBytes))
+	if err != nil {
+		panic(err)
+	}
+	return rep.Result
 }
 
 // SimulateFingersWithStats runs the FINGERS model and also returns the
@@ -183,8 +201,11 @@ func SimulateFlexMiner(cfg BaselineConfig, numPEs int, sharedCacheBytes int64, g
 //
 // Deprecated: use Simulate with ArchFingers and WithStats.
 func SimulateFingersWithStats(cfg AcceleratorConfig, numPEs int, sharedCacheBytes int64, g *Graph, plans ...*Plan) (SimResult, IUStats) {
-	rep := Simulate(ArchFingers, g, plans,
+	rep, err := Simulate(ArchFingers, g, plans,
 		WithAcceleratorConfig(cfg), WithPEs(numPEs), WithSharedCache(sharedCacheBytes), WithStats())
+	if err != nil {
+		panic(err)
+	}
 	return rep.Result, rep.IU
 }
 
@@ -195,9 +216,12 @@ func SimulateFingersWithStats(cfg AcceleratorConfig, numPEs int, sharedCacheByte
 //
 // Deprecated: use Simulate with ArchFingers, WithTracer and WithStats.
 func SimulateFingersTraced(cfg AcceleratorConfig, numPEs int, sharedCacheBytes int64, g *Graph, tr Tracer, plans ...*Plan) (SimResult, []PECycleRecord, IUStats) {
-	rep := Simulate(ArchFingers, g, plans,
+	rep, err := Simulate(ArchFingers, g, plans,
 		WithAcceleratorConfig(cfg), WithPEs(numPEs), WithSharedCache(sharedCacheBytes),
 		WithTracer(tr), WithStats())
+	if err != nil {
+		panic(err)
+	}
 	return rep.Result, rep.PerPE, rep.IU
 }
 
@@ -207,8 +231,11 @@ func SimulateFingersTraced(cfg AcceleratorConfig, numPEs int, sharedCacheBytes i
 //
 // Deprecated: use Simulate with ArchFlexMiner and WithTracer.
 func SimulateFlexMinerTraced(cfg BaselineConfig, numPEs int, sharedCacheBytes int64, g *Graph, tr Tracer, plans ...*Plan) (SimResult, []PECycleRecord) {
-	rep := Simulate(ArchFlexMiner, g, plans,
+	rep, err := Simulate(ArchFlexMiner, g, plans,
 		WithBaselineConfig(cfg), WithPEs(numPEs), WithSharedCache(sharedCacheBytes), WithTracer(tr))
+	if err != nil {
+		panic(err)
+	}
 	return rep.Result, rep.PerPE
 }
 

@@ -74,14 +74,26 @@ type PE interface {
 	Count() uint64
 }
 
-// peHeap orders PEs by local time so shared-resource accesses interleave
-// in approximately global time order.
-type peHeap []PE
+// peEntry is one scheduled PE with its chip index.
+type peEntry struct {
+	pe PE
+	id int
+}
 
-func (h peHeap) Len() int            { return len(h) }
-func (h peHeap) Less(i, j int) bool  { return h[i].Time() < h[j].Time() }
+// peHeap orders PEs by local time so shared-resource accesses interleave
+// in approximately global time order. Ties break by PE index, making the
+// serial schedule the exact (cycle, PE-id) order the parallel epoch
+// engine commits in — the property the Window=1 equivalence oracle
+// depends on.
+type peHeap []peEntry
+
+func (h peHeap) Len() int { return len(h) }
+func (h peHeap) Less(i, j int) bool {
+	ti, tj := h[i].pe.Time(), h[j].pe.Time()
+	return ti < tj || (ti == tj && h[i].id < h[j].id)
+}
 func (h peHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *peHeap) Push(x interface{}) { *h = append(*h, x.(PE)) }
+func (h *peHeap) Push(x interface{}) { *h = append(*h, x.(peEntry)) }
 func (h *peHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
@@ -147,13 +159,13 @@ func Run(pes []PE) mem.Cycles { return RunWithProgress(pes, 0, nil) }
 func RunWithProgress(pes []PE, every int64, fn func(Progress)) mem.Cycles {
 	h := make(peHeap, 0, len(pes))
 	var makespan mem.Cycles
-	for _, pe := range pes {
-		h = append(h, pe)
+	for i, pe := range pes {
+		h = append(h, peEntry{pe: pe, id: i})
 	}
 	heap.Init(&h)
 	var steps int64
 	for h.Len() > 0 {
-		pe := h[0]
+		pe := h[0].pe
 		alive := pe.Step()
 		steps++
 		if alive {
@@ -167,7 +179,7 @@ func RunWithProgress(pes []PE, every int64, fn func(Progress)) mem.Cycles {
 		if every > 0 && fn != nil && steps%every == 0 {
 			var now mem.Cycles
 			if h.Len() > 0 {
-				now = h[0].Time()
+				now = h[0].pe.Time()
 			} else {
 				now = makespan
 			}

@@ -1,0 +1,667 @@
+package accel
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"fingers/internal/mem"
+	"fingers/internal/noc"
+	"fingers/internal/telemetry"
+)
+
+// DefaultWindow is the default bounded-lag epoch width Δ in cycles. It
+// trades epoch-barrier overhead against commit-order fidelity: wider
+// windows amortize synchronization over more PE steps but let same-epoch
+// PEs interleave their shared-memory traffic in (cycle, PE-id) block
+// order instead of exact global time order. The value is chosen so the
+// quick-grid makespan divergence stays well under 1% geomean (see
+// BENCH_sim.json) while epochs carry enough work to scale.
+const DefaultWindow mem.Cycles = 256
+
+// maxStepsPerEpoch bounds one PE's speculative steps inside a single
+// epoch. It exists to bound block memory and to keep pathological
+// zero-latency configurations (where a step may not advance the local
+// clock) from spinning inside one epoch forever.
+const maxStepsPerEpoch = 4096
+
+// ParallelConfig configures the bounded-lag parallel engine.
+type ParallelConfig struct {
+	// Window is the epoch width Δ: all PEs whose local clocks fall in
+	// [T, T+Δ) step concurrently, then commit at the epoch barrier in
+	// (cycle, PE-id) order. Window=1 reproduces the serial event loop
+	// exactly (see RunParallel).
+	Window mem.Cycles
+	// Workers is the size of the host worker pool the speculative phase
+	// fans PEs across. Results are identical for every worker count;
+	// only wall-clock time changes.
+	Workers int
+}
+
+// DefaultParallelConfig returns the default engine configuration:
+// DefaultWindow and one worker per host CPU.
+func DefaultParallelConfig() ParallelConfig {
+	return ParallelConfig{Window: DefaultWindow, Workers: runtime.GOMAXPROCS(0)}
+}
+
+// Validate reports a descriptive error for degenerate configurations.
+func (c ParallelConfig) Validate() error {
+	if c.Window < 1 {
+		return fmt.Errorf("accel: parallel window must be >= 1 cycle, got %d", c.Window)
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("accel: parallel workers must be >= 1, got %d", c.Workers)
+	}
+	return nil
+}
+
+// SpecPE is a PE the parallel engine can execute speculatively. Beyond
+// the serial PE contract it must expose enough of its scheduling state
+// for the engine to (a) reserve root handouts at epoch barriers so the
+// shared RootScheduler is never pulled from concurrently, and (b) rewind
+// a speculated step that validated false and re-execute it against the
+// live memory state.
+type SpecPE interface {
+	PE
+	// WillTakeRoot reports whether the PE's next Step would request a new
+	// root vertex from the shared scheduler. It must be a pure function
+	// of PE-local state.
+	WillTakeRoot() bool
+	// StageRoot pulls the next root from the PE's scheduler (if none is
+	// already staged) and holds it for the PE's next root request, fixing
+	// the handout order at the epoch barrier.
+	StageRoot()
+	// StagedRoot reports whether a staged root is pending consumption.
+	StagedRoot() bool
+	// Snapshot captures the PE's mutable state before a speculative step;
+	// Restore rewinds to a snapshot. A snapshot is restored at most once.
+	Snapshot() interface{}
+	Restore(snap interface{})
+	// SwapPort replaces the PE's shared-memory port, returning the
+	// previous one.
+	SwapPort(p MemPort) MemPort
+	// SwapTracer replaces the PE's event tracer, returning the previous
+	// one.
+	SwapTracer(t telemetry.Tracer) telemetry.Tracer
+}
+
+// specEvent is one recorded action of a speculative step: a shared-memory
+// operation to revalidate and replay at commit, or a telemetry event to
+// re-emit in commit order.
+type specEvent struct {
+	kind evKind
+	at   mem.Cycles
+	addr int64
+	bytes int64
+	// Access results under the speculative view.
+	done   mem.Cycles
+	misses int64
+	// Probe answer.
+	ok bool
+	// Telemetry payloads.
+	engine, size                 int
+	longLen, shortLen, workloads int
+	str                          string
+}
+
+type evKind uint8
+
+const (
+	evAccess evKind = iota
+	evProbe
+	evGroupBegin
+	evGroupEnd
+	evSetOp
+)
+
+// specBlock is one speculatively executed PE step: the atomic unit the
+// commit phase validates and applies. Blocks commit in
+// (start, PE-id, seq) order — the canonical order the engine's whole
+// determinism contract is stated in.
+type specBlock struct {
+	pe    int
+	seq   int
+	start mem.Cycles
+	snap  interface{}
+	alive bool
+	entries []specEvent
+}
+
+// specAgent is the recording harness installed into one PE during the
+// speculative phase: it implements the PE-facing MemPort against the
+// PE's private speculative view and the telemetry.Tracer interface as an
+// event recorder.
+type specAgent struct {
+	peID    int
+	view    *mem.SpecMem
+	spec    *noc.SpecPort
+	cur     *specBlock
+	blocks  []*specBlock
+	free    []*specBlock
+	traceOn bool
+}
+
+func (a *specAgent) takeBlock() *specBlock {
+	if n := len(a.free); n > 0 {
+		b := a.free[n-1]
+		a.free = a.free[:n-1]
+		b.entries = b.entries[:0]
+		return b
+	}
+	return &specBlock{}
+}
+
+// Access implements accel.MemPort over the speculative view, recording
+// the resolved completion and line geometry for commit-time validation.
+func (a *specAgent) Access(now mem.Cycles, addr, bytes int64) mem.Cycles {
+	done, _, misses := a.spec.Access(now, addr, bytes)
+	a.cur.entries = append(a.cur.entries, specEvent{
+		kind: evAccess, at: now, addr: addr, bytes: bytes, done: done, misses: misses,
+	})
+	return done
+}
+
+// Probe implements accel.MemPort over the speculative view.
+func (a *specAgent) Probe(addr, bytes int64) bool {
+	ok := a.spec.Probe(addr, bytes)
+	a.cur.entries = append(a.cur.entries, specEvent{kind: evProbe, addr: addr, bytes: bytes, ok: ok})
+	return ok
+}
+
+// TaskGroupBegin implements telemetry.Tracer as a recorder.
+func (a *specAgent) TaskGroupBegin(pe, engine int, at mem.Cycles, size int) {
+	if a.traceOn {
+		a.cur.entries = append(a.cur.entries, specEvent{kind: evGroupBegin, at: at, engine: engine, size: size})
+	}
+}
+
+// TaskGroupEnd implements telemetry.Tracer as a recorder.
+func (a *specAgent) TaskGroupEnd(pe int, at mem.Cycles) {
+	if a.traceOn {
+		a.cur.entries = append(a.cur.entries, specEvent{kind: evGroupEnd, at: at})
+	}
+}
+
+// SetOpIssue implements telemetry.Tracer as a recorder.
+func (a *specAgent) SetOpIssue(pe int, at mem.Cycles, kind string, longLen, shortLen, workloads int) {
+	if a.traceOn {
+		a.cur.entries = append(a.cur.entries, specEvent{
+			kind: evSetOp, at: at, str: kind, longLen: longLen, shortLen: shortLen, workloads: workloads,
+		})
+	}
+}
+
+// CacheAccess implements telemetry.Tracer; cache events are regenerated
+// by the live port during commit replay, so nothing is recorded here.
+func (a *specAgent) CacheAccess(pe int, at mem.Cycles, bytes, lines, misses int64, done mem.Cycles) {
+}
+
+// DRAMBurst implements telemetry.Tracer; DRAM events are regenerated by
+// the live DRAM model during commit replay.
+func (a *specAgent) DRAMBurst(start, done mem.Cycles, addr, bytes int64) {}
+
+// commitItem is one entry of the commit priority queue: a speculative
+// block, or (blk == nil) a serial re-execution continuation of a PE whose
+// speculation failed validation.
+type commitItem struct {
+	start mem.Cycles
+	pe    int
+	seq   int
+	blk   *specBlock
+}
+
+type commitHeap []commitItem
+
+func (h commitHeap) Len() int { return len(h) }
+func (h commitHeap) Less(i, j int) bool {
+	if h[i].start != h[j].start {
+		return h[i].start < h[j].start
+	}
+	if h[i].pe != h[j].pe {
+		return h[i].pe < h[j].pe
+	}
+	return h[i].seq < h[j].seq
+}
+func (h commitHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *commitHeap) Push(x interface{}) { *h = append(*h, x.(commitItem)) }
+func (h *commitHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// parEngine is the bounded-lag epoch engine's run state.
+type parEngine struct {
+	pes   []SpecPE
+	ports []*noc.Port
+	hier  *mem.Hierarchy
+	cfg   ParallelConfig
+
+	agents    []*specAgent
+	checkView *mem.SpecMem
+	checks    []*noc.SpecPort
+	real      []telemetry.Tracer
+	onSpec    []bool
+	alive     []bool
+
+	// Commit bookkeeping: a PE's speculative view was frozen at epoch
+	// start, so a block may skip validation only while the live state is
+	// still base-plus-its-own-replayed-blocks — i.e. while every commit
+	// this epoch so far belongs to that one PE (its own commits cannot
+	// invalidate its own later speculation: the overlay already contains
+	// them). firstCommitter is the sole PE to have committed this epoch
+	// (-1: none yet); mixed flips once a second PE commits, after which
+	// every block validates.
+	firstCommitter int
+	mixed          bool
+
+	makespan  mem.Cycles
+	steps     int64
+	conflicts int64
+
+	epochEnd mem.Cycles
+
+	jobs chan int
+	wg   sync.WaitGroup
+}
+
+// RunParallel drives the PEs with the bounded-lag epoch engine and
+// returns the makespan. Determinism contract:
+//
+//   - Results (makespan, counts, cache/DRAM state and statistics, and
+//     the telemetry event stream) depend only on cfg.Window, never on
+//     cfg.Workers or host scheduling.
+//   - With Window=1 the committed schedule is the serial event loop's
+//     (cycle, PE-id) schedule, so every Result field matches Run exactly
+//     whenever each PE step advances its local clock (true for any
+//     configuration with a positive hit, hop, or task-overhead latency).
+//   - Embedding counts are latency-independent, hence bit-identical to
+//     the serial loop at every window.
+//
+// ports[i] must be PE i's live connection to hier.Shared.
+func RunParallel(pes []SpecPE, hier *mem.Hierarchy, ports []*noc.Port, cfg ParallelConfig) (mem.Cycles, error) {
+	return RunParallelWithProgress(pes, hier, ports, cfg, 0, nil)
+}
+
+// RunParallelWithProgress is RunParallel with a periodic observer: fn is
+// invoked at epoch barriers, at least every `every` committed scheduling
+// quanta (every <= 0 or fn == nil disables it). Now never regresses
+// between calls.
+func RunParallelWithProgress(pes []SpecPE, hier *mem.Hierarchy, ports []*noc.Port, cfg ParallelConfig, every int64, fn func(Progress)) (mem.Cycles, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	if len(pes) != len(ports) {
+		return 0, fmt.Errorf("accel: RunParallel needs one port per PE, got %d PEs and %d ports", len(pes), len(ports))
+	}
+	if hier == nil {
+		return 0, fmt.Errorf("accel: RunParallel needs the shared memory hierarchy")
+	}
+	if len(pes) == 0 {
+		return 0, nil
+	}
+
+	e := &parEngine{
+		pes:       pes,
+		ports:     ports,
+		hier:      hier,
+		cfg:       cfg,
+		agents:    make([]*specAgent, len(pes)),
+		checkView: hier.Speculate(),
+		checks:    make([]*noc.SpecPort, len(pes)),
+		real:      make([]telemetry.Tracer, len(pes)),
+		onSpec:    make([]bool, len(pes)),
+		alive:     make([]bool, len(pes)),
+	}
+	for i, pe := range pes {
+		view := hier.Speculate()
+		e.agents[i] = &specAgent{peID: i, view: view, spec: ports[i].Speculative(view)}
+		e.checks[i] = ports[i].Speculative(e.checkView)
+		// Capture the PE's real tracer without disturbing it.
+		r := pe.SwapTracer(nil)
+		pe.SwapTracer(r)
+		e.real[i] = r
+		e.agents[i].traceOn = r != nil
+		e.alive[i] = true
+	}
+
+	workers := cfg.Workers
+	if workers > len(pes) {
+		workers = len(pes)
+	}
+	e.jobs = make(chan int, len(pes))
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range e.jobs {
+				e.stepSpec(i)
+				e.wg.Done()
+			}
+		}()
+	}
+	defer close(e.jobs)
+
+	e.run(every, fn)
+
+	// Leave every PE on its live port and tracer so post-run inspection
+	// and later serial stepping see the chip exactly as Run would.
+	for i := range pes {
+		e.ensureLive(i)
+	}
+	return e.makespan, nil
+}
+
+// ensureSpec installs PE i's recording agent as its port (and, when the
+// run is traced, as its tracer).
+func (e *parEngine) ensureSpec(i int) {
+	if e.onSpec[i] {
+		return
+	}
+	e.onSpec[i] = true
+	e.pes[i].SwapPort(e.agents[i])
+	if e.real[i] != nil {
+		e.pes[i].SwapTracer(e.agents[i])
+	}
+}
+
+// ensureLive restores PE i's live port and tracer.
+func (e *parEngine) ensureLive(i int) {
+	if !e.onSpec[i] {
+		return
+	}
+	e.onSpec[i] = false
+	e.pes[i].SwapPort(e.ports[i])
+	if e.real[i] != nil {
+		e.pes[i].SwapTracer(e.real[i])
+	}
+}
+
+// run executes epochs until every PE is permanently idle.
+func (e *parEngine) run(every int64, fn func(Progress)) {
+	selected := make([]int, 0, len(e.pes))
+	var lastFired int64
+	for {
+		// Epoch start: T = min local clock over live PEs.
+		var t mem.Cycles
+		active := 0
+		for i, pe := range e.pes {
+			if !e.alive[i] {
+				continue
+			}
+			if active == 0 || pe.Time() < t {
+				t = pe.Time()
+			}
+			active++
+		}
+		if active == 0 {
+			if every > 0 && fn != nil {
+				fn(Progress{Steps: e.steps, Now: e.makespan, Active: 0})
+			}
+			return
+		}
+		e.epochEnd = t + e.cfg.Window
+		selected = selected[:0]
+		for i, pe := range e.pes {
+			if e.alive[i] && pe.Time() < e.epochEnd {
+				selected = append(selected, i)
+			}
+		}
+
+		if len(selected) == 1 {
+			// Sole PE in the window: nothing can interleave with it, so
+			// step it directly against the live state — zero speculation
+			// overhead, and root handouts keep their scheduler order.
+			e.runSolo(selected[0])
+		} else {
+			e.runEpoch(selected)
+		}
+
+		if every > 0 && fn != nil && e.steps-lastFired >= every {
+			lastFired = e.steps
+			var now mem.Cycles
+			act := 0
+			for i, pe := range e.pes {
+				if e.alive[i] {
+					if act == 0 || pe.Time() < now {
+						now = pe.Time()
+					}
+					act++
+				}
+			}
+			if act == 0 {
+				now = e.makespan
+			}
+			fn(Progress{Steps: e.steps, Now: now, Active: act})
+		}
+	}
+}
+
+// runSolo steps the only in-window PE serially until it leaves the
+// window or dies.
+func (e *parEngine) runSolo(i int) {
+	e.ensureLive(i)
+	pe := e.pes[i]
+	for n := 0; n < maxStepsPerEpoch; n++ {
+		if pe.Time() >= e.epochEnd {
+			return
+		}
+		alive := pe.Step()
+		e.steps++
+		if !alive {
+			e.retire(i)
+			return
+		}
+	}
+}
+
+// retire marks PE i permanently idle and folds its finishing time into
+// the makespan.
+func (e *parEngine) retire(i int) {
+	e.alive[i] = false
+	if t := e.pes[i].Time(); t > e.makespan {
+		e.makespan = t
+	}
+}
+
+// runEpoch executes one bounded-lag epoch over the selected PEs:
+// root reservation, concurrent speculative stepping, then the
+// deterministic commit.
+func (e *parEngine) runEpoch(selected []int) {
+	// Reserve root handouts in (local clock, PE-id) order — the order
+	// the serial loop would pop these PEs in — so the shared scheduler
+	// is never touched during the concurrent phase.
+	ordered := append([]int(nil), selected...)
+	for a := 1; a < len(ordered); a++ {
+		for b := a; b > 0; b-- {
+			ti, tj := e.pes[ordered[b-1]].Time(), e.pes[ordered[b]].Time()
+			if ti < tj || (ti == tj && ordered[b-1] < ordered[b]) {
+				break
+			}
+			ordered[b-1], ordered[b] = ordered[b], ordered[b-1]
+		}
+	}
+	for _, i := range ordered {
+		if e.pes[i].WillTakeRoot() {
+			e.pes[i].StageRoot()
+		}
+	}
+
+	// Speculative phase: every selected PE steps concurrently against
+	// its private view of the epoch-start memory state.
+	for _, i := range selected {
+		e.ensureSpec(i)
+	}
+	e.wg.Add(len(selected))
+	for _, i := range selected {
+		e.jobs <- i
+	}
+	e.wg.Wait()
+
+	// Commit phase: validate and apply blocks in (cycle, PE-id, seq)
+	// order; failed validations rewind the PE and re-execute serially
+	// against the live state, interleaved into the same order.
+	h := make(commitHeap, 0, 4*len(selected))
+	for _, i := range selected {
+		for _, blk := range e.agents[i].blocks {
+			h = append(h, commitItem{start: blk.start, pe: blk.pe, seq: blk.seq, blk: blk})
+		}
+	}
+	heap.Init(&h)
+	invalidated := make(map[int]bool, len(selected))
+	contSeq := maxStepsPerEpoch
+	e.firstCommitter, e.mixed = -1, false
+	for h.Len() > 0 {
+		it := heap.Pop(&h).(commitItem)
+		i := it.pe
+		if it.blk != nil {
+			blk := it.blk
+			if invalidated[i] {
+				e.recycle(blk)
+				continue
+			}
+			skipOK := !e.mixed && (e.firstCommitter == -1 || e.firstCommitter == i)
+			if skipOK || e.validate(blk) {
+				e.apply(blk)
+				e.committed(i)
+				e.steps++
+				if !blk.alive {
+					e.retire(i)
+				}
+			} else {
+				e.conflicts++
+				invalidated[i] = true
+				e.pes[i].Restore(blk.snap)
+				e.ensureLive(i)
+				contSeq++
+				heap.Push(&h, commitItem{start: e.pes[i].Time(), pe: i, seq: contSeq})
+			}
+			e.recycle(blk)
+			continue
+		}
+		// Serial continuation of a rewound PE.
+		pe := e.pes[i]
+		if pe.Time() >= e.epochEnd {
+			continue // parked until the next epoch
+		}
+		if pe.WillTakeRoot() && !pe.StagedRoot() {
+			continue // root handouts happen at epoch barriers
+		}
+		alive := pe.Step()
+		e.steps++
+		e.committed(i)
+		if !alive {
+			e.retire(i)
+			continue
+		}
+		contSeq++
+		heap.Push(&h, commitItem{start: pe.Time(), pe: i, seq: contSeq})
+	}
+}
+
+// committed records that PE i mutated the live state during the current
+// epoch's commit phase, for the skip-validation bookkeeping.
+func (e *parEngine) committed(i int) {
+	if e.firstCommitter == -1 {
+		e.firstCommitter = i
+	} else if e.firstCommitter != i {
+		e.mixed = true
+	}
+}
+
+// recycle returns a committed or discarded block to its agent's pool.
+func (e *parEngine) recycle(blk *specBlock) {
+	blk.snap = nil
+	a := e.agents[blk.pe]
+	a.free = append(a.free, blk)
+}
+
+// stepSpec runs PE i's speculative phase for the current epoch: step
+// until the PE's clock leaves the window, it needs an unstaged root, or
+// it dies. Runs on a worker goroutine; touches only PE-i state and PE
+// i's private view over the frozen epoch-start memory.
+func (e *parEngine) stepSpec(i int) {
+	a := e.agents[i]
+	a.view.Reset()
+	a.blocks = a.blocks[:0]
+	pe := e.pes[i]
+	for seq := 0; seq < maxStepsPerEpoch; seq++ {
+		if seq > 0 {
+			if pe.Time() >= e.epochEnd {
+				break
+			}
+			if pe.WillTakeRoot() && !pe.StagedRoot() {
+				break
+			}
+		}
+		blk := a.takeBlock()
+		blk.pe = i
+		blk.seq = seq
+		blk.start = pe.Time()
+		blk.snap = pe.Snapshot()
+		a.cur = blk
+		blk.alive = pe.Step()
+		a.blocks = append(a.blocks, blk)
+		if !blk.alive {
+			break
+		}
+	}
+	a.cur = nil
+}
+
+// validate replays a block's shared-memory operations against a fresh
+// speculative view over the *current* live state and reports whether
+// every completion, miss count, and probe answer matches what the
+// speculative phase observed. It never mutates live state, so a failed
+// block can simply be re-executed.
+func (e *parEngine) validate(blk *specBlock) bool {
+	e.checkView.Reset()
+	cp := e.checks[blk.pe]
+	for k := range blk.entries {
+		en := &blk.entries[k]
+		switch en.kind {
+		case evAccess:
+			done, _, misses := cp.Access(en.at, en.addr, en.bytes)
+			if done != en.done || misses != en.misses {
+				return false
+			}
+		case evProbe:
+			if cp.Probe(en.addr, en.bytes) != en.ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// apply commits a validated block: shared-memory operations replay
+// through the PE's live port — mutating cache/DRAM state and statistics
+// and re-emitting cache/DRAM telemetry exactly as the serial loop would
+// — and recorded PE events flush to the real tracer in program order.
+func (e *parEngine) apply(blk *specBlock) {
+	port := e.ports[blk.pe]
+	trc := e.real[blk.pe]
+	for k := range blk.entries {
+		en := &blk.entries[k]
+		switch en.kind {
+		case evAccess:
+			done := port.Access(en.at, en.addr, en.bytes)
+			if done != en.done {
+				panic("accel: parallel engine invariant violated: validated access resolved differently at commit")
+			}
+		case evProbe:
+			// Probes have no side effects; nothing to replay.
+		case evGroupBegin:
+			trc.TaskGroupBegin(blk.pe, en.engine, en.at, en.size)
+		case evGroupEnd:
+			trc.TaskGroupEnd(blk.pe, en.at)
+		case evSetOp:
+			trc.SetOpIssue(blk.pe, en.at, en.str, en.longLen, en.shortLen, en.workloads)
+		}
+	}
+}
+
+// Conflicts returns the number of speculative blocks that failed
+// commit-time validation during the last run (engine diagnostics).
+func (e *parEngine) Conflicts() int64 { return e.conflicts }

@@ -1,0 +1,77 @@
+package accel
+
+import (
+	"strings"
+	"testing"
+
+	"fingers/internal/mem"
+)
+
+func TestParallelConfigValidate(t *testing.T) {
+	cases := []struct {
+		cfg  ParallelConfig
+		want string // substring of the error; "" means valid
+	}{
+		{ParallelConfig{Window: 1, Workers: 1}, ""},
+		{ParallelConfig{Window: 1 << 20, Workers: 64}, ""},
+		{ParallelConfig{Window: 0, Workers: 4}, "window"},
+		{ParallelConfig{Window: -1, Workers: 4}, "window"},
+		{ParallelConfig{Window: 16, Workers: 0}, "workers"},
+		{ParallelConfig{Window: 16, Workers: -2}, "workers"},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%+v: unexpected error %v", c.cfg, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%+v: expected an error", c.cfg)
+		} else if !strings.Contains(strings.ToLower(err.Error()), c.want) {
+			t.Errorf("%+v: error %q does not mention %q", c.cfg, err, c.want)
+		}
+	}
+}
+
+func TestDefaultParallelConfigIsValid(t *testing.T) {
+	if err := DefaultParallelConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunParallelRejectsMismatchedPorts(t *testing.T) {
+	hier := mem.NewHierarchy(0)
+	if _, err := RunParallel(make([]SpecPE, 2), hier, nil, DefaultParallelConfig()); err == nil {
+		t.Error("expected an error for 2 PEs and 0 ports")
+	}
+	if _, err := RunParallel(make([]SpecPE, 1), nil, nil, DefaultParallelConfig()); err == nil {
+		t.Error("expected an error for a nil hierarchy")
+	}
+}
+
+func TestRunParallelEmpty(t *testing.T) {
+	hier := mem.NewHierarchy(0)
+	got, err := RunParallel(nil, hier, nil, DefaultParallelConfig())
+	if err != nil || got != 0 {
+		t.Errorf("empty run = %d, %v", got, err)
+	}
+}
+
+// TestRunWithProgressNowNeverRegresses: Progress.Now is the simulation
+// frontier; successive snapshots must be monotonically non-decreasing.
+func TestRunWithProgressNowNeverRegresses(t *testing.T) {
+	pes := []PE{
+		&fakePE{step: 13, left: 40},
+		&fakePE{step: 7, left: 80},
+		&fakePE{step: 29, left: 11},
+	}
+	var prev mem.Cycles
+	RunWithProgress(pes, 3, func(p Progress) {
+		if p.Now < prev {
+			t.Fatalf("Now regressed: %d after %d (steps=%d)", p.Now, prev, p.Steps)
+		}
+		prev = p.Now
+	})
+}

@@ -48,10 +48,15 @@ type Options struct {
 	Log *telemetry.RunLog
 	// Workers bounds the worker pool the experiments fan their
 	// independent (dataset, pattern, arch) cells across; zero or negative
-	// uses GOMAXPROCS. The simulated chips themselves stay
-	// single-threaded — parallelism is across cells only, so cycle
-	// results are identical to a serial run.
+	// uses GOMAXPROCS. Unless SimParallel is also set, the simulated
+	// chips themselves stay single-threaded — parallelism is across
+	// cells only, so cycle results are identical to a serial run.
 	Workers int
+	// SimParallel, when non-nil, runs every simulated chip on the
+	// bounded-lag parallel engine with this configuration. Results are
+	// deterministic in the window (never the worker count); Window=1
+	// reproduces the serial engine exactly.
+	SimParallel *accel.ParallelConfig
 	// Ctx, when non-nil, cancels a sweep early: in-flight cells finish,
 	// remaining cells are skipped and left out of the result. Nil means
 	// run to completion.
@@ -163,11 +168,26 @@ func logWrite(log *telemetry.RunLog, rec telemetry.RunRecord) {
 	}
 }
 
+// runChip executes one chip run on the engine Options selects: the
+// serial event loop, or — with SimParallel set — the bounded-lag
+// parallel engine. An invalid SimParallel configuration panics; the CLI
+// layers validate before building Options.
+func (o Options) runChip(serial func() accel.Result, parallel func(accel.ParallelConfig) (accel.Result, error)) accel.Result {
+	if o.SimParallel == nil {
+		return serial()
+	}
+	res, err := parallel(*o.SimParallel)
+	if err != nil {
+		panic(fmt.Sprintf("exp: parallel simulation: %v", err))
+	}
+	return res
+}
+
 // simFingers runs one FINGERS cell and, when a run log is attached,
 // appends its telemetry record (with IU rates and per-PE breakdowns).
 func (o Options) simFingers(experiment, graphName, patternName string, cfg fingers.Config, pes int, cacheBytes int64, g *graph.Graph, plans []*plan.Plan) accel.Result {
 	chip := fingers.NewChip(cfg, pes, cacheBytes, g, plans)
-	res := chip.Run()
+	res := o.runChip(chip.Run, chip.RunParallel)
 	if o.Log != nil {
 		rec := NewRunRecord("fingers", experiment, graphName, patternName, pes, cfg.NumIUs, cacheBytes, g, res, chip.PERecords())
 		iu := chip.AggregateStats()
@@ -181,7 +201,7 @@ func (o Options) simFingers(experiment, graphName, patternName string, cfg finge
 // simFlex runs one FlexMiner cell, logging like simFingers.
 func (o Options) simFlex(experiment, graphName, patternName string, pes int, cacheBytes int64, g *graph.Graph, plans []*plan.Plan) accel.Result {
 	chip := flexminer.NewChip(flexminer.DefaultConfig(), pes, cacheBytes, g, plans)
-	res := chip.Run()
+	res := o.runChip(chip.Run, chip.RunParallel)
 	if o.Log != nil {
 		logWrite(o.Log, NewRunRecord("flexminer", experiment, graphName, patternName, pes, 0, cacheBytes, g, res, chip.PERecords()))
 	}

@@ -1,6 +1,8 @@
 package fingers
 
 import (
+	"fmt"
+
 	"fingers/internal/accel"
 	"fingers/internal/graph"
 	"fingers/internal/mem"
@@ -28,7 +30,12 @@ func NewChip(cfg Config, numPEs int, sharedCacheBytes int64, g *graph.Graph, pla
 
 // NewChipWithScheduler builds the chip with a custom root scheduler, for
 // root-ordering studies (locality and load-balance policies, §6.3).
+// Degenerate configurations fail fast: numPEs must be positive (the
+// public Simulate façade reports the same condition as an error).
 func NewChipWithScheduler(cfg Config, numPEs int, sharedCacheBytes int64, g *graph.Graph, plans []*plan.Plan, sched *accel.RootScheduler) *Chip {
+	if numPEs < 1 {
+		panic(fmt.Sprintf("fingers: NewChip: number of PEs must be >= 1, got %d", numPEs))
+	}
 	hier := mem.NewHierarchy(sharedCacheBytes)
 	c := &Chip{Hier: hier}
 	net := noc.New(noc.DefaultConfig(), numPEs)
@@ -71,7 +78,32 @@ func (c *Chip) RunWithProgress(every int64, fn func(accel.Progress)) accel.Resul
 	for i, pe := range c.PEs {
 		pes[i] = pe
 	}
-	makespan := accel.RunWithProgress(pes, every, fn)
+	return c.assemble(accel.RunWithProgress(pes, every, fn))
+}
+
+// RunParallel simulates the chip to completion on the bounded-lag
+// parallel engine. Results depend only on pcfg.Window, never on
+// pcfg.Workers; Window=1 matches Run exactly (accel.RunParallel).
+func (c *Chip) RunParallel(pcfg accel.ParallelConfig) (accel.Result, error) {
+	return c.RunParallelWithProgress(pcfg, 0, nil)
+}
+
+// RunParallelWithProgress is RunParallel with a progress callback fired
+// at epoch barriers, at least every `every` committed quanta.
+func (c *Chip) RunParallelWithProgress(pcfg accel.ParallelConfig, every int64, fn func(accel.Progress)) (accel.Result, error) {
+	pes := make([]accel.SpecPE, len(c.PEs))
+	for i, pe := range c.PEs {
+		pes[i] = pe
+	}
+	makespan, err := accel.RunParallelWithProgress(pes, c.Hier, c.ports, pcfg, every, fn)
+	if err != nil {
+		return accel.Result{}, err
+	}
+	return c.assemble(makespan), nil
+}
+
+// assemble rolls the per-PE outcomes of a completed run into a Result.
+func (c *Chip) assemble(makespan mem.Cycles) accel.Result {
 	c.makespan = makespan
 	res := accel.Result{
 		Cycles:      makespan,

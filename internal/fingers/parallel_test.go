@@ -1,0 +1,221 @@
+package fingers
+
+import (
+	"fmt"
+	"testing"
+
+	"fingers/internal/accel"
+	"fingers/internal/graph/gen"
+	"fingers/internal/mem"
+	"fingers/internal/telemetry"
+)
+
+// TestParallelWindow1MatchesSerial is the equivalence oracle: with
+// Window=1 the parallel engine must reproduce the serial event loop's
+// Result exactly — every field, including cycles, cache/DRAM statistics
+// and the cycle breakdown — at any worker count.
+func TestParallelWindow1MatchesSerial(t *testing.T) {
+	g := gen.PowerLawCluster(300, 5, 0.6, 71)
+	for _, name := range []string{"tc", "tt", "cyc"} {
+		pls := plansFor(t, name)
+		for _, pes := range []int{1, 4, 7} {
+			serial := NewChip(DefaultConfig(), pes, 0, g, pls).Run()
+			for _, workers := range []int{1, 3, 8} {
+				par, err := NewChip(DefaultConfig(), pes, 0, g, pls).
+					RunParallel(accel.ParallelConfig{Window: 1, Workers: workers})
+				if err != nil {
+					t.Fatalf("%s pes=%d workers=%d: %v", name, pes, workers, err)
+				}
+				if par != serial {
+					t.Errorf("%s pes=%d workers=%d: Window=1 diverges from serial:\nserial %+v\npar    %+v",
+						name, pes, workers, serial, par)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelCountsBitIdenticalAtAllWindows checks the functional half
+// of the determinism contract: embedding and task counts never depend on
+// the window (or workers) because mining is latency-independent.
+func TestParallelCountsBitIdenticalAtAllWindows(t *testing.T) {
+	g := gen.PowerLawCluster(300, 5, 0.6, 77)
+	pls := plansFor(t, "tt")
+	serial := NewChip(DefaultConfig(), 6, 0, g, pls).Run()
+	for _, win := range []mem.Cycles{1, 7, 64, 500, 4096, 1 << 20} {
+		par, err := NewChip(DefaultConfig(), 6, 0, g, pls).
+			RunParallel(accel.ParallelConfig{Window: win, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Count != serial.Count || par.Tasks != serial.Tasks {
+			t.Errorf("window=%d: count/tasks diverge: serial %d/%d, parallel %d/%d",
+				win, serial.Count, serial.Tasks, par.Count, par.Tasks)
+		}
+	}
+}
+
+// TestParallelWorkerCountInvariance: the whole Result must be a function
+// of the window alone — identical for every worker count.
+func TestParallelWorkerCountInvariance(t *testing.T) {
+	g := gen.PowerLawCluster(300, 5, 0.6, 83)
+	pls := plansFor(t, "cyc")
+	for _, win := range []mem.Cycles{16, accel.DefaultWindow} {
+		var want accel.Result
+		for i, workers := range []int{1, 2, 5, 16} {
+			got, err := NewChip(DefaultConfig(), 8, 0, g, pls).
+				RunParallel(accel.ParallelConfig{Window: win, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Errorf("window=%d: workers=%d result differs from workers=1:\n%+v\n%+v",
+					win, workers, got, want)
+			}
+		}
+	}
+}
+
+// recordingTracer captures every telemetry event as a formatted line, so
+// two runs' event streams can be compared for exact equality (order
+// included).
+type recordingTracer struct{ lines []string }
+
+func (r *recordingTracer) TaskGroupBegin(pe, engine int, at mem.Cycles, size int) {
+	r.lines = append(r.lines, fmt.Sprintf("begin pe=%d eng=%d at=%d size=%d", pe, engine, at, size))
+}
+func (r *recordingTracer) TaskGroupEnd(pe int, at mem.Cycles) {
+	r.lines = append(r.lines, fmt.Sprintf("end pe=%d at=%d", pe, at))
+}
+func (r *recordingTracer) SetOpIssue(pe int, at mem.Cycles, kind string, longLen, shortLen, workloads int) {
+	r.lines = append(r.lines, fmt.Sprintf("op pe=%d at=%d %s %d %d %d", pe, at, kind, longLen, shortLen, workloads))
+}
+func (r *recordingTracer) CacheAccess(pe int, at mem.Cycles, bytes, lines, misses int64, done mem.Cycles) {
+	r.lines = append(r.lines, fmt.Sprintf("cache pe=%d at=%d b=%d l=%d m=%d done=%d", pe, at, bytes, lines, misses, done))
+}
+func (r *recordingTracer) DRAMBurst(start, done mem.Cycles, addr, bytes int64) {
+	r.lines = append(r.lines, fmt.Sprintf("dram %d %d %d %d", start, done, addr, bytes))
+}
+
+var _ telemetry.Tracer = (*recordingTracer)(nil)
+
+// TestParallelWindow1TraceMatchesSerial: the merged telemetry stream of
+// a Window=1 parallel run must equal the serial stream event for event.
+func TestParallelWindow1TraceMatchesSerial(t *testing.T) {
+	g := gen.PowerLawCluster(200, 4, 0.5, 91)
+	pls := plansFor(t, "tt")
+
+	serialTr := &recordingTracer{}
+	chipS := NewChip(DefaultConfig(), 4, 0, g, pls)
+	chipS.SetTracer(serialTr)
+	chipS.Run()
+
+	parTr := &recordingTracer{}
+	chipP := NewChip(DefaultConfig(), 4, 0, g, pls)
+	chipP.SetTracer(parTr)
+	if _, err := chipP.RunParallel(accel.ParallelConfig{Window: 1, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(serialTr.lines) != len(parTr.lines) {
+		t.Fatalf("event counts differ: serial %d, parallel %d", len(serialTr.lines), len(parTr.lines))
+	}
+	for i := range serialTr.lines {
+		if serialTr.lines[i] != parTr.lines[i] {
+			t.Fatalf("event %d differs:\nserial:   %s\nparallel: %s", i, serialTr.lines[i], parTr.lines[i])
+		}
+	}
+}
+
+// TestParallelDefaultWindowDivergenceSmall: at the default window the
+// approximate schedule must stay within 1% of the serial makespan on a
+// representative cell (the quick-grid geomean is tracked by simbench).
+func TestParallelDefaultWindowDivergenceSmall(t *testing.T) {
+	g := gen.PowerLawCluster(400, 6, 0.5, 97)
+	pls := plansFor(t, "tt")
+	serial := NewChip(DefaultConfig(), 8, 0, g, pls).Run()
+	par, err := NewChip(DefaultConfig(), 8, 0, g, pls).RunParallel(accel.DefaultParallelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	div := float64(par.Cycles-serial.Cycles) / float64(serial.Cycles)
+	if div < 0 {
+		div = -div
+	}
+	if div > 0.01 {
+		t.Errorf("default-window makespan diverges %.2f%% (serial %d, parallel %d)",
+			100*div, serial.Cycles, par.Cycles)
+	}
+	if par.Count != serial.Count {
+		t.Errorf("counts diverge: %d vs %d", par.Count, serial.Count)
+	}
+}
+
+// TestParallelRejectsDegenerateConfigs: clear errors, not hangs.
+func TestParallelRejectsDegenerateConfigs(t *testing.T) {
+	g := gen.PowerLawCluster(50, 3, 0.4, 5)
+	pls := plansFor(t, "tc")
+	chip := NewChip(DefaultConfig(), 2, 0, g, pls)
+	for _, cfg := range []accel.ParallelConfig{
+		{Window: 0, Workers: 2},
+		{Window: -5, Workers: 2},
+		{Window: 8, Workers: 0},
+		{Window: 8, Workers: -1},
+	} {
+		if _, err := chip.RunParallel(cfg); err == nil {
+			t.Errorf("config %+v: expected an error", cfg)
+		}
+	}
+}
+
+// TestCustomRootOrderOnBothEngines: a chip built with a permuted root
+// order finds the same embeddings (counts are order-independent), and
+// the parallel engine's root staging honors the custom handout order —
+// Window=1 must match the serial run exactly under it.
+func TestCustomRootOrderOnBothEngines(t *testing.T) {
+	g := gen.PowerLawCluster(250, 4, 0.5, 41)
+	pls := plansFor(t, "tt")
+	base := NewChip(DefaultConfig(), 4, 0, g, pls).Run()
+
+	order := make([]uint32, g.NumVertices())
+	for i := range order {
+		order[i] = uint32(len(order) - 1 - i) // reverse-ID handout
+	}
+	mk := func() *Chip {
+		return NewChipWithScheduler(DefaultConfig(), 4, 0, g, pls,
+			accel.NewRootSchedulerWithOrder(order))
+	}
+	serial := mk().Run()
+	if serial.Count != base.Count {
+		t.Errorf("custom order changed the count: %d vs %d", serial.Count, base.Count)
+	}
+	par, err := mk().RunParallel(accel.ParallelConfig{Window: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par != serial {
+		t.Errorf("custom order: Window=1 diverges from serial:\nserial %+v\npar    %+v", serial, par)
+	}
+}
+
+// TestNewChipRejectsNonPositivePEs: the constructor must fail fast with
+// a descriptive message instead of building a chip that silently mines
+// nothing.
+func TestNewChipRejectsNonPositivePEs(t *testing.T) {
+	g := gen.PowerLawCluster(50, 3, 0.4, 7)
+	pls := plansFor(t, "tc")
+	for _, n := range []int{0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewChip with %d PEs did not panic", n)
+				}
+			}()
+			NewChip(DefaultConfig(), n, 0, g, pls)
+		}()
+	}
+}

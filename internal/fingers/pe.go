@@ -85,10 +85,22 @@ type PE struct {
 	// the workload count is exactly that estimate after segmentation).
 	emaIUsPerTask float64
 
+	// staged holds a root reservation made at a parallel-engine epoch
+	// barrier; Step consumes it before pulling from the shared scheduler.
+	staged stagedRoot
+
 	// Scratch reused across tasks.
 	iuBusy []mem.Cycles
 	opBusy []mem.Cycles
 	iuWl   []int
+}
+
+// stagedRoot is a pre-reserved root handout: the result the next root
+// request will observe.
+type stagedRoot struct {
+	set bool
+	v   uint32
+	ok  bool
 }
 
 // NewPE builds a FINGERS PE over the shared cache.
@@ -166,7 +178,7 @@ func (pe *PE) Step() bool {
 		pe.stack = pe.stack[:len(pe.stack)-1]
 	}
 	if len(pe.stack) == 0 {
-		v, ok := pe.roots.Next()
+		v, ok := pe.takeRoot()
 		if !ok {
 			return false
 		}
@@ -185,6 +197,110 @@ func (pe *PE) Step() bool {
 	top.next += n
 	pe.runGroup(engineIdx, parent, group)
 	return true
+}
+
+// takeRoot returns the PE's next root: the staged reservation when one
+// is pending (parallel engine), otherwise straight from the scheduler
+// (serial loop).
+func (pe *PE) takeRoot() (uint32, bool) {
+	if pe.staged.set {
+		pe.staged.set = false
+		return pe.staged.v, pe.staged.ok
+	}
+	return pe.roots.Next()
+}
+
+// WillTakeRoot reports whether the next Step would request a new root:
+// true when every stack frame is exhausted. Pure (accel.SpecPE).
+func (pe *PE) WillTakeRoot() bool {
+	for i := len(pe.stack) - 1; i >= 0; i-- {
+		if pe.stack[i].next < len(pe.stack[i].cands) {
+			return false
+		}
+	}
+	return true
+}
+
+// StageRoot reserves the PE's next root handout from the shared
+// scheduler (accel.SpecPE); a no-op when one is already staged.
+func (pe *PE) StageRoot() {
+	if pe.staged.set {
+		return
+	}
+	v, ok := pe.roots.Next()
+	pe.staged = stagedRoot{set: true, v: v, ok: ok}
+}
+
+// StagedRoot reports whether a reserved root is pending (accel.SpecPE).
+func (pe *PE) StagedRoot() bool { return pe.staged.set }
+
+// peSnapshot captures a PE's mutable state before a speculative step.
+type peSnapshot struct {
+	now    mem.Cycles
+	count  uint64
+	tasks  int64
+	groups int64
+	stack  []frame
+	stats  IUStats
+	bd     telemetry.Breakdown
+	ema    float64
+	staged stagedRoot
+	marks  []int32
+}
+
+// Snapshot implements accel.SpecPE. The mining engines' nodes are
+// immutable, so the stack copy is shallow; only the per-frame cursor and
+// the engines' set-ID allocators need rewinding.
+func (pe *PE) Snapshot() interface{} {
+	s := &peSnapshot{
+		now:    pe.now,
+		count:  pe.count,
+		tasks:  pe.tasks,
+		groups: pe.groups,
+		stack:  append([]frame(nil), pe.stack...),
+		stats:  pe.stats,
+		bd:     pe.bd,
+		ema:    pe.emaIUsPerTask,
+		staged: pe.staged,
+		marks:  make([]int32, len(pe.engines)),
+	}
+	for i, e := range pe.engines {
+		s.marks[i] = e.Mark()
+	}
+	return s
+}
+
+// Restore implements accel.SpecPE, rewinding to a Snapshot.
+func (pe *PE) Restore(snap interface{}) {
+	s := snap.(*peSnapshot)
+	pe.now = s.now
+	pe.count = s.count
+	pe.tasks = s.tasks
+	pe.groups = s.groups
+	pe.stack = append(pe.stack[:0], s.stack...)
+	pe.stats = s.stats
+	pe.bd = s.bd
+	pe.emaIUsPerTask = s.ema
+	pe.staged = s.staged
+	for i, e := range pe.engines {
+		e.Rewind(s.marks[i])
+	}
+}
+
+// SwapPort implements accel.SpecPE: replaces the PE's shared-memory
+// port, returning the previous one.
+func (pe *PE) SwapPort(p accel.MemPort) accel.MemPort {
+	old := pe.shared
+	pe.shared = p
+	return old
+}
+
+// SwapTracer implements accel.SpecPE: replaces the PE's event tracer,
+// returning the previous one.
+func (pe *PE) SwapTracer(t telemetry.Tracer) telemetry.Tracer {
+	old := pe.trc
+	pe.trc = t
+	return old
 }
 
 // startRoot begins the search tree rooted at v: one task per plan trunk,

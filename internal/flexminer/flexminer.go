@@ -12,6 +12,8 @@
 package flexminer
 
 import (
+	"fmt"
+
 	"fingers/internal/accel"
 	"fingers/internal/graph"
 	"fingers/internal/mem"
@@ -64,6 +66,18 @@ type PE struct {
 	// bd attributes every clock advance: Compute + MemStall + Overhead
 	// == now at all times (Idle is filled by the chip rollup).
 	bd telemetry.Breakdown
+
+	// staged holds a root reservation made at a parallel-engine epoch
+	// barrier; Step consumes it before pulling from the shared scheduler.
+	staged stagedRoot
+}
+
+// stagedRoot is a pre-reserved root handout: the result the next root
+// request will observe.
+type stagedRoot struct {
+	set bool
+	v   uint32
+	ok  bool
 }
 
 // NewPE builds a PE mining the given plans (one for single-pattern runs,
@@ -92,10 +106,98 @@ func (pe *PE) Breakdown() telemetry.Breakdown { return pe.bd }
 // SetTracer attaches (or, with nil, detaches) an event tracer.
 func (pe *PE) SetTracer(t telemetry.Tracer) { pe.trc = t }
 
+// takeRoot returns the PE's next root: the staged reservation when one
+// is pending (parallel engine), otherwise straight from the scheduler
+// (serial loop).
+func (pe *PE) takeRoot() (uint32, bool) {
+	if pe.staged.set {
+		pe.staged.set = false
+		return pe.staged.v, pe.staged.ok
+	}
+	return pe.roots.Next()
+}
+
+// WillTakeRoot reports whether the next Step would request a new root:
+// true exactly when the DFS stack is empty. Pure (accel.SpecPE).
+func (pe *PE) WillTakeRoot() bool { return len(pe.stack) == 0 }
+
+// StageRoot reserves the PE's next root handout from the shared
+// scheduler (accel.SpecPE); a no-op when one is already staged.
+func (pe *PE) StageRoot() {
+	if pe.staged.set {
+		return
+	}
+	v, ok := pe.roots.Next()
+	pe.staged = stagedRoot{set: true, v: v, ok: ok}
+}
+
+// StagedRoot reports whether a reserved root is pending (accel.SpecPE).
+func (pe *PE) StagedRoot() bool { return pe.staged.set }
+
+// peSnapshot captures a PE's mutable state before a speculative step.
+type peSnapshot struct {
+	now    mem.Cycles
+	count  uint64
+	tasks  int64
+	stack  []workItem
+	bd     telemetry.Breakdown
+	staged stagedRoot
+	marks  []int32
+}
+
+// Snapshot implements accel.SpecPE. Mining-engine nodes are immutable,
+// so the stack copy is shallow; only the engines' set-ID allocators need
+// rewinding alongside.
+func (pe *PE) Snapshot() interface{} {
+	s := &peSnapshot{
+		now:    pe.now,
+		count:  pe.count,
+		tasks:  pe.tasks,
+		stack:  append([]workItem(nil), pe.stack...),
+		bd:     pe.bd,
+		staged: pe.staged,
+		marks:  make([]int32, len(pe.engines)),
+	}
+	for i, e := range pe.engines {
+		s.marks[i] = e.Mark()
+	}
+	return s
+}
+
+// Restore implements accel.SpecPE, rewinding to a Snapshot.
+func (pe *PE) Restore(snap interface{}) {
+	s := snap.(*peSnapshot)
+	pe.now = s.now
+	pe.count = s.count
+	pe.tasks = s.tasks
+	pe.stack = append(pe.stack[:0], s.stack...)
+	pe.bd = s.bd
+	pe.staged = s.staged
+	for i, e := range pe.engines {
+		e.Rewind(s.marks[i])
+	}
+}
+
+// SwapPort implements accel.SpecPE: replaces the PE's shared-memory
+// port, returning the previous one.
+func (pe *PE) SwapPort(p accel.MemPort) accel.MemPort {
+	old := pe.shared
+	pe.shared = p
+	return old
+}
+
+// SwapTracer implements accel.SpecPE: replaces the PE's event tracer,
+// returning the previous one.
+func (pe *PE) SwapTracer(t telemetry.Tracer) telemetry.Tracer {
+	old := pe.trc
+	pe.trc = t
+	return old
+}
+
 // Step executes one task in DFS order.
 func (pe *PE) Step() bool {
 	if len(pe.stack) == 0 {
-		v, ok := pe.roots.Next()
+		v, ok := pe.takeRoot()
 		if !ok {
 			return false
 		}
@@ -206,7 +308,12 @@ func NewChip(cfg Config, numPEs int, sharedCacheBytes int64, g *graph.Graph, pla
 
 // NewChipWithScheduler builds the chip with a custom root scheduler, for
 // root-ordering studies (locality and load-balance policies, §6.3).
+// Degenerate configurations fail fast: numPEs must be positive (the
+// public Simulate façade reports the same condition as an error).
 func NewChipWithScheduler(cfg Config, numPEs int, sharedCacheBytes int64, g *graph.Graph, plans []*plan.Plan, sched *accel.RootScheduler) *Chip {
+	if numPEs < 1 {
+		panic(fmt.Sprintf("flexminer: NewChip: number of PEs must be >= 1, got %d", numPEs))
+	}
 	hier := mem.NewHierarchy(sharedCacheBytes)
 	c := &Chip{Hier: hier}
 	net := noc.New(noc.DefaultConfig(), numPEs)
@@ -249,7 +356,32 @@ func (c *Chip) RunWithProgress(every int64, fn func(accel.Progress)) accel.Resul
 	for i, pe := range c.PEs {
 		pes[i] = pe
 	}
-	makespan := accel.RunWithProgress(pes, every, fn)
+	return c.assemble(accel.RunWithProgress(pes, every, fn))
+}
+
+// RunParallel simulates the chip to completion on the bounded-lag
+// parallel engine. Results depend only on pcfg.Window, never on
+// pcfg.Workers; Window=1 matches Run exactly (accel.RunParallel).
+func (c *Chip) RunParallel(pcfg accel.ParallelConfig) (accel.Result, error) {
+	return c.RunParallelWithProgress(pcfg, 0, nil)
+}
+
+// RunParallelWithProgress is RunParallel with a progress callback fired
+// at epoch barriers, at least every `every` committed quanta.
+func (c *Chip) RunParallelWithProgress(pcfg accel.ParallelConfig, every int64, fn func(accel.Progress)) (accel.Result, error) {
+	pes := make([]accel.SpecPE, len(c.PEs))
+	for i, pe := range c.PEs {
+		pes[i] = pe
+	}
+	makespan, err := accel.RunParallelWithProgress(pes, c.Hier, c.ports, pcfg, every, fn)
+	if err != nil {
+		return accel.Result{}, err
+	}
+	return c.assemble(makespan), nil
+}
+
+// assemble rolls the per-PE outcomes of a completed run into a Result.
+func (c *Chip) assemble(makespan mem.Cycles) accel.Result {
 	c.makespan = makespan
 	res := accel.Result{
 		Cycles:      makespan,

@@ -1,0 +1,77 @@
+package flexminer
+
+import (
+	"testing"
+
+	"fingers/internal/accel"
+	"fingers/internal/graph/gen"
+	"fingers/internal/mem"
+)
+
+// TestFlexParallelWindow1MatchesSerial: the equivalence oracle for the
+// FlexMiner chip — with Window=1 the parallel engine reproduces the
+// serial Result exactly at any worker count.
+func TestFlexParallelWindow1MatchesSerial(t *testing.T) {
+	g := gen.PowerLawCluster(300, 5, 0.6, 71)
+	for _, name := range []string{"tc", "tt", "cyc"} {
+		pls := compiled(t, name)
+		for _, pes := range []int{1, 4, 7} {
+			serial := NewChip(DefaultConfig(), pes, 0, g, pls).Run()
+			for _, workers := range []int{1, 3, 8} {
+				par, err := NewChip(DefaultConfig(), pes, 0, g, pls).
+					RunParallel(accel.ParallelConfig{Window: 1, Workers: workers})
+				if err != nil {
+					t.Fatalf("%s pes=%d workers=%d: %v", name, pes, workers, err)
+				}
+				if par != serial {
+					t.Errorf("%s pes=%d workers=%d: Window=1 diverges from serial:\nserial %+v\npar    %+v",
+						name, pes, workers, serial, par)
+				}
+			}
+		}
+	}
+}
+
+// TestFlexParallelCountsAndWorkerInvariance: counts are bit-identical at
+// every window, and the whole Result depends only on the window.
+func TestFlexParallelCountsAndWorkerInvariance(t *testing.T) {
+	g := gen.PowerLawCluster(300, 5, 0.6, 77)
+	pls := compiled(t, "tt")
+	serial := NewChip(DefaultConfig(), 6, 0, g, pls).Run()
+	for _, win := range []mem.Cycles{1, 64, accel.DefaultWindow, 1 << 20} {
+		var want accel.Result
+		for i, workers := range []int{1, 4} {
+			par, err := NewChip(DefaultConfig(), 6, 0, g, pls).
+				RunParallel(accel.ParallelConfig{Window: win, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Count != serial.Count || par.Tasks != serial.Tasks {
+				t.Errorf("window=%d workers=%d: count/tasks diverge: serial %d/%d, parallel %d/%d",
+					win, workers, serial.Count, serial.Tasks, par.Count, par.Tasks)
+			}
+			if i == 0 {
+				want = par
+			} else if par != want {
+				t.Errorf("window=%d: workers=%d result differs from workers=1:\n%+v\n%+v",
+					win, workers, par, want)
+			}
+		}
+	}
+}
+
+// TestFlexNewChipRejectsNonPositivePEs mirrors the fingers-side check.
+func TestFlexNewChipRejectsNonPositivePEs(t *testing.T) {
+	g := gen.PowerLawCluster(50, 3, 0.4, 7)
+	pls := compiled(t, "tc")
+	for _, n := range []int{0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewChip with %d PEs did not panic", n)
+				}
+			}()
+			NewChip(DefaultConfig(), n, 0, g, pls)
+		}()
+	}
+}

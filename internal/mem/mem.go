@@ -66,23 +66,31 @@ func NewDRAM(cfg DRAMConfig) *DRAM {
 	return &DRAM{cfg: cfg, nextFree: make([]Cycles, cfg.Channels)}
 }
 
-// Access requests bytes at addr at time now and returns the completion
-// cycle. Requests to a busy channel queue behind it (bandwidth model).
-func (d *DRAM) Access(now Cycles, addr int64, bytes int64) Cycles {
-	ch := int(uint64(addr) / 4096 % uint64(d.cfg.Channels))
-	start := now
-	if d.nextFree[ch] > start {
-		start = d.nextFree[ch]
+// schedule places one burst on its channel against the given occupancy
+// state, advancing it, and returns the burst's start and completion. It
+// is the single timing core behind both the live DRAM model and the
+// speculative views, so the two can never drift.
+func (cfg DRAMConfig) schedule(nextFree []Cycles, now Cycles, addr, bytes int64) (start, done Cycles) {
+	ch := int(uint64(addr) / 4096 % uint64(cfg.Channels))
+	start = now
+	if nextFree[ch] > start {
+		start = nextFree[ch]
 	}
-	perChannel := d.cfg.BytesPerCycle / float64(d.cfg.Channels)
+	perChannel := cfg.BytesPerCycle / float64(cfg.Channels)
 	transfer := Cycles(float64(bytes) / perChannel)
 	if transfer < 1 {
 		transfer = 1
 	}
-	d.nextFree[ch] = start + transfer
+	nextFree[ch] = start + transfer
+	return start, start + transfer + cfg.LatencyCycles
+}
+
+// Access requests bytes at addr at time now and returns the completion
+// cycle. Requests to a busy channel queue behind it (bandwidth model).
+func (d *DRAM) Access(now Cycles, addr int64, bytes int64) Cycles {
+	start, done := d.cfg.schedule(d.nextFree, now, addr, bytes)
 	d.stats.Accesses++
 	d.stats.BytesMoved += bytes
-	done := start + transfer + d.cfg.LatencyCycles
 	if d.obs != nil {
 		d.obs.DRAMBurst(start, done, addr, bytes)
 	}
@@ -168,17 +176,16 @@ func NewCache(cfg CacheConfig, backing *DRAM) *Cache {
 	return &Cache{cfg: cfg, sets: sets, numSets: numSets, backing: backing}
 }
 
-// lookup touches one line, returning whether it hit and allocating it.
-func (c *Cache) lookup(lineAddr int64) bool {
-	c.clock++
-	setIdx := (lineAddr / c.cfg.LineBytes) % c.numSets
-	tag := lineAddr / c.cfg.LineBytes / c.numSets
-	set := c.sets[setIdx]
-	c.stats.LineAccesses++
+// touch looks tag up in one set at LRU tick clock, updating replacement
+// state in place: a hit refreshes the line's stamp, a miss installs the
+// line over the LRU way (the last invalid way wins, otherwise the least
+// recently used). It is the single replacement core behind both the live
+// cache and the speculative views.
+func touch(set []cacheLine, tag int64, clock int64) bool {
 	victim := 0
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
-			set[i].lastUsed = c.clock
+			set[i].lastUsed = clock
 			return true
 		}
 		if !set[i].valid {
@@ -187,9 +194,74 @@ func (c *Cache) lookup(lineAddr int64) bool {
 			victim = i
 		}
 	}
-	c.stats.LineMisses++
-	set[victim] = cacheLine{tag: tag, valid: true, lastUsed: c.clock}
+	set[victim] = cacheLine{tag: tag, valid: true, lastUsed: clock}
 	return false
+}
+
+// resident reports whether tag is in the set, without touching LRU state.
+func resident(set []cacheLine, tag int64) bool {
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// lineWalker is what walkAccess drives: a per-line lookup (with
+// replacement side effects) and a backing-store charge for missed bytes.
+// The live Cache and the speculative SpecMem both implement it, sharing
+// one access-walk core.
+type lineWalker interface {
+	look(lineAddr int64) bool
+	charge(now Cycles, addr, bytes int64) Cycles
+}
+
+// walkAccess walks every line of [addr, addr+bytes) through w, then
+// charges the missed bytes to the backing store as one pipelined burst
+// starting at the first missed line. It returns the completion cycle and
+// the line/miss counts of this access.
+func walkAccess(cfg CacheConfig, w lineWalker, now Cycles, addr, bytes int64) (done Cycles, lines, misses int64) {
+	if bytes <= 0 {
+		return now + cfg.HitLatency, 0, 0
+	}
+	first := addr / cfg.LineBytes
+	last := (addr + bytes - 1) / cfg.LineBytes
+	lines = last - first + 1
+	missedBytes := int64(0)
+	firstMissAddr := int64(-1)
+	for line := first; line <= last; line++ {
+		if !w.look(line * cfg.LineBytes) {
+			misses++
+			missedBytes += cfg.LineBytes
+			if firstMissAddr < 0 {
+				firstMissAddr = line * cfg.LineBytes
+			}
+		}
+	}
+	done = now + cfg.HitLatency
+	if missedBytes > 0 {
+		done = w.charge(now+cfg.HitLatency, firstMissAddr, missedBytes)
+	}
+	return done, lines, misses
+}
+
+// look implements lineWalker over the live sets.
+func (c *Cache) look(lineAddr int64) bool {
+	c.clock++
+	setIdx := (lineAddr / c.cfg.LineBytes) % c.numSets
+	tag := lineAddr / c.cfg.LineBytes / c.numSets
+	c.stats.LineAccesses++
+	if touch(c.sets[setIdx], tag, c.clock) {
+		return true
+	}
+	c.stats.LineMisses++
+	return false
+}
+
+// charge implements lineWalker over the live DRAM.
+func (c *Cache) charge(now Cycles, addr, bytes int64) Cycles {
+	return c.backing.Access(now, addr, bytes)
 }
 
 // Access reads the byte range [addr, addr+bytes) at time now and returns
@@ -198,25 +270,7 @@ func (c *Cache) lookup(lineAddr int64) bool {
 // bandwidth occupancy for the missing bytes), modeling the streaming
 // neighbor-list fetches of §3.3.
 func (c *Cache) Access(now Cycles, addr int64, bytes int64) Cycles {
-	if bytes <= 0 {
-		return now + c.cfg.HitLatency
-	}
-	first := addr / c.cfg.LineBytes
-	last := (addr + bytes - 1) / c.cfg.LineBytes
-	missedBytes := int64(0)
-	firstMissAddr := int64(-1)
-	for line := first; line <= last; line++ {
-		if !c.lookup(line * c.cfg.LineBytes) {
-			missedBytes += c.cfg.LineBytes
-			if firstMissAddr < 0 {
-				firstMissAddr = line * c.cfg.LineBytes
-			}
-		}
-	}
-	done := now + c.cfg.HitLatency
-	if missedBytes > 0 {
-		done = c.backing.Access(now+c.cfg.HitLatency, firstMissAddr, missedBytes)
-	}
+	done, _, _ := walkAccess(c.cfg, c, now, addr, bytes)
 	return done
 }
 
@@ -233,14 +287,7 @@ func (c *Cache) Probe(addr int64, bytes int64) bool {
 		lineAddr := line * c.cfg.LineBytes
 		setIdx := (lineAddr / c.cfg.LineBytes) % c.numSets
 		tag := lineAddr / c.cfg.LineBytes / c.numSets
-		hit := false
-		for i := range c.sets[setIdx] {
-			if c.sets[setIdx][i].valid && c.sets[setIdx][i].tag == tag {
-				hit = true
-				break
-			}
-		}
-		if !hit {
+		if !resident(c.sets[setIdx], tag) {
 			return false
 		}
 	}

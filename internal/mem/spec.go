@@ -1,0 +1,123 @@
+package mem
+
+// SpecMem is a speculative view of a Hierarchy for the parallel epoch
+// engine: accesses observe the base cache/DRAM state as of the last
+// Reset plus this view's own accesses, while every mutation (LRU
+// updates, fills, evictions, channel occupancy) lands in a private
+// copy-on-write overlay. Because the replacement and scheduling cores
+// (touch, walkAccess, DRAMConfig.schedule) are shared with the live
+// models, a view over an unchanged base resolves exactly the latencies
+// the live hierarchy would.
+//
+// A SpecMem is confined to one goroutine; concurrent views over the same
+// base are safe as long as the base is not mutated while they run.
+type SpecMem struct {
+	cache *Cache
+	dram  *DRAM
+
+	// sets overlays copied cache sets by set index; untouched sets read
+	// through to the base.
+	sets map[int64][]cacheLine
+	// clock continues the base cache's LRU tick privately.
+	clock int64
+	// nextFree is a private copy of the DRAM channel occupancy.
+	nextFree []Cycles
+
+	cstats CacheStats
+	dstats DRAMStats
+}
+
+// Speculate returns a new speculative view over the hierarchy's current
+// state. The view stays coherent only until the base is next mutated;
+// call Reset to re-sync it.
+func (h *Hierarchy) Speculate() *SpecMem {
+	s := &SpecMem{
+		cache:    h.Shared,
+		dram:     h.DRAM,
+		sets:     make(map[int64][]cacheLine),
+		nextFree: make([]Cycles, len(h.DRAM.nextFree)),
+	}
+	s.Reset()
+	return s
+}
+
+// Reset discards the overlay and re-syncs the view to the base state,
+// reusing the view's allocations.
+func (s *SpecMem) Reset() {
+	for k := range s.sets {
+		delete(s.sets, k)
+	}
+	s.clock = s.cache.clock
+	copy(s.nextFree, s.dram.nextFree)
+	s.cstats = CacheStats{}
+	s.dstats = DRAMStats{}
+}
+
+// set returns the overlay copy of one cache set, cloning it from the
+// base on first touch.
+func (s *SpecMem) set(setIdx int64) []cacheLine {
+	if set, ok := s.sets[setIdx]; ok {
+		return set
+	}
+	set := append([]cacheLine(nil), s.cache.sets[setIdx]...)
+	s.sets[setIdx] = set
+	return set
+}
+
+// look implements lineWalker over the overlay.
+func (s *SpecMem) look(lineAddr int64) bool {
+	s.clock++
+	setIdx := (lineAddr / s.cache.cfg.LineBytes) % s.cache.numSets
+	tag := lineAddr / s.cache.cfg.LineBytes / s.cache.numSets
+	s.cstats.LineAccesses++
+	if touch(s.set(setIdx), tag, s.clock) {
+		return true
+	}
+	s.cstats.LineMisses++
+	return false
+}
+
+// charge implements lineWalker over the private channel occupancy.
+func (s *SpecMem) charge(now Cycles, addr, bytes int64) Cycles {
+	_, done := s.dram.cfg.schedule(s.nextFree, now, addr, bytes)
+	s.dstats.Accesses++
+	s.dstats.BytesMoved += bytes
+	return done
+}
+
+// Access reads [addr, addr+bytes) at time now through the view and
+// returns the completion cycle plus the access's line and miss counts —
+// the geometry commit-time validation compares against the live state.
+func (s *SpecMem) Access(now Cycles, addr, bytes int64) (done Cycles, lines, misses int64) {
+	return walkAccess(s.cache.cfg, s, now, addr, bytes)
+}
+
+// Probe reports residency in the view (overlay where present, base
+// otherwise) without side effects, mirroring Cache.Probe.
+func (s *SpecMem) Probe(addr, bytes int64) bool {
+	if bytes <= 0 {
+		return true
+	}
+	cfg := s.cache.cfg
+	first := addr / cfg.LineBytes
+	last := (addr + bytes - 1) / cfg.LineBytes
+	for line := first; line <= last; line++ {
+		lineAddr := line * cfg.LineBytes
+		setIdx := (lineAddr / cfg.LineBytes) % s.cache.numSets
+		tag := lineAddr / cfg.LineBytes / s.cache.numSets
+		set := s.cache.sets[setIdx]
+		if ov, ok := s.sets[setIdx]; ok {
+			set = ov
+		}
+		if !resident(set, tag) {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats returns the view's own line-access counters since the last Reset.
+func (s *SpecMem) Stats() CacheStats { return s.cstats }
+
+// DRAMStats returns the view's own off-chip counters since the last Reset.
+func (s *SpecMem) DRAMStats() DRAMStats { return s.dstats }

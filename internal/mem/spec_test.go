@@ -1,0 +1,106 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// warm drives an identical access pattern into a hierarchy so two
+// hierarchies can be brought to the same non-trivial state.
+func warm(h *Hierarchy, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	now := Cycles(0)
+	for i := 0; i < 500; i++ {
+		addr := int64(rng.Intn(1 << 16))
+		bytes := int64(1 + rng.Intn(512))
+		now = h.Shared.Access(now, addr, bytes)
+	}
+}
+
+func smallHierarchy() *Hierarchy {
+	dram := NewDRAM(DRAMConfig{Channels: 2, LatencyCycles: 50, BytesPerCycle: 16})
+	cache := NewCache(CacheConfig{CapacityBytes: 8 << 10, LineBytes: 64, Ways: 4, HitLatency: 8}, dram)
+	return &Hierarchy{DRAM: dram, Shared: cache}
+}
+
+// TestSpecMemMatchesLive replays one random access/probe sequence both
+// through a speculative view over a frozen base and directly on an
+// identically warmed live hierarchy: completions, line/miss geometry and
+// probe answers must agree exactly, and the frozen base must be untouched.
+func TestSpecMemMatchesLive(t *testing.T) {
+	frozen := smallHierarchy()
+	live := smallHierarchy()
+	warm(frozen, 42)
+	warm(live, 42)
+
+	baseCache := frozen.Shared.Stats()
+	baseDRAM := frozen.DRAM.Stats()
+
+	view := frozen.Speculate()
+	rng := rand.New(rand.NewSource(7))
+	now := Cycles(1000)
+	for i := 0; i < 2000; i++ {
+		addr := int64(rng.Intn(1 << 16))
+		bytes := int64(1 + rng.Intn(300))
+		if rng.Intn(4) == 0 {
+			sp := view.Probe(addr, bytes)
+			lp := live.Shared.Probe(addr, bytes)
+			if sp != lp {
+				t.Fatalf("step %d: Probe(%d,%d) spec=%v live=%v", i, addr, bytes, sp, lp)
+			}
+			continue
+		}
+		sd, _, _ := view.Access(now, addr, bytes)
+		ld := live.Shared.Access(now, addr, bytes)
+		if sd != ld {
+			t.Fatalf("step %d: Access(%d,%d,%d) spec done=%d live done=%d", i, now, addr, bytes, sd, ld)
+		}
+		now = sd
+	}
+	if view.Stats() != live.Shared.Stats().sub(baseCache) {
+		t.Fatalf("view cache stats %+v != live delta %+v", view.Stats(), live.Shared.Stats().sub(baseCache))
+	}
+	if view.DRAMStats() != live.DRAM.Stats().sub(baseDRAM) {
+		t.Fatalf("view dram stats %+v != live delta %+v", view.DRAMStats(), live.DRAM.Stats().sub(baseDRAM))
+	}
+	if frozen.Shared.Stats() != baseCache || frozen.DRAM.Stats() != baseDRAM {
+		t.Fatal("speculative view mutated the base hierarchy")
+	}
+}
+
+func (s CacheStats) sub(o CacheStats) CacheStats {
+	return CacheStats{LineAccesses: s.LineAccesses - o.LineAccesses, LineMisses: s.LineMisses - o.LineMisses}
+}
+
+func (s DRAMStats) sub(o DRAMStats) DRAMStats {
+	return DRAMStats{Accesses: s.Accesses - o.Accesses, BytesMoved: s.BytesMoved - o.BytesMoved}
+}
+
+// TestSpecMemReset re-syncs a stale view after base mutations and checks
+// it matches the live state again.
+func TestSpecMemReset(t *testing.T) {
+	h := smallHierarchy()
+	warm(h, 3)
+	view := h.Speculate()
+	view.Access(0, 0, 4096) // diverge the overlay
+	// Mutate the base behind the view's back, then re-sync.
+	h.Shared.Access(0, 1<<14, 4096)
+	view.Reset()
+
+	twin := smallHierarchy()
+	warm(twin, 3)
+	twin.Shared.Access(0, 1<<14, 4096)
+
+	rng := rand.New(rand.NewSource(9))
+	now := Cycles(500)
+	for i := 0; i < 500; i++ {
+		addr := int64(rng.Intn(1 << 15))
+		bytes := int64(1 + rng.Intn(200))
+		sd, _, _ := view.Access(now, addr, bytes)
+		ld := twin.Shared.Access(now, addr, bytes)
+		if sd != ld {
+			t.Fatalf("step %d after Reset: spec done=%d live done=%d", i, sd, ld)
+		}
+		now = sd
+	}
+}

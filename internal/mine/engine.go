@@ -84,6 +84,15 @@ func (e *Engine) newID() int32 {
 	return e.nextID
 }
 
+// Mark returns the engine's set-ID allocation cursor. Together with
+// Rewind it lets a speculatively executed task be rolled back and
+// replayed with bit-identical IDs (the accelerator models' parallel
+// engine snapshots PEs around speculative steps).
+func (e *Engine) Mark() int32 { return e.nextID }
+
+// Rewind resets the set-ID allocation cursor to a Mark.
+func (e *Engine) Rewind(mark int32) { e.nextID = mark }
+
 // Start creates the root node for u_0 = v0 and performs the level-0 task.
 func (e *Engine) Start(v0 uint32) (*Node, TaskInfo) {
 	k := e.Plan.K()

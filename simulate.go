@@ -40,6 +40,7 @@ type simConfig struct {
 	stats      bool
 	fiCfg      AcceleratorConfig
 	fmCfg      BaselineConfig
+	par        *ParallelConfig
 }
 
 // SimOption configures a Simulate call; the constructors below are the
@@ -73,6 +74,15 @@ func WithBaselineConfig(cfg BaselineConfig) SimOption {
 	return func(c *simConfig) { c.fmCfg = cfg }
 }
 
+// WithParallelSim runs the simulation on the bounded-lag parallel engine
+// instead of the serial event loop, using cfg.Workers host threads.
+// Results are deterministic: they depend only on cfg.Window, never on
+// cfg.Workers or host scheduling, and Window=1 reproduces the serial
+// engine exactly. Use DefaultParallelConfig for the tuned default.
+func WithParallelSim(cfg ParallelConfig) SimOption {
+	return func(c *simConfig) { c.par = &cfg }
+}
+
 // SimReport is the outcome of one Simulate call. Result is always
 // filled; the telemetry fields are populated on request (WithTracer,
 // WithStats) because assembling them is not free on large chips.
@@ -91,13 +101,16 @@ type SimReport struct {
 // Simulate runs one accelerator timing model over the graph and plans
 // and returns its report. It subsumes the deprecated Simulate* variants:
 //
-//	res := fingers.Simulate(fingers.ArchFingers, g, plans,
+//	res, err := fingers.Simulate(fingers.ArchFingers, g, plans,
 //	        fingers.WithPEs(20), fingers.WithStats())
 //	fmt.Println(res.Result.Cycles, res.IU.ActiveRate())
 //
-// Defaults: 1 PE, the model's shared cache, no tracer, and the paper's
-// default PE configuration for the chosen architecture.
-func Simulate(arch Arch, g *Graph, plans []*Plan, opts ...SimOption) SimReport {
+// Defaults: 1 PE, the model's shared cache, no tracer, the serial event
+// loop, and the paper's default PE configuration for the chosen
+// architecture. Degenerate configurations (an unknown architecture, a
+// non-positive PE count, an invalid WithParallelSim window or worker
+// count, a nil graph, no plans) are reported as errors.
+func Simulate(arch Arch, g *Graph, plans []*Plan, opts ...SimOption) (SimReport, error) {
 	cfg := simConfig{
 		pes:   1,
 		fiCfg: fingerspe.DefaultConfig(),
@@ -107,11 +120,33 @@ func Simulate(arch Arch, g *Graph, plans []*Plan, opts ...SimOption) SimReport {
 		opt(&cfg)
 	}
 	var rep SimReport
+	if g == nil {
+		return rep, fmt.Errorf("fingers: Simulate: graph is nil")
+	}
+	if len(plans) == 0 {
+		return rep, fmt.Errorf("fingers: Simulate: no plans given")
+	}
+	if cfg.pes < 1 {
+		return rep, fmt.Errorf("fingers: Simulate: number of PEs must be >= 1, got %d", cfg.pes)
+	}
+	if cfg.par != nil {
+		if err := cfg.par.Validate(); err != nil {
+			return rep, fmt.Errorf("fingers: Simulate: %w", err)
+		}
+	}
 	switch arch {
 	case ArchFingers:
 		chip := fingerspe.NewChip(cfg.fiCfg, cfg.pes, cfg.cacheBytes, g, plans)
 		chip.SetTracer(cfg.tracer)
-		rep.Result = chip.Run()
+		if cfg.par != nil {
+			res, err := chip.RunParallel(*cfg.par)
+			if err != nil {
+				return rep, err
+			}
+			rep.Result = res
+		} else {
+			rep.Result = chip.Run()
+		}
 		if cfg.stats || cfg.tracer != nil {
 			rep.PerPE = chip.PERecords()
 		}
@@ -121,14 +156,22 @@ func Simulate(arch Arch, g *Graph, plans []*Plan, opts ...SimOption) SimReport {
 	case ArchFlexMiner:
 		chip := flexminer.NewChip(cfg.fmCfg, cfg.pes, cfg.cacheBytes, g, plans)
 		chip.SetTracer(cfg.tracer)
-		rep.Result = chip.Run()
+		if cfg.par != nil {
+			res, err := chip.RunParallel(*cfg.par)
+			if err != nil {
+				return rep, err
+			}
+			rep.Result = res
+		} else {
+			rep.Result = chip.Run()
+		}
 		if cfg.stats || cfg.tracer != nil {
 			rep.PerPE = chip.PERecords()
 		}
 	default:
-		panic(fmt.Sprintf("fingers: unknown architecture %d", int(arch)))
+		return rep, fmt.Errorf("fingers: Simulate: unknown architecture %d", int(arch))
 	}
-	return rep
+	return rep, nil
 }
 
 // CountCtx is CountParallel with cancellation: the root scheduler checks

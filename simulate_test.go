@@ -21,7 +21,10 @@ func TestSimulateReportShape(t *testing.T) {
 	plans := []*fingers.Plan{pl}
 	want := fingers.Count(g, pl)
 
-	plain := fingers.Simulate(fingers.ArchFingers, g, plans, fingers.WithPEs(2))
+	plain, err := fingers.Simulate(fingers.ArchFingers, g, plans, fingers.WithPEs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if plain.Result.Count != want {
 		t.Errorf("count = %d, want %d", plain.Result.Count, want)
 	}
@@ -29,7 +32,10 @@ func TestSimulateReportShape(t *testing.T) {
 		t.Errorf("plain report carries telemetry: %+v", plain)
 	}
 
-	stats := fingers.Simulate(fingers.ArchFingers, g, plans, fingers.WithPEs(2), fingers.WithStats())
+	stats, err := fingers.Simulate(fingers.ArchFingers, g, plans, fingers.WithPEs(2), fingers.WithStats())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(stats.PerPE) != 2 || stats.IU.ActiveRate() <= 0 {
 		t.Errorf("stats report incomplete: PerPE=%d active=%.2f", len(stats.PerPE), stats.IU.ActiveRate())
 	}
@@ -38,7 +44,10 @@ func TestSimulateReportShape(t *testing.T) {
 	}
 
 	tr := fingers.NewChromeTrace()
-	traced := fingers.Simulate(fingers.ArchFlexMiner, g, plans, fingers.WithTracer(tr))
+	traced, err := fingers.Simulate(fingers.ArchFlexMiner, g, plans, fingers.WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if traced.Result.Count != want || len(traced.PerPE) != 1 {
 		t.Errorf("traced flexminer: count=%d PerPE=%d", traced.Result.Count, len(traced.PerPE))
 	}
@@ -64,14 +73,113 @@ func TestDeprecatedWrappersDelegate(t *testing.T) {
 	plans := []*fingers.Plan{pl}
 
 	oldRes := fingers.SimulateFingers(fingers.DefaultAcceleratorConfig(), 2, 0, g, pl)
-	newRes := fingers.Simulate(fingers.ArchFingers, g, plans, fingers.WithPEs(2))
+	newRes, err := fingers.Simulate(fingers.ArchFingers, g, plans, fingers.WithPEs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if oldRes != newRes.Result {
 		t.Errorf("SimulateFingers diverged: %+v vs %+v", oldRes, newRes.Result)
 	}
 
 	oldFm := fingers.SimulateFlexMiner(fingers.DefaultBaselineConfig(), 2, 0, g, pl)
-	newFm := fingers.Simulate(fingers.ArchFlexMiner, g, plans, fingers.WithPEs(2))
+	newFm, err := fingers.Simulate(fingers.ArchFlexMiner, g, plans, fingers.WithPEs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if oldFm != newFm.Result {
 		t.Errorf("SimulateFlexMiner diverged: %+v vs %+v", oldFm, newFm.Result)
+	}
+}
+
+// TestSimulateParallelMatchesSerial: the façade's parallel engine path
+// must agree with the serial path — exactly at Window=1, and on the
+// count at the tuned default window.
+func TestSimulateParallelMatchesSerial(t *testing.T) {
+	g := fingers.GeneratePowerLawCluster(300, 4, 0.5, 9)
+	pat, err := fingers.PatternByName("tt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := fingers.CompilePlan(pat, fingers.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := []*fingers.Plan{pl}
+
+	serial, err := fingers.Simulate(fingers.ArchFingers, g, plans, fingers.WithPEs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := fingers.Simulate(fingers.ArchFingers, g, plans, fingers.WithPEs(4),
+		fingers.WithParallelSim(fingers.ParallelConfig{Window: 1, Workers: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Result != serial.Result {
+		t.Errorf("Window=1 parallel diverges:\nserial %+v\npar    %+v", serial.Result, exact.Result)
+	}
+	def, err := fingers.Simulate(fingers.ArchFingers, g, plans, fingers.WithPEs(4),
+		fingers.WithParallelSim(fingers.DefaultParallelConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Result.Count != serial.Result.Count {
+		t.Errorf("default-window count diverges: %d vs %d", def.Result.Count, serial.Result.Count)
+	}
+}
+
+// TestSimulateRejectsDegenerateConfigs: every invalid configuration is
+// reported as an error, not a panic or a hang.
+func TestSimulateRejectsDegenerateConfigs(t *testing.T) {
+	g := fingers.GenerateErdosRenyi(100, 300, 11)
+	pat, err := fingers.PatternByName("tc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := fingers.CompilePlan(pat, fingers.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := []*fingers.Plan{pl}
+
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"zero PEs", func() error {
+			_, err := fingers.Simulate(fingers.ArchFingers, g, plans, fingers.WithPEs(0))
+			return err
+		}},
+		{"negative PEs", func() error {
+			_, err := fingers.Simulate(fingers.ArchFlexMiner, g, plans, fingers.WithPEs(-2))
+			return err
+		}},
+		{"unknown arch", func() error {
+			_, err := fingers.Simulate(fingers.Arch(99), g, plans)
+			return err
+		}},
+		{"nil graph", func() error {
+			_, err := fingers.Simulate(fingers.ArchFingers, nil, plans)
+			return err
+		}},
+		{"no plans", func() error {
+			_, err := fingers.Simulate(fingers.ArchFingers, g, nil)
+			return err
+		}},
+		{"zero window", func() error {
+			_, err := fingers.Simulate(fingers.ArchFingers, g, plans,
+				fingers.WithParallelSim(fingers.ParallelConfig{Window: 0, Workers: 2}))
+			return err
+		}},
+		{"zero workers", func() error {
+			_, err := fingers.Simulate(fingers.ArchFingers, g, plans,
+				fingers.WithParallelSim(fingers.ParallelConfig{Window: 64, Workers: 0}))
+			return err
+		}},
+	}
+	for _, c := range cases {
+		if c.run() == nil {
+			t.Errorf("%s: expected an error", c.name)
+		}
 	}
 }
