@@ -21,8 +21,10 @@
 //	-cpuprofile F   write a CPU profile to F
 //	-memprofile F   write a heap profile to F on exit
 //
-// A first SIGINT cancels the sweep after the in-flight cells finish;
-// partial tables are not printed and the process exits non-zero.
+// A first SIGINT or SIGTERM cancels the sweep: the in-flight chip runs
+// stop within one cancellation quantum, their partial telemetry records
+// are still flushed to -json (flagged partial), partial tables are not
+// printed, and the process exits 130.
 package main
 
 import (
@@ -34,6 +36,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"fingers/internal/accel"
@@ -42,7 +45,14 @@ import (
 	"fingers/internal/telemetry"
 )
 
+// main delegates to realMain so deferred cleanup (profiles, the JSONL
+// run log) runs before the process exits — including on signal-driven
+// cancellation, which os.Exit inside the body would skip.
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	quick := flag.Bool("quick", false, "small graphs and pattern subset")
 	fiPEs := flag.Int("fingers-pes", 0, "FINGERS chip PE count (0 = paper default 20)")
 	fmPEs := flag.Int("flex-pes", 0, "FlexMiner chip PE count (0 = paper default 40)")
@@ -56,7 +66,7 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile here on exit")
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	opts := exp.Options{
@@ -71,7 +81,7 @@ func main() {
 		pcfg := accel.ParallelConfig{Window: mem.Cycles(*simWindow), Workers: *simWorkers}
 		if err := pcfg.Validate(); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return 1
 		}
 		opts.SimParallel = &pcfg
 	}
@@ -79,11 +89,12 @@ func main() {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -107,7 +118,7 @@ func main() {
 		log, err := telemetry.OpenRunLog(*jsonOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer log.Close()
 		opts.Log = log
@@ -115,23 +126,24 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table2|fig9|fig10|fig11|fig12|fig13|table3|ablate|parallelism|all>")
-		os.Exit(2)
+		return 2
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	for _, name := range args {
 		if err := run(ctx, name, opts, *csvDir); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			if ctx.Err() != nil {
-				os.Exit(130)
+				return 130
 			}
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
 // csvWriter is any experiment result that can export itself as CSV.

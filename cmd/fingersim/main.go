@@ -13,13 +13,21 @@
 // track per PE); -json appends one machine-readable run record per
 // simulated architecture; -progress N prints a live status line every N
 // scheduler steps for long runs.
+//
+// SIGINT or SIGTERM cancels the simulation gracefully: the run stops
+// within one cancellation quantum, the partial results (cycles reached,
+// counts so far, dispatched roots) are printed and flushed to -json and
+// -trace with the record's partial flag set, and the process exits 130.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime/pprof"
+	"syscall"
 
 	"fingers/internal/accel"
 	"fingers/internal/datasets"
@@ -28,10 +36,19 @@ import (
 	"fingers/internal/flexminer"
 	"fingers/internal/graph"
 	"fingers/internal/mem"
+	"fingers/internal/simerr"
 	"fingers/internal/telemetry"
 )
 
+// main delegates to realMain so deferred cleanup (profiles, the JSONL
+// run log, the Chrome trace) runs before the process exits — including
+// on signal-driven cancellation, which os.Exit inside the body would
+// skip.
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	graphArg := flag.String("graph", "Mi", "dataset mnemonic (As/Mi/Yo/Pa/Lj/Or) or edge-list path")
 	patternArg := flag.String("pattern", "tc", "benchmark pattern (tc/4cl/5cl/tt/cyc/dia/3mc or any named pattern)")
 	arch := flag.String("arch", "both", "fingers, flexminer, or both")
@@ -52,22 +69,29 @@ func main() {
 	switch *arch {
 	case "fingers", "flexminer", "both":
 	default:
-		fatal(fmt.Errorf("unknown -arch %q (valid values: fingers, flexminer, both)", *arch))
+		return fail(fmt.Errorf("unknown -arch %q (valid values: fingers, flexminer, both)", *arch))
 	}
 	var pcfg *accel.ParallelConfig
 	if *simWorkers > 0 {
 		pcfg = &accel.ParallelConfig{Window: mem.Cycles(*simWindow), Workers: *simWorkers}
 		if err := pcfg.Validate(); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
+
+	// SIGINT/SIGTERM cancels the in-flight simulation; the partial
+	// results are still printed and flushed below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			f.Close()
+			return fail(err)
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -78,22 +102,23 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				fatal(err)
+				fmt.Fprintln(os.Stderr, "fingersim:", err)
+				return
 			}
 			defer f.Close()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatal(err)
+				fmt.Fprintln(os.Stderr, "fingersim:", err)
 			}
 		}()
 	}
 
 	g, err := loadGraph(*graphArg)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	plans, err := exp.PlansFor(*patternArg)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	st := graph.ComputeStats(g)
 	fmt.Printf("graph: %d vertices, %d edges, avg degree %.1f, max degree %d\n",
@@ -108,11 +133,12 @@ func main() {
 	if *jsonOut != "" {
 		runLog, err = telemetry.OpenRunLog(*jsonOut)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		defer runLog.Close()
 	}
 
+	code := 0
 	cache := *cacheKB << 10
 	if *arch == "fingers" || *arch == "both" {
 		cfg := fingerspe.DefaultConfig()
@@ -134,21 +160,24 @@ func main() {
 			}
 			return tasks
 		})
-		res := runChip(pcfg, *progressEvery, fn, chip.RunWithProgress, chip.RunParallelWithProgress)
+		res, runErr := runChip(ctx, pcfg, *progressEvery, fn, chip.RunCtxWithProgress, chip.RunParallelCtxWithProgress)
+		code = reportRunErr(code, runErr)
 		iu := chip.AggregateStats()
-		fmt.Printf("FINGERS   %2d PEs × %2d IUs (s_l=%d): %s\n", *pes, cfg.NumIUs, cfg.LongSegLen, res)
+		fmt.Printf("FINGERS   %2d PEs × %2d IUs (s_l=%d): %s%s\n", *pes, cfg.NumIUs, cfg.LongSegLen, res, partialMark(runErr))
 		fmt.Printf("          IU active %.1f%%, balance %.1f%%\n", 100*iu.ActiveRate(), 100*iu.BalanceRate())
 		fmt.Printf("          breakdown: %s\n", res.Breakdown)
+		fmt.Printf("          roots dispatched: %d/%d\n", chip.RootsDispatched(), chip.RootsTotal())
 		if runLog != nil {
 			rec := exp.NewRunRecord("fingers", "fingersim", *graphArg, *patternArg, *pes, cfg.NumIUs, cache, g, res, chip.PERecords())
+			rec.Partial = runErr != nil
 			rec.IUActiveRate = iu.ActiveRate()
 			rec.IUBalanceRate = iu.BalanceRate()
 			if err := runLog.Write(rec); err != nil {
-				fatal(err)
+				code = reportRunErr(code, err)
 			}
 		}
 	}
-	if *arch == "flexminer" || *arch == "both" {
+	if (*arch == "flexminer" || *arch == "both") && code == 0 {
 		sched := accel.NewRootScheduler(g.NumVertices())
 		chip := flexminer.NewChipWithScheduler(flexminer.DefaultConfig(), *pes, cache, g, plans, sched)
 		if chrome != nil {
@@ -161,45 +190,82 @@ func main() {
 			}
 			return tasks
 		})
-		res := runChip(pcfg, *progressEvery, fn, chip.RunWithProgress, chip.RunParallelWithProgress)
-		fmt.Printf("FlexMiner %2d PEs: %s\n", *pes, res)
+		res, runErr := runChip(ctx, pcfg, *progressEvery, fn, chip.RunCtxWithProgress, chip.RunParallelCtxWithProgress)
+		code = reportRunErr(code, runErr)
+		fmt.Printf("FlexMiner %2d PEs: %s%s\n", *pes, res, partialMark(runErr))
 		fmt.Printf("          breakdown: %s\n", res.Breakdown)
+		fmt.Printf("          roots dispatched: %d/%d\n", chip.RootsDispatched(), chip.RootsTotal())
 		if runLog != nil {
 			rec := exp.NewRunRecord("flexminer", "fingersim", *graphArg, *patternArg, *pes, 0, cache, g, res, chip.PERecords())
+			rec.Partial = runErr != nil
 			if err := runLog.Write(rec); err != nil {
-				fatal(err)
+				code = reportRunErr(code, err)
 			}
 		}
 	}
 	if chrome != nil {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fatal(err)
+			return failCode(code, err)
 		}
 		if _, err := chrome.WriteTo(f); err != nil {
 			f.Close()
-			fatal(err)
+			return failCode(code, err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return failCode(code, err)
 		}
 		fmt.Printf("trace: %d events -> %s (open at ui.perfetto.dev)\n", len(chrome.Events()), *traceOut)
 	}
+	return code
 }
 
-// runChip runs one chip on the selected engine: the serial event loop,
-// or — when -sim-workers is set — the bounded-lag parallel engine.
-func runChip(pcfg *accel.ParallelConfig, every int64, fn func(accel.Progress),
-	serial func(int64, func(accel.Progress)) accel.Result,
-	parallel func(accel.ParallelConfig, int64, func(accel.Progress)) (accel.Result, error)) accel.Result {
+// runChip runs one chip on the selected engine — the serial event loop,
+// or with -sim-workers the bounded-lag parallel engine — under the
+// signal-cancelled context. On cancellation or a recovered simulation
+// panic it returns the partial result alongside the *simerr.SimError.
+func runChip(ctx context.Context, pcfg *accel.ParallelConfig, every int64, fn func(accel.Progress),
+	serial func(context.Context, int64, func(accel.Progress)) (accel.Result, error),
+	parallel func(context.Context, accel.ParallelConfig, int64, func(accel.Progress)) (accel.Result, error)) (accel.Result, error) {
 	if pcfg == nil {
-		return serial(every, fn)
+		return serial(ctx, every, fn)
 	}
-	res, err := parallel(*pcfg, every, fn)
+	return parallel(ctx, *pcfg, every, fn)
+}
+
+// reportRunErr folds one run error into the exit code: 130 for a
+// signal-driven cancellation (the shell convention for SIGINT), 1 for
+// anything else, keeping the first nonzero code.
+func reportRunErr(code int, err error) int {
+	if err == nil {
+		return code
+	}
+	fmt.Fprintln(os.Stderr, "fingersim:", err)
+	next := 1
+	if se, ok := simerr.As(err); ok && se.IsCancellation() {
+		next = 130
+	}
+	if code != 0 {
+		return code
+	}
+	return next
+}
+
+// partialMark annotates a result line whose run was cut short.
+func partialMark(err error) string {
 	if err != nil {
-		fatal(err)
+		return "  [partial]"
 	}
-	return res
+	return ""
+}
+
+// failCode reports err and returns the first nonzero exit code.
+func failCode(code int, err error) int {
+	fmt.Fprintln(os.Stderr, "fingersim:", err)
+	if code != 0 {
+		return code
+	}
+	return 1
 }
 
 // progressFunc builds the periodic status-line callback: simulated time,
@@ -228,7 +294,9 @@ func loadGraph(arg string) (*graph.Graph, error) {
 	return graph.LoadFile(arg)
 }
 
-func fatal(err error) {
+// fail reports err and returns exit code 1 (flag/input errors, before
+// any simulation state exists).
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "fingersim:", err)
-	os.Exit(1)
+	return 1
 }

@@ -20,6 +20,10 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	typ := flag.String("type", "plc", "generator: plc, ba, er, complete, star, ring, path")
 	dataset := flag.String("dataset", "", "emit a Table 1 analogue instead (As/Mi/Yo/Pa/Lj/Or)")
 	n := flag.Uint("n", 1000, "vertex count")
@@ -32,20 +36,21 @@ func main() {
 
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "gengraph: -o is required")
-		os.Exit(2)
+		return 2
 	}
 	g, err := build(*typ, *dataset, uint32(*n), *m, *mper, *triad, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gengraph:", err)
-		os.Exit(1)
+		return 1
 	}
 	if err := graph.SaveFile(*out, g); err != nil {
 		fmt.Fprintln(os.Stderr, "gengraph:", err)
-		os.Exit(1)
+		return 1
 	}
 	st := graph.ComputeStats(g)
 	fmt.Printf("wrote %s: %d vertices, %d edges, avg degree %.1f, max degree %d\n",
 		*out, st.Vertices, st.Edges, st.AvgDegree, st.MaxDegree)
+	return 0
 }
 
 func build(typ, dataset string, n uint32, m, mper int, triad float64, seed int64) (*graph.Graph, error) {

@@ -6,6 +6,10 @@
 //	mine -graph soc.txt -pattern tt
 //	mine -graph Mi -motif 3
 //	mine -graph As -pattern tc -list -limit 10
+//
+// SIGINT or SIGTERM cancels a count gracefully: workers drain their
+// current root chunk, the partial count is reported, and the process
+// exits 130.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"fingers/internal/datasets"
@@ -22,9 +27,14 @@ import (
 	"fingers/internal/pattern"
 	"fingers/internal/plan"
 	"fingers/internal/planopt"
+	"fingers/internal/simerr"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	graphArg := flag.String("graph", "", "dataset mnemonic or edge-list path (required)")
 	patternArg := flag.String("pattern", "tc", "named pattern to mine")
 	motif := flag.Int("motif", 0, "count all connected k-vertex motifs instead of one pattern")
@@ -37,15 +47,15 @@ func main() {
 
 	if *graphArg == "" {
 		fmt.Fprintln(os.Stderr, "mine: -graph is required")
-		os.Exit(2)
+		return 2
 	}
-	// SIGINT cancels the count: workers drain their current root chunk,
-	// the partial count is reported, and the process exits non-zero.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT/SIGTERM cancels the count: workers drain their current root
+	// chunk, the partial count is reported, and the process exits 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	g, err := loadGraph(*graphArg)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	opts := plan.Options{EdgeInduced: *edgeInduced}
 	started := time.Now()
@@ -53,20 +63,23 @@ func main() {
 	case *motif > 0:
 		mp, err := plan.Motif(*motif, opts)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		counts := mine.CountMulti(g, mp)
+		counts, cerr := mine.CountMultiCtx(ctx, g, mp, *workers)
 		for i, pl := range mp.Plans {
 			fmt.Printf("%v: %d\n", pl.Pattern, counts[i])
+		}
+		if cerr != nil {
+			return failRun(cerr, "partial per-pattern counts printed above")
 		}
 	case *list:
 		p, err := pattern.ByName(*patternArg)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		pl, err := plan.Compile(p, opts)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		n := 0
 		mine.List(g, pl, func(emb []uint32) bool {
@@ -77,13 +90,13 @@ func main() {
 	default:
 		p, err := pattern.ByName(*patternArg)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		var pl *plan.Plan
 		if *optimize {
 			res, err := planopt.CompileBest(g, p, planopt.Options{Plan: opts})
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
 			pl = res.Plan
 			fmt.Fprintf(os.Stderr, "order %v: cost %d vs heuristic %d (%d orders tried)\n",
@@ -91,17 +104,17 @@ func main() {
 		} else {
 			pl, err = plan.Compile(p, opts)
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
 		}
-		count, err := mine.CountCtx(ctx, g, pl, *workers)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mine: interrupted; partial count over the roots mined so far: %d\n", count)
-			os.Exit(130)
+		count, cerr := mine.CountCtx(ctx, g, pl, *workers)
+		if cerr != nil {
+			return failRun(cerr, fmt.Sprintf("partial count over the roots mined so far: %d", count))
 		}
 		fmt.Printf("%s embeddings: %d\n", *patternArg, count)
 	}
 	fmt.Fprintf(os.Stderr, "[%v]\n", time.Since(started).Round(time.Millisecond))
+	return 0
 }
 
 func loadGraph(arg string) (*graph.Graph, error) {
@@ -111,7 +124,18 @@ func loadGraph(arg string) (*graph.Graph, error) {
 	return graph.LoadFile(arg)
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "mine:", err)
-	os.Exit(1)
+	return 1
+}
+
+// failRun reports a mining failure with its partial-progress note:
+// exit 130 for a signal-driven cancellation (the shell convention for
+// SIGINT), 1 for a recovered mining panic.
+func failRun(err error, partialNote string) int {
+	fmt.Fprintf(os.Stderr, "mine: %v; %s\n", err, partialNote)
+	if se, ok := simerr.As(err); ok && se.IsCancellation() {
+		return 130
+	}
+	return 1
 }

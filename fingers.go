@@ -24,6 +24,8 @@
 package fingers
 
 import (
+	"context"
+
 	"fingers/internal/accel"
 	"fingers/internal/area"
 	"fingers/internal/datasets"
@@ -31,11 +33,40 @@ import (
 	"fingers/internal/flexminer"
 	"fingers/internal/graph"
 	"fingers/internal/graph/gen"
+	"fingers/internal/mem"
 	"fingers/internal/mine"
 	"fingers/internal/pattern"
 	"fingers/internal/plan"
+	"fingers/internal/simerr"
 	"fingers/internal/telemetry"
 )
+
+// SimError is the structured failure of a simulation or mining run: it
+// names the engine ("serial", "parallel", "miner", "facade"), the PE or
+// worker, the simulated cycle, and the root vertex being mined, and
+// wraps the underlying cause — a recovered panic (with the goroutine
+// stack) or the context error of a cancelled run — so errors.Is(err,
+// context.Canceled) keeps working through it. Simulate and CountCtx
+// return a *SimError for every cancellation, deadline expiry, and
+// recovered panic.
+type SimError = simerr.SimError
+
+// AsSimError extracts a *SimError from an error chain; ok is false when
+// the error did not originate inside a simulation engine.
+func AsSimError(err error) (*SimError, bool) { return simerr.As(err) }
+
+// ErrMalformedGraph is the sentinel every graph-ingest format or
+// invariant violation wraps: LoadGraph reports bad magic, truncated or
+// corrupt binary payloads, and unparseable edge lists as errors
+// satisfying errors.Is(err, ErrMalformedGraph), distinguishing bad
+// input from genuine I/O failure.
+var ErrMalformedGraph = graph.ErrMalformed
+
+// ErrInvalidPlan is the sentinel wrapped by every plan-validation
+// failure: Simulate and the chip constructors reject structurally
+// unsound execution plans with errors satisfying errors.Is(err,
+// ErrInvalidPlan).
+var ErrInvalidPlan = plan.ErrInvalid
 
 // Graph is an immutable undirected CSR graph with sorted neighbor lists.
 type Graph = graph.Graph
@@ -84,6 +115,10 @@ type IUStats = fingerspe.IUStats
 // stall, pipeline overhead, and idle; SimResult carries the chip-wide
 // rollup and PE-level detail is available from the traced variants.
 type CycleBreakdown = telemetry.Breakdown
+
+// Cycles counts simulated accelerator clock cycles — the unit every
+// Tracer event and SimResult timing field is expressed in.
+type Cycles = mem.Cycles
 
 // Tracer receives fine-grained simulation events (task groups, set-op
 // issues, cache accesses, DRAM bursts); nil disables tracing with zero
@@ -152,6 +187,14 @@ func CountParallel(g *Graph, pl *Plan, workers int) uint64 {
 // CountMotifs mines every plan of a multi-pattern plan, returning counts
 // in plan order.
 func CountMotifs(g *Graph, mp *MultiPlan) []uint64 { return mine.CountMulti(g, mp) }
+
+// CountMotifsCtx is CountMotifs with cancellation and panic recovery,
+// parallelized over root vertices within each pattern (workers ≤ 0 uses
+// GOMAXPROCS). On a failure it returns the per-pattern counts completed
+// so far alongside a *SimError.
+func CountMotifsCtx(ctx context.Context, g *Graph, mp *MultiPlan, workers int) ([]uint64, error) {
+	return mine.CountMultiCtx(ctx, g, mp, workers)
+}
 
 // ListEmbeddings enumerates embeddings, invoking visit with the mapped
 // vertices (slice reused across calls); returning false stops early.

@@ -7,9 +7,11 @@ package accel
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"fingers/internal/mem"
+	"fingers/internal/simerr"
 	"fingers/internal/telemetry"
 )
 
@@ -27,6 +29,9 @@ type RootScheduler struct {
 
 // NewRootScheduler schedules roots 0..n-1 in ID order.
 func NewRootScheduler(n int) *RootScheduler { return &RootScheduler{n: n} }
+
+// Total returns the number of roots the scheduler was built with.
+func (r *RootScheduler) Total() int { return r.n }
 
 // NewRootSchedulerWithOrder schedules the given roots in the given order.
 func NewRootSchedulerWithOrder(order []uint32) *RootScheduler {
@@ -147,9 +152,48 @@ type Progress struct {
 	Active int
 }
 
+// CancelCheckQuantum is how many scheduling quanta the serial event loop
+// executes between context checks: a cancelled RunCtx returns within this
+// many PE steps of the context firing. The value keeps the check off the
+// per-step hot path while bounding the cancellation latency to well under
+// a millisecond of host time.
+const CancelCheckQuantum = 64
+
+// RootHolder is an optional PE capability: a PE that can report the root
+// vertex of the search tree it is currently mining, for failure
+// attribution and partial-progress reporting. Both accelerator PE models
+// implement it; the engines fall back to simerr.NoRoot when absent.
+type RootHolder interface {
+	CurrentRoot() (root uint32, ok bool)
+}
+
+// currentRoot reports the PE's in-flight root for error attribution.
+func currentRoot(pe PE) int64 {
+	if rh, ok := pe.(RootHolder); ok {
+		if v, ok := rh.CurrentRoot(); ok {
+			return int64(v)
+		}
+	}
+	return simerr.NoRoot
+}
+
+// safeStep advances one PE, converting a panic inside the step into a
+// structured *simerr.SimError attributed to the PE, its local clock, and
+// the root it was mining.
+func safeStep(pe PE, id int, engine string) (alive bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = simerr.FromPanic(engine, id, int64(pe.Time()), currentRoot(pe), r)
+		}
+	}()
+	return pe.Step(), nil
+}
+
 // Run drives the PEs in event order until all are idle and returns the
 // makespan. Each heap pop selects the PE with the smallest local clock so
-// shared cache and DRAM state evolve in near-global order.
+// shared cache and DRAM state evolve in near-global order. A panic inside
+// a PE step propagates as a panicking *simerr.SimError; use RunCtx to
+// receive it as an error instead.
 func Run(pes []PE) mem.Cycles { return RunWithProgress(pes, 0, nil) }
 
 // RunWithProgress is Run with a periodic observer: every `every`
@@ -157,16 +201,59 @@ func Run(pes []PE) mem.Cycles { return RunWithProgress(pes, 0, nil) }
 // fn == nil disables the callback, reducing to Run). The callback must
 // not mutate simulation state.
 func RunWithProgress(pes []PE, every int64, fn func(Progress)) mem.Cycles {
+	makespan, err := RunCtxWithProgress(context.Background(), pes, every, fn)
+	if err != nil {
+		// Unreachable for a background context unless a PE step panicked;
+		// preserve the legacy crash contract of the ctx-less entry point.
+		panic(err)
+	}
+	return makespan
+}
+
+// RunCtx is Run with cancellation and panic recovery: the loop checks ctx
+// every CancelCheckQuantum scheduling quanta, and a fired context stops
+// the run within that bound. The returned makespan is then the partially
+// simulated horizon (the largest local clock reached) alongside a
+// *simerr.SimError wrapping ctx.Err(); shared cache, DRAM, and per-PE
+// state remain consistent and inspectable — graceful degradation, not
+// data loss. A panic inside a PE step likewise returns as a *SimError
+// attributed to the PE, cycle, and root.
+func RunCtx(ctx context.Context, pes []PE) (mem.Cycles, error) {
+	return RunCtxWithProgress(ctx, pes, 0, nil)
+}
+
+// RunCtxWithProgress is RunCtx with the periodic observer of
+// RunWithProgress.
+func RunCtxWithProgress(ctx context.Context, pes []PE, every int64, fn func(Progress)) (mem.Cycles, error) {
 	h := make(peHeap, 0, len(pes))
 	var makespan mem.Cycles
 	for i, pe := range pes {
 		h = append(h, peEntry{pe: pe, id: i})
 	}
 	heap.Init(&h)
+	// horizon is the partially simulated makespan at an early return: the
+	// largest local clock any PE reached, retired or not.
+	horizon := func() mem.Cycles {
+		out := makespan
+		for _, en := range h {
+			if t := en.pe.Time(); t > out {
+				out = t
+			}
+		}
+		return out
+	}
 	var steps int64
 	for h.Len() > 0 {
-		pe := h[0].pe
-		alive := pe.Step()
+		if steps%CancelCheckQuantum == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return horizon(), simerr.Cancelled("serial", int64(horizon()), cerr)
+			}
+		}
+		pe, id := h[0].pe, h[0].id
+		alive, err := safeStep(pe, id, "serial")
+		if err != nil {
+			return horizon(), err
+		}
 		steps++
 		if alive {
 			heap.Fix(&h, 0)
@@ -186,5 +273,5 @@ func RunWithProgress(pes []PE, every int64, fn func(Progress)) mem.Cycles {
 			fn(Progress{Steps: steps, Now: now, Active: h.Len()})
 		}
 	}
-	return makespan
+	return makespan, nil
 }

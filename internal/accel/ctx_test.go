@@ -1,0 +1,167 @@
+package accel
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"fingers/internal/mem"
+	"fingers/internal/simerr"
+)
+
+// cancellingPE is a fakePE that fires its context after a fixed number
+// of its own steps, so the test can measure how many more steps the
+// engine executes before honouring the cancellation.
+type cancellingPE struct {
+	fakePE
+	cancelAt int
+	cancel   context.CancelFunc
+	steps    int
+}
+
+func (c *cancellingPE) Step() bool {
+	c.steps++
+	if c.steps == c.cancelAt {
+		c.cancel()
+	}
+	return c.fakePE.Step()
+}
+
+// panicPE panics on its Nth step and reports a current root.
+type panicPE struct {
+	fakePE
+	panicAt int
+	steps   int
+	root    uint32
+}
+
+func (p *panicPE) Step() bool {
+	p.steps++
+	if p.steps == p.panicAt {
+		panic("injected PE fault")
+	}
+	return p.fakePE.Step()
+}
+
+func (p *panicPE) CurrentRoot() (uint32, bool) { return p.root, true }
+
+func TestRunCtxAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pes := []PE{&fakePE{step: 10, left: 100}}
+	got, err := RunCtx(ctx, pes)
+	if err == nil {
+		t.Fatal("expected an error from a cancelled context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	se, ok := simerr.As(err)
+	if !ok {
+		t.Fatalf("error %T is not a *simerr.SimError", err)
+	}
+	if se.Engine != "serial" || !se.IsCancellation() {
+		t.Errorf("SimError = %+v, want serial cancellation", se)
+	}
+	if got != 0 {
+		t.Errorf("horizon before any step = %d, want 0", got)
+	}
+}
+
+func TestRunCtxCancelWithinQuantum(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pe := &cancellingPE{
+		fakePE:   fakePE{step: 3, left: 1 << 20},
+		cancelAt: 100,
+		cancel:   cancel,
+	}
+	got, err := RunCtx(ctx, []PE{pe})
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	extra := pe.steps - pe.cancelAt
+	if extra < 0 || extra > CancelCheckQuantum {
+		t.Errorf("engine ran %d steps past cancellation, want <= %d", extra, CancelCheckQuantum)
+	}
+	// The partial horizon reflects the simulated time actually reached.
+	if want := mem.Cycles(pe.steps) * 3; got != want {
+		t.Errorf("partial horizon = %d, want %d", got, want)
+	}
+}
+
+func TestRunCtxPanicBecomesSimError(t *testing.T) {
+	pes := []PE{
+		&fakePE{step: 5, left: 10},
+		&panicPE{fakePE: fakePE{step: 5, left: 100}, panicAt: 7, root: 42},
+	}
+	_, err := RunCtx(context.Background(), pes)
+	if err == nil {
+		t.Fatal("expected the injected panic to surface as an error")
+	}
+	se, ok := simerr.As(err)
+	if !ok {
+		t.Fatalf("error %T is not a *simerr.SimError", err)
+	}
+	if se.Engine != "serial" {
+		t.Errorf("Engine = %q, want serial", se.Engine)
+	}
+	if se.PE != 1 {
+		t.Errorf("PE = %d, want 1", se.PE)
+	}
+	if se.Root != 42 {
+		t.Errorf("Root = %d, want 42", se.Root)
+	}
+	if se.IsCancellation() {
+		t.Error("a panic must not be classified as cancellation")
+	}
+	if len(se.Stack) == 0 {
+		t.Error("panic SimError is missing its stack capture")
+	}
+	if !strings.Contains(err.Error(), "injected PE fault") {
+		t.Errorf("error %q does not mention the panic value", err)
+	}
+}
+
+// TestRunCtxMatchesRun: an uncancelled RunCtx is bit-identical to the
+// legacy Run — same makespan, no error.
+func TestRunCtxMatchesRun(t *testing.T) {
+	build := func() []PE {
+		return []PE{
+			&fakePE{step: 10, left: 3},
+			&fakePE{step: 7, left: 10},
+			&fakePE{step: 13, left: 5},
+		}
+	}
+	want := Run(build())
+	got, err := RunCtx(context.Background(), build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("RunCtx = %d, Run = %d", got, want)
+	}
+}
+
+// TestRunWithProgressPanicsOnPEFault: the legacy ctx-less entry keeps
+// its crash contract — a PE fault propagates as a panicking *SimError.
+func TestRunWithProgressPanicsOnPEFault(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected Run to panic on a PE fault")
+		}
+		err, ok := r.(error)
+		if !ok {
+			t.Fatalf("panic value %T is not an error", r)
+		}
+		if _, ok := simerr.As(err); !ok {
+			t.Errorf("panic value %v is not a *simerr.SimError", err)
+		}
+	}()
+	Run([]PE{&panicPE{fakePE: fakePE{step: 5, left: 10}, panicAt: 2}})
+}

@@ -2,12 +2,14 @@ package accel
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"fingers/internal/mem"
 	"fingers/internal/noc"
+	"fingers/internal/simerr"
 	"fingers/internal/telemetry"
 )
 
@@ -90,9 +92,9 @@ type SpecPE interface {
 // operation to revalidate and replay at commit, or a telemetry event to
 // re-emit in commit order.
 type specEvent struct {
-	kind evKind
-	at   mem.Cycles
-	addr int64
+	kind  evKind
+	at    mem.Cycles
+	addr  int64
 	bytes int64
 	// Access results under the speculative view.
 	done   mem.Cycles
@@ -120,11 +122,11 @@ const (
 // (start, PE-id, seq) order — the canonical order the engine's whole
 // determinism contract is stated in.
 type specBlock struct {
-	pe    int
-	seq   int
-	start mem.Cycles
-	snap  interface{}
-	alive bool
+	pe      int
+	seq     int
+	start   mem.Cycles
+	snap    interface{}
+	alive   bool
 	entries []specEvent
 }
 
@@ -235,6 +237,7 @@ func (h *commitHeap) Pop() interface{} {
 
 // parEngine is the bounded-lag epoch engine's run state.
 type parEngine struct {
+	ctx   context.Context
 	pes   []SpecPE
 	ports []*noc.Port
 	hier  *mem.Hierarchy
@@ -266,6 +269,16 @@ type parEngine struct {
 
 	jobs chan int
 	wg   sync.WaitGroup
+
+	// errMu guards firstErr, the first panic recovered on a speculative
+	// worker goroutine; the coordinator observes it after the epoch
+	// barrier and aborts the run.
+	errMu    sync.Mutex
+	firstErr error
+	// curPE is the PE whose block or serial continuation the commit
+	// phase is currently executing, for coordinator-side panic
+	// attribution (simerr.NoPE outside the commit phase).
+	curPE int
 }
 
 // RunParallel drives the PEs with the bounded-lag epoch engine and
@@ -291,6 +304,24 @@ func RunParallel(pes []SpecPE, hier *mem.Hierarchy, ports []*noc.Port, cfg Paral
 // quanta (every <= 0 or fn == nil disables it). Now never regresses
 // between calls.
 func RunParallelWithProgress(pes []SpecPE, hier *mem.Hierarchy, ports []*noc.Port, cfg ParallelConfig, every int64, fn func(Progress)) (mem.Cycles, error) {
+	return RunParallelCtxWithProgress(context.Background(), pes, hier, ports, cfg, every, fn)
+}
+
+// RunParallelCtx is RunParallel with cancellation and panic recovery:
+// the engine checks ctx at every epoch barrier, so a fired context stops
+// the run within one epoch window. The returned makespan is then the
+// partially simulated horizon alongside a *simerr.SimError wrapping
+// ctx.Err(); everything committed before the barrier (counts, cache and
+// DRAM state, telemetry) remains consistent. A panic on any engine
+// goroutine — speculative worker or commit coordinator — likewise
+// returns as a *SimError instead of crashing the host process.
+func RunParallelCtx(ctx context.Context, pes []SpecPE, hier *mem.Hierarchy, ports []*noc.Port, cfg ParallelConfig) (mem.Cycles, error) {
+	return RunParallelCtxWithProgress(ctx, pes, hier, ports, cfg, 0, nil)
+}
+
+// RunParallelCtxWithProgress is RunParallelCtx with the periodic
+// observer of RunParallelWithProgress.
+func RunParallelCtxWithProgress(ctx context.Context, pes []SpecPE, hier *mem.Hierarchy, ports []*noc.Port, cfg ParallelConfig, every int64, fn func(Progress)) (mem.Cycles, error) {
 	if err := cfg.Validate(); err != nil {
 		return 0, err
 	}
@@ -305,10 +336,12 @@ func RunParallelWithProgress(pes []SpecPE, hier *mem.Hierarchy, ports []*noc.Por
 	}
 
 	e := &parEngine{
+		ctx:       ctx,
 		pes:       pes,
 		ports:     ports,
 		hier:      hier,
 		cfg:       cfg,
+		curPE:     simerr.NoPE,
 		agents:    make([]*specAgent, len(pes)),
 		checkView: hier.Speculate(),
 		checks:    make([]*noc.SpecPort, len(pes)),
@@ -336,21 +369,78 @@ func RunParallelWithProgress(pes []SpecPE, hier *mem.Hierarchy, ports []*noc.Por
 	for w := 0; w < workers; w++ {
 		go func() {
 			for i := range e.jobs {
-				e.stepSpec(i)
+				e.stepSpecSafe(i)
 				e.wg.Done()
 			}
 		}()
 	}
 	defer close(e.jobs)
 
-	e.run(every, fn)
+	err := e.runSafe(every, fn)
 
 	// Leave every PE on its live port and tracer so post-run inspection
 	// and later serial stepping see the chip exactly as Run would.
 	for i := range pes {
 		e.ensureLive(i)
 	}
-	return e.makespan, nil
+	return e.horizon(), err
+}
+
+// horizon returns the simulated makespan reached so far: the maximum of
+// the retired PEs' makespan and every live PE's local clock. At normal
+// completion all PEs are retired and it equals the makespan.
+func (e *parEngine) horizon() mem.Cycles {
+	out := e.makespan
+	for i, pe := range e.pes {
+		if e.alive[i] {
+			if t := pe.Time(); t > out {
+				out = t
+			}
+		}
+	}
+	return out
+}
+
+// runSafe executes the epoch loop with coordinator-side panic recovery:
+// a panic in the commit phase (a PE step, a tracer callback, or a
+// violated engine invariant) surfaces as a *simerr.SimError attributed
+// to the PE being committed instead of crashing the host.
+func (e *parEngine) runSafe(every int64, fn func(Progress)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			root := int64(simerr.NoRoot)
+			if e.curPE != simerr.NoPE {
+				root = currentRoot(e.pes[e.curPE])
+			}
+			err = simerr.FromPanic("parallel", e.curPE, int64(e.horizon()), root, r)
+		}
+	}()
+	return e.run(every, fn)
+}
+
+// stepSpecSafe runs one PE's speculative phase, recovering a panic into
+// the engine's first-error slot: the worker pool must never crash the
+// process, and the coordinator aborts the run after the epoch barrier.
+func (e *parEngine) stepSpecSafe(i int) {
+	defer func() {
+		if r := recover(); r != nil {
+			se := simerr.FromPanic("parallel", i, int64(e.pes[i].Time()), currentRoot(e.pes[i]), r)
+			e.errMu.Lock()
+			if e.firstErr == nil {
+				e.firstErr = se
+			}
+			e.errMu.Unlock()
+		}
+	}()
+	e.stepSpec(i)
+}
+
+// specErr returns the first speculative-phase failure, if any. Called by
+// the coordinator after wg.Wait(), so no worker is concurrently writing.
+func (e *parEngine) specErr() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.firstErr
 }
 
 // ensureSpec installs PE i's recording agent as its port (and, when the
@@ -378,11 +468,16 @@ func (e *parEngine) ensureLive(i int) {
 	}
 }
 
-// run executes epochs until every PE is permanently idle.
-func (e *parEngine) run(every int64, fn func(Progress)) {
+// run executes epochs until every PE is permanently idle, the context
+// fires (checked once per epoch barrier, so cancellation latency is
+// bounded by one epoch window), or an engine goroutine fails.
+func (e *parEngine) run(every int64, fn func(Progress)) error {
 	selected := make([]int, 0, len(e.pes))
 	var lastFired int64
 	for {
+		if cerr := e.ctx.Err(); cerr != nil {
+			return simerr.Cancelled("parallel", int64(e.horizon()), cerr)
+		}
 		// Epoch start: T = min local clock over live PEs.
 		var t mem.Cycles
 		active := 0
@@ -399,7 +494,7 @@ func (e *parEngine) run(every int64, fn func(Progress)) {
 			if every > 0 && fn != nil {
 				fn(Progress{Steps: e.steps, Now: e.makespan, Active: 0})
 			}
-			return
+			return nil
 		}
 		e.epochEnd = t + e.cfg.Window
 		selected = selected[:0]
@@ -413,9 +508,11 @@ func (e *parEngine) run(every int64, fn func(Progress)) {
 			// Sole PE in the window: nothing can interleave with it, so
 			// step it directly against the live state — zero speculation
 			// overhead, and root handouts keep their scheduler order.
-			e.runSolo(selected[0])
-		} else {
-			e.runEpoch(selected)
+			if err := e.runSolo(selected[0]); err != nil {
+				return err
+			}
+		} else if err := e.runEpoch(selected); err != nil {
+			return err
 		}
 
 		if every > 0 && fn != nil && e.steps-lastFired >= every {
@@ -440,20 +537,26 @@ func (e *parEngine) run(every int64, fn func(Progress)) {
 
 // runSolo steps the only in-window PE serially until it leaves the
 // window or dies.
-func (e *parEngine) runSolo(i int) {
+func (e *parEngine) runSolo(i int) error {
 	e.ensureLive(i)
 	pe := e.pes[i]
+	e.curPE = i
+	defer func() { e.curPE = simerr.NoPE }()
 	for n := 0; n < maxStepsPerEpoch; n++ {
 		if pe.Time() >= e.epochEnd {
-			return
+			return nil
 		}
-		alive := pe.Step()
+		alive, err := safeStep(pe, i, "parallel")
+		if err != nil {
+			return err
+		}
 		e.steps++
 		if !alive {
 			e.retire(i)
-			return
+			return nil
 		}
 	}
+	return nil
 }
 
 // retire marks PE i permanently idle and folds its finishing time into
@@ -468,7 +571,7 @@ func (e *parEngine) retire(i int) {
 // runEpoch executes one bounded-lag epoch over the selected PEs:
 // root reservation, concurrent speculative stepping, then the
 // deterministic commit.
-func (e *parEngine) runEpoch(selected []int) {
+func (e *parEngine) runEpoch(selected []int) error {
 	// Reserve root handouts in (local clock, PE-id) order — the order
 	// the serial loop would pop these PEs in — so the shared scheduler
 	// is never touched during the concurrent phase.
@@ -498,6 +601,11 @@ func (e *parEngine) runEpoch(selected []int) {
 		e.jobs <- i
 	}
 	e.wg.Wait()
+	if err := e.specErr(); err != nil {
+		// A speculative step panicked: nothing from this epoch has been
+		// committed, so the live state is exactly the last barrier's.
+		return err
+	}
 
 	// Commit phase: validate and apply blocks in (cycle, PE-id, seq)
 	// order; failed validations rewind the PE and re-execute serially
@@ -515,6 +623,7 @@ func (e *parEngine) runEpoch(selected []int) {
 	for h.Len() > 0 {
 		it := heap.Pop(&h).(commitItem)
 		i := it.pe
+		e.curPE = i
 		if it.blk != nil {
 			blk := it.blk
 			if invalidated[i] {
@@ -548,7 +657,11 @@ func (e *parEngine) runEpoch(selected []int) {
 		if pe.WillTakeRoot() && !pe.StagedRoot() {
 			continue // root handouts happen at epoch barriers
 		}
-		alive := pe.Step()
+		alive, err := safeStep(pe, i, "parallel")
+		if err != nil {
+			e.curPE = simerr.NoPE
+			return err
+		}
 		e.steps++
 		e.committed(i)
 		if !alive {
@@ -558,6 +671,8 @@ func (e *parEngine) runEpoch(selected []int) {
 		contSeq++
 		heap.Push(&h, commitItem{start: pe.Time(), pe: i, seq: contSeq})
 	}
+	e.curPE = simerr.NoPE
+	return nil
 }
 
 // committed records that PE i mutated the live state during the current

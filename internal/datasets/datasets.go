@@ -142,7 +142,9 @@ func Names() []string {
 	return out
 }
 
-// ByName returns the dataset with the given mnemonic.
+// ByName returns the dataset with the given mnemonic. An unknown name
+// is reported with the full list of valid names and, when one is close
+// enough to look like a typo, a nearest-match suggestion.
 func ByName(name string) (*Dataset, error) {
 	for _, d := range registry {
 		if d.Name == name || strings.EqualFold(d.Name, name) || strings.EqualFold(d.FullName, name) {
@@ -151,7 +153,64 @@ func ByName(name string) (*Dataset, error) {
 	}
 	known := Names()
 	sort.Strings(known)
+	if sug := nearest(name); sug != "" {
+		return nil, fmt.Errorf("datasets: unknown dataset %q (did you mean %q? known: %v)", name, sug, known)
+	}
 	return nil, fmt.Errorf("datasets: unknown dataset %q (known: %v)", name, known)
+}
+
+// nearest returns the registered mnemonic or full name with the smallest
+// case-insensitive edit distance from name, or "" when nothing is within
+// a plausible typo distance (2 edits, and strictly closer than the
+// name's own length).
+func nearest(name string) string {
+	lower := strings.ToLower(name)
+	best, bestDist := "", len(lower)
+	for _, d := range registry {
+		for _, cand := range []string{d.Name, d.FullName} {
+			if cand == "" {
+				continue
+			}
+			if dist := editDistance(lower, strings.ToLower(cand)); dist < bestDist {
+				best, bestDist = cand, dist
+			}
+		}
+	}
+	if bestDist > 2 {
+		return ""
+	}
+	return best
+}
+
+// editDistance returns the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
 }
 
 // All returns every dataset in Table 1 order.

@@ -1,6 +1,7 @@
 package datasets
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -117,5 +118,48 @@ func TestTable1Renders(t *testing.T) {
 	}
 	if len(strings.Split(strings.TrimSpace(out), "\n")) != 8 {
 		t.Errorf("Table1 row count unexpected:\n%s", out)
+	}
+}
+
+func TestByNameUnknownListsValidNames(t *testing.T) {
+	_, err := ByName("nosuch")
+	if err == nil {
+		t.Fatal("expected an error for an unknown dataset")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list valid name %q", err, name)
+		}
+	}
+}
+
+func TestByNameSuggestsNearestMatch(t *testing.T) {
+	cases := []struct {
+		typo, want string
+	}{
+		{"Mj", "Mi"},       // one substitution off a mnemonic
+		{"LJ!", "Lj"},      // case fold plus one insertion
+		{"Orkot", "Orkut"}, // full-name typo
+		{"MiCoo", "Mico"},  // full-name insertion
+	}
+	for _, c := range cases {
+		_, err := ByName(c.typo)
+		if err == nil {
+			t.Fatalf("%q: expected an error", c.typo)
+		}
+		want := fmt.Sprintf("did you mean %q", c.want)
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("%q: error %q is missing suggestion %q", c.typo, err, c.want)
+		}
+	}
+}
+
+func TestByNameNoSuggestionWhenFar(t *testing.T) {
+	_, err := ByName("zzzzzzzz")
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("error %q suggests a match for a hopeless name", err)
 	}
 }

@@ -168,28 +168,39 @@ func logWrite(log *telemetry.RunLog, rec telemetry.RunRecord) {
 	}
 }
 
-// runChip executes one chip run on the engine Options selects: the
-// serial event loop, or — with SimParallel set — the bounded-lag
-// parallel engine. An invalid SimParallel configuration panics; the CLI
-// layers validate before building Options.
-func (o Options) runChip(serial func() accel.Result, parallel func(accel.ParallelConfig) (accel.Result, error)) accel.Result {
+// runChip executes one chip run on the engine Options selects — the
+// serial event loop, or with SimParallel the bounded-lag parallel
+// engine — threading Options.Ctx through so a cancelled sweep stops the
+// in-flight chip within one cancellation quantum rather than letting it
+// run to completion. A cancelled run returns its partial result with
+// partial=true; any other simulation error (a recovered engine panic,
+// an invalid SimParallel configuration) panics, because it signals a
+// defect rather than a shutdown.
+func (o Options) runChip(serial func(context.Context) (accel.Result, error), parallel func(context.Context, accel.ParallelConfig) (accel.Result, error)) (res accel.Result, partial bool) {
+	ctx := o.ctx()
+	var err error
 	if o.SimParallel == nil {
-		return serial()
+		res, err = serial(ctx)
+	} else {
+		res, err = parallel(ctx, *o.SimParallel)
 	}
-	res, err := parallel(*o.SimParallel)
 	if err != nil {
-		panic(fmt.Sprintf("exp: parallel simulation: %v", err))
+		if ctx.Err() == nil {
+			panic(fmt.Sprintf("exp: simulation: %v", err))
+		}
+		return res, true
 	}
-	return res
+	return res, false
 }
 
 // simFingers runs one FINGERS cell and, when a run log is attached,
 // appends its telemetry record (with IU rates and per-PE breakdowns).
 func (o Options) simFingers(experiment, graphName, patternName string, cfg fingers.Config, pes int, cacheBytes int64, g *graph.Graph, plans []*plan.Plan) accel.Result {
 	chip := fingers.NewChip(cfg, pes, cacheBytes, g, plans)
-	res := o.runChip(chip.Run, chip.RunParallel)
+	res, partial := o.runChip(chip.RunCtx, chip.RunParallelCtx)
 	if o.Log != nil {
 		rec := NewRunRecord("fingers", experiment, graphName, patternName, pes, cfg.NumIUs, cacheBytes, g, res, chip.PERecords())
+		rec.Partial = partial
 		iu := chip.AggregateStats()
 		rec.IUActiveRate = iu.ActiveRate()
 		rec.IUBalanceRate = iu.BalanceRate()
@@ -201,9 +212,11 @@ func (o Options) simFingers(experiment, graphName, patternName string, cfg finge
 // simFlex runs one FlexMiner cell, logging like simFingers.
 func (o Options) simFlex(experiment, graphName, patternName string, pes int, cacheBytes int64, g *graph.Graph, plans []*plan.Plan) accel.Result {
 	chip := flexminer.NewChip(flexminer.DefaultConfig(), pes, cacheBytes, g, plans)
-	res := o.runChip(chip.Run, chip.RunParallel)
+	res, partial := o.runChip(chip.RunCtx, chip.RunParallelCtx)
 	if o.Log != nil {
-		logWrite(o.Log, NewRunRecord("flexminer", experiment, graphName, patternName, pes, 0, cacheBytes, g, res, chip.PERecords()))
+		rec := NewRunRecord("flexminer", experiment, graphName, patternName, pes, 0, cacheBytes, g, res, chip.PERecords())
+		rec.Partial = partial
+		logWrite(o.Log, rec)
 	}
 	return res
 }

@@ -1,6 +1,7 @@
 package fingers
 
 import (
+	"context"
 	"fmt"
 
 	"fingers/internal/accel"
@@ -18,26 +19,65 @@ type Chip struct {
 	Hier *mem.Hierarchy
 
 	ports    []*noc.Port
+	sched    *accel.RootScheduler
 	makespan mem.Cycles
 }
 
 // NewChip builds a FINGERS chip with numPEs PEs mining the given plans.
 // sharedCacheBytes = 0 keeps the paper's 4 MB default.
+//
+// Deprecated: NewChip panics on a degenerate configuration; prefer
+// NewChipErr at any boundary that ingests untrusted configurations.
 func NewChip(cfg Config, numPEs int, sharedCacheBytes int64, g *graph.Graph, plans []*plan.Plan) *Chip {
-	return NewChipWithScheduler(cfg, numPEs, sharedCacheBytes, g, plans,
-		accel.NewRootScheduler(g.NumVertices()))
+	return NewChipWithScheduler(cfg, numPEs, sharedCacheBytes, g, plans, nil)
+}
+
+// NewChipErr is NewChip with validation instead of panics: a
+// non-positive PE count, a nil graph, an empty or nil-holding plan list,
+// or a plan failing plan.Validate is reported as an error. This is the
+// constructor the Simulate façade uses.
+func NewChipErr(cfg Config, numPEs int, sharedCacheBytes int64, g *graph.Graph, plans []*plan.Plan) (*Chip, error) {
+	if err := validateChipArgs("fingers", numPEs, g, plans); err != nil {
+		return nil, err
+	}
+	return NewChipWithScheduler(cfg, numPEs, sharedCacheBytes, g, plans, nil), nil
+}
+
+// validateChipArgs checks the chip-construction arguments shared by both
+// accelerator models.
+func validateChipArgs(model string, numPEs int, g *graph.Graph, plans []*plan.Plan) error {
+	if numPEs < 1 {
+		return fmt.Errorf("%s: NewChip: number of PEs must be >= 1, got %d", model, numPEs)
+	}
+	if g == nil {
+		return fmt.Errorf("%s: NewChip: graph is nil", model)
+	}
+	if len(plans) == 0 {
+		return fmt.Errorf("%s: NewChip: no plans given", model)
+	}
+	for i, pl := range plans {
+		if err := pl.Validate(); err != nil {
+			return fmt.Errorf("%s: NewChip: plan %d: %w", model, i, err)
+		}
+	}
+	return nil
 }
 
 // NewChipWithScheduler builds the chip with a custom root scheduler, for
-// root-ordering studies (locality and load-balance policies, §6.3).
-// Degenerate configurations fail fast: numPEs must be positive (the
-// public Simulate façade reports the same condition as an error).
+// root-ordering studies (locality and load-balance policies, §6.3); a
+// nil scheduler gets the default ID-order handout. Degenerate
+// configurations fail fast with a panic: numPEs must be positive (the
+// public Simulate façade and NewChipErr report the same condition as an
+// error).
 func NewChipWithScheduler(cfg Config, numPEs int, sharedCacheBytes int64, g *graph.Graph, plans []*plan.Plan, sched *accel.RootScheduler) *Chip {
 	if numPEs < 1 {
 		panic(fmt.Sprintf("fingers: NewChip: number of PEs must be >= 1, got %d", numPEs))
 	}
+	if sched == nil {
+		sched = accel.NewRootScheduler(g.NumVertices())
+	}
 	hier := mem.NewHierarchy(sharedCacheBytes)
-	c := &Chip{Hier: hier}
+	c := &Chip{Hier: hier, sched: sched}
 	net := noc.New(noc.DefaultConfig(), numPEs)
 	for i := 0; i < numPEs; i++ {
 		port := noc.NewPort(net, i, hier.Shared)
@@ -48,6 +88,14 @@ func NewChipWithScheduler(cfg Config, numPEs int, sharedCacheBytes int64, g *gra
 	}
 	return c
 }
+
+// RootsTotal returns the number of search-tree roots the chip's
+// scheduler was built with.
+func (c *Chip) RootsTotal() int { return c.sched.Total() }
+
+// RootsDispatched returns the number of roots handed to PEs so far — the
+// completed-root progress measure of a partial run.
+func (c *Chip) RootsDispatched() int { return c.sched.Total() - c.sched.Remaining() }
 
 // SetTracer attaches an event tracer to every PE, every NoC port, and
 // the DRAM model; nil detaches, restoring the zero-overhead path.
@@ -81,6 +129,27 @@ func (c *Chip) RunWithProgress(every int64, fn func(accel.Progress)) accel.Resul
 	return c.assemble(accel.RunWithProgress(pes, every, fn))
 }
 
+// RunCtx simulates the chip with cancellation and panic recovery: a
+// fired context stops the run within accel.CancelCheckQuantum scheduling
+// quanta and returns the partial Result assembled from everything
+// simulated so far (cycles reached, counts, cache/DRAM state, per-PE
+// breakdowns) alongside a *simerr.SimError wrapping ctx.Err(). A panic
+// inside a PE step returns the same way instead of crashing.
+func (c *Chip) RunCtx(ctx context.Context) (accel.Result, error) {
+	return c.RunCtxWithProgress(ctx, 0, nil)
+}
+
+// RunCtxWithProgress is RunCtx with the periodic observer of
+// RunWithProgress.
+func (c *Chip) RunCtxWithProgress(ctx context.Context, every int64, fn func(accel.Progress)) (accel.Result, error) {
+	pes := make([]accel.PE, len(c.PEs))
+	for i, pe := range c.PEs {
+		pes[i] = pe
+	}
+	makespan, err := accel.RunCtxWithProgress(ctx, pes, every, fn)
+	return c.assemble(makespan), err
+}
+
 // RunParallel simulates the chip to completion on the bounded-lag
 // parallel engine. Results depend only on pcfg.Window, never on
 // pcfg.Workers; Window=1 matches Run exactly (accel.RunParallel).
@@ -91,15 +160,32 @@ func (c *Chip) RunParallel(pcfg accel.ParallelConfig) (accel.Result, error) {
 // RunParallelWithProgress is RunParallel with a progress callback fired
 // at epoch barriers, at least every `every` committed quanta.
 func (c *Chip) RunParallelWithProgress(pcfg accel.ParallelConfig, every int64, fn func(accel.Progress)) (accel.Result, error) {
+	return c.RunParallelCtxWithProgress(context.Background(), pcfg, every, fn)
+}
+
+// RunParallelCtx is RunParallel with cancellation and panic recovery: a
+// fired context stops the run within one epoch window, returning the
+// partial Result of everything committed so far alongside a
+// *simerr.SimError wrapping ctx.Err(); engine goroutine panics return
+// the same way instead of crashing the host.
+func (c *Chip) RunParallelCtx(ctx context.Context, pcfg accel.ParallelConfig) (accel.Result, error) {
+	return c.RunParallelCtxWithProgress(ctx, pcfg, 0, nil)
+}
+
+// RunParallelCtxWithProgress is RunParallelCtx with the progress
+// callback of RunParallelWithProgress.
+func (c *Chip) RunParallelCtxWithProgress(ctx context.Context, pcfg accel.ParallelConfig, every int64, fn func(accel.Progress)) (accel.Result, error) {
 	pes := make([]accel.SpecPE, len(c.PEs))
 	for i, pe := range c.PEs {
 		pes[i] = pe
 	}
-	makespan, err := accel.RunParallelWithProgress(pes, c.Hier, c.ports, pcfg, every, fn)
-	if err != nil {
+	makespan, err := accel.RunParallelCtxWithProgress(ctx, pes, c.Hier, c.ports, pcfg, every, fn)
+	if err != nil && makespan == 0 {
+		// Config-validation failures happen before any simulation; keep
+		// the legacy zero Result so callers can't mistake them for runs.
 		return accel.Result{}, err
 	}
-	return c.assemble(makespan), nil
+	return c.assemble(makespan), err
 }
 
 // assemble rolls the per-PE outcomes of a completed run into a Result.

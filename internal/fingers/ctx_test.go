@@ -1,0 +1,217 @@
+package fingers
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"fingers/internal/accel"
+	"fingers/internal/graph/gen"
+	"fingers/internal/mem"
+	"fingers/internal/simerr"
+	"fingers/internal/telemetry"
+)
+
+// panicTracer injects a fault inside PE steps: the first task-group
+// event panics, standing in for a defect anywhere in the step path.
+type panicTracer struct{ armed bool }
+
+var _ telemetry.Tracer = (*panicTracer)(nil)
+
+func (p *panicTracer) TaskGroupBegin(pe, engine int, at mem.Cycles, size int) {
+	if p.armed {
+		panic("injected tracer fault")
+	}
+}
+func (p *panicTracer) TaskGroupEnd(pe int, at mem.Cycles) {}
+func (p *panicTracer) SetOpIssue(pe int, at mem.Cycles, kind string, longLen, shortLen, workloads int) {
+}
+func (p *panicTracer) CacheAccess(pe int, at mem.Cycles, bytes, lines, misses int64, done mem.Cycles) {
+}
+func (p *panicTracer) DRAMBurst(start, done mem.Cycles, addr, bytes int64) {}
+
+func TestChipRunCtxMatchesRun(t *testing.T) {
+	g := gen.PowerLawCluster(200, 4, 0.5, 31)
+	pls := plansFor(t, "tt")
+	want := NewChip(DefaultConfig(), 4, 0, g, pls).Run()
+	got, err := NewChip(DefaultConfig(), 4, 0, g, pls).RunCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("RunCtx result diverges from Run:\n%+v\n%+v", got, want)
+	}
+}
+
+func TestChipRunCtxAlreadyCancelled(t *testing.T) {
+	g := gen.PowerLawCluster(200, 4, 0.5, 31)
+	pls := plansFor(t, "tc")
+	chip := NewChip(DefaultConfig(), 2, 0, g, pls)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := chip.RunCtx(ctx)
+	if err == nil {
+		t.Fatal("expected a cancellation error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	se, ok := simerr.As(err)
+	if !ok || se.Engine != "serial" || !se.IsCancellation() {
+		t.Errorf("error %v is not a serial-engine cancellation SimError", err)
+	}
+	if res.Cycles != 0 {
+		t.Errorf("cycles before any step = %d, want 0", res.Cycles)
+	}
+	if chip.RootsDispatched() != 0 {
+		t.Errorf("roots dispatched before any step = %d", chip.RootsDispatched())
+	}
+}
+
+func TestChipRunCtxCancelMidRun(t *testing.T) {
+	g := gen.PowerLawCluster(400, 5, 0.6, 37)
+	pls := plansFor(t, "tt")
+	chip := NewChip(DefaultConfig(), 4, 0, g, pls)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var steps int64
+	res, err := chip.RunCtxWithProgress(ctx, 1, func(p accel.Progress) {
+		steps = p.Steps
+		if steps == 500 {
+			cancel()
+		}
+	})
+	if err == nil {
+		t.Fatal("expected a cancellation error")
+	}
+	se, ok := simerr.As(err)
+	if !ok || !se.IsCancellation() {
+		t.Fatalf("error %v is not a cancellation SimError", err)
+	}
+	// The engine must stop within one cancellation quantum of the cancel.
+	if steps > 500+accel.CancelCheckQuantum {
+		t.Errorf("engine ran to step %d, want <= %d", steps, 500+accel.CancelCheckQuantum)
+	}
+	if res.Cycles == 0 {
+		t.Error("partial result is missing its simulated horizon")
+	}
+	total, done := chip.RootsTotal(), chip.RootsDispatched()
+	if total != g.NumVertices() {
+		t.Errorf("RootsTotal = %d, want %d", total, g.NumVertices())
+	}
+	if done == 0 || done >= total {
+		t.Errorf("roots dispatched = %d/%d, want a strict partial prefix", done, total)
+	}
+}
+
+func TestChipRunParallelCtxAlreadyCancelled(t *testing.T) {
+	g := gen.PowerLawCluster(200, 4, 0.5, 41)
+	pls := plansFor(t, "tc")
+	chip := NewChip(DefaultConfig(), 4, 0, g, pls)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pcfg := accel.ParallelConfig{Window: 64, Workers: 2}
+	_, err := chip.RunParallelCtx(ctx, pcfg)
+	if err == nil {
+		t.Fatal("expected a cancellation error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	se, ok := simerr.As(err)
+	if !ok || se.Engine != "parallel" || !se.IsCancellation() {
+		t.Errorf("error %v is not a parallel-engine cancellation SimError", err)
+	}
+}
+
+// TestChipRunParallelCtxCancelMidEpoch cancels from the epoch-barrier
+// progress callback while worker goroutines are active; run under -race
+// this doubles as the engine-shutdown data-race check.
+func TestChipRunParallelCtxCancelMidEpoch(t *testing.T) {
+	g := gen.PowerLawCluster(400, 5, 0.6, 43)
+	pls := plansFor(t, "tt")
+	chip := NewChip(DefaultConfig(), 4, 0, g, pls)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fired := false
+	res, err := chip.RunParallelCtxWithProgress(ctx, accel.ParallelConfig{Window: 64, Workers: 4}, 200,
+		func(p accel.Progress) {
+			if !fired && p.Steps >= 200 {
+				fired = true
+				cancel()
+			}
+		})
+	if !fired {
+		t.Skip("run completed before the cancellation point")
+	}
+	if err == nil {
+		t.Fatal("expected a cancellation error")
+	}
+	se, ok := simerr.As(err)
+	if !ok || se.Engine != "parallel" || !se.IsCancellation() {
+		t.Fatalf("error %v is not a parallel-engine cancellation SimError", err)
+	}
+	if res.Cycles == 0 {
+		t.Error("partial result is missing its committed horizon")
+	}
+}
+
+func TestChipPanicSurfacesAsSimErrorSerial(t *testing.T) {
+	g := gen.PowerLawCluster(200, 4, 0.5, 47)
+	pls := plansFor(t, "tc")
+	chip := NewChip(DefaultConfig(), 2, 0, g, pls)
+	tr := &panicTracer{armed: true}
+	chip.SetTracer(tr)
+	_, err := chip.RunCtx(context.Background())
+	if err == nil {
+		t.Fatal("expected the injected panic to surface as an error")
+	}
+	se, ok := simerr.As(err)
+	if !ok {
+		t.Fatalf("error %T is not a *simerr.SimError", err)
+	}
+	if se.Engine != "serial" || se.PE < 0 {
+		t.Errorf("SimError = %+v, want serial engine with PE attribution", se)
+	}
+	if se.IsCancellation() {
+		t.Error("a panic must not be classified as cancellation")
+	}
+}
+
+func TestChipPanicSurfacesAsSimErrorParallel(t *testing.T) {
+	g := gen.PowerLawCluster(200, 4, 0.5, 53)
+	pls := plansFor(t, "tc")
+	chip := NewChip(DefaultConfig(), 4, 0, g, pls)
+	chip.SetTracer(&panicTracer{armed: true})
+	_, err := chip.RunParallelCtx(context.Background(), accel.ParallelConfig{Window: 64, Workers: 4})
+	if err == nil {
+		t.Fatal("expected the injected panic to surface as an error")
+	}
+	se, ok := simerr.As(err)
+	if !ok {
+		t.Fatalf("error %T is not a *simerr.SimError", err)
+	}
+	if se.Engine != "parallel" {
+		t.Errorf("Engine = %q, want parallel", se.Engine)
+	}
+	if se.IsCancellation() {
+		t.Error("a panic must not be classified as cancellation")
+	}
+}
+
+func TestNewChipErrValidation(t *testing.T) {
+	g := gen.PowerLawCluster(50, 3, 0.5, 59)
+	pls := plansFor(t, "tc")
+	if _, err := NewChipErr(DefaultConfig(), 0, 0, g, pls); err == nil {
+		t.Error("0 PEs: expected an error")
+	}
+	if _, err := NewChipErr(DefaultConfig(), 2, 0, nil, pls); err == nil {
+		t.Error("nil graph: expected an error")
+	}
+	if _, err := NewChipErr(DefaultConfig(), 2, 0, g, nil); err == nil {
+		t.Error("no plans: expected an error")
+	}
+	if c, err := NewChipErr(DefaultConfig(), 2, 0, g, pls); err != nil || c == nil {
+		t.Errorf("valid args: err = %v", err)
+	}
+}

@@ -142,6 +142,21 @@ func (pe *PE) Stats() IUStats {
 // Groups returns the number of task groups executed.
 func (pe *PE) Groups() int64 { return pe.groups }
 
+// CurrentRoot reports the root vertex of the search tree the PE is
+// mining right now (accel.RootHolder): the first embedded vertex of the
+// bottom stack frame. ok is false between search trees, when a failure
+// cannot be attributed to any root.
+func (pe *PE) CurrentRoot() (uint32, bool) {
+	if len(pe.stack) == 0 {
+		return 0, false
+	}
+	n := pe.stack[0].node
+	if n == nil || len(n.Verts) == 0 {
+		return 0, false
+	}
+	return n.Verts[0], true
+}
+
 // Breakdown returns the PE's cycle attribution so far. Idle is zero; the
 // chip rollup fills it in as makespan − Time().
 func (pe *PE) Breakdown() telemetry.Breakdown { return pe.bd }

@@ -1,5 +1,7 @@
 package graph
 
+import "fmt"
+
 // Preprocessing algorithms graph mining systems apply before plan
 // execution: k-core decomposition (whose degeneracy order bounds clique
 // search), connected components, vertex relabeling, and induced-subgraph
@@ -135,16 +137,34 @@ func (g *Graph) ConnectedComponents() (labels []int, num int) {
 // position of oldID order[i]; i.e. order lists the old IDs in their new
 // order. Relabeling by degree or degeneracy improves locality of the
 // adjacency array for mining.
+//
+// Relabel panics on an order that is not a permutation of the vertex
+// IDs; RelabelErr reports the same conditions as an error, for callers
+// that ingest the order from outside the process.
 func (g *Graph) Relabel(order []uint32) *Graph {
+	r, err := g.RelabelErr(order)
+	if err != nil {
+		panic(err.Error())
+	}
+	return r
+}
+
+// RelabelErr is Relabel with validation instead of panics: an order
+// whose length differs from the vertex count, holds an out-of-range ID,
+// or repeats an ID is reported as an error.
+func (g *Graph) RelabelErr(order []uint32) (*Graph, error) {
 	n := g.NumVertices()
 	if len(order) != n {
-		panic("graph: relabel order length mismatch")
+		return nil, fmt.Errorf("graph: relabel order length mismatch: got %d, want %d", len(order), n)
 	}
 	newID := make([]uint32, n)
 	seen := make([]bool, n)
 	for i, old := range order {
+		if int(old) >= n {
+			return nil, fmt.Errorf("graph: relabel order holds out-of-range vertex %d", old)
+		}
 		if seen[old] {
-			panic("graph: relabel order is not a permutation")
+			return nil, fmt.Errorf("graph: relabel order is not a permutation: vertex %d repeats", old)
 		}
 		seen[old] = true
 		newID[old] = uint32(i)
@@ -157,7 +177,7 @@ func (g *Graph) Relabel(order []uint32) *Graph {
 			}
 		}
 	}
-	return b.Build()
+	return b.Build(), nil
 }
 
 // InducedSubgraph returns the subgraph induced by the given vertices,

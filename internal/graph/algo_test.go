@@ -236,3 +236,34 @@ func TestDegeneracyBoundsCliques(t *testing.T) {
 		t.Errorf("degeneracy = %d, want ≥ 5", g.Degeneracy())
 	}
 }
+
+func TestRelabelErr(t *testing.T) {
+	g := randomGraph(7, 10, 30)
+	if _, err := g.RelabelErr([]uint32{0, 1}); err == nil {
+		t.Error("short order: expected an error")
+	}
+	bad := make([]uint32, g.NumVertices())
+	for i := range bad {
+		bad[i] = uint32(i)
+	}
+	bad[3] = uint32(g.NumVertices()) // out of range
+	if _, err := g.RelabelErr(bad); err == nil {
+		t.Error("out-of-range vertex: expected an error")
+	}
+	bad[3] = bad[4] // repeated vertex
+	if _, err := g.RelabelErr(bad); err == nil {
+		t.Error("repeated vertex: expected an error")
+	}
+	order := make([]uint32, g.NumVertices())
+	for i := range order {
+		order[i] = uint32(g.NumVertices() - 1 - i)
+	}
+	got, err := g.RelabelErr(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.Relabel(order)
+	if got.NumVertices() != want.NumVertices() || got.NumEdges() != want.NumEdges() {
+		t.Error("RelabelErr diverges from Relabel")
+	}
+}

@@ -1,0 +1,41 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadGraph drives both ingest formats with arbitrary bytes. The
+// contract under fuzz: never panic, never allocate proportionally to a
+// hostile header, and any accepted graph satisfies the CSR invariants.
+func FuzzLoadGraph(f *testing.F) {
+	// Text edge-list seeds.
+	f.Add([]byte("0 1\n1 2\n2 0\n"))
+	f.Add([]byte("# comment\n% comment\n\n3 4\n"))
+	f.Add([]byte("0 4294967295\n"))
+	f.Add([]byte("a b\n"))
+	// Binary seeds: a valid round-trip image and corruptions of it.
+	b := NewBuilder(0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, b.Build()); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	truncated := append([]byte(nil), valid[:len(valid)-3]...)
+	f.Add(truncated)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if g, err := ReadEdgeList(bytes.NewReader(data)); err == nil {
+			if verr := g.Validate(); verr != nil {
+				t.Fatalf("ReadEdgeList accepted an invalid graph: %v", verr)
+			}
+		}
+		if g, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			if verr := g.Validate(); verr != nil {
+				t.Fatalf("ReadBinary accepted an invalid graph: %v", verr)
+			}
+		}
+	})
+}

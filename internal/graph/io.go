@@ -3,6 +3,7 @@ package graph
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -10,15 +11,37 @@ import (
 	"strings"
 )
 
+// ErrMalformed is the sentinel every graph-ingest format or invariant
+// violation wraps: bad magic, truncated payloads, non-monotone or
+// out-of-range offsets, unsorted or asymmetric adjacency, unparseable
+// edge lists, and implausible headers. errors.Is(err, ErrMalformed)
+// distinguishes bad input from genuine I/O failure.
+var ErrMalformed = errors.New("malformed graph")
+
+// malformedf wraps ErrMalformed with a formatted detail message.
+func malformedf(format string, args ...interface{}) error {
+	return fmt.Errorf("graph: "+format+": %w", append(args, ErrMalformed)...)
+}
+
+// maxSparseVertexID bounds the largest vertex ID a text edge list may
+// introduce without a proportional number of edges backing it: builder
+// memory is O(max ID), so a single hostile line ("0 4294967295") must
+// not force a multi-gigabyte allocation. Dense real-world graphs are
+// unaffected — the cap scales with the edge count.
+const maxSparseVertexID = 1 << 20
+
 // ReadEdgeList parses a whitespace-separated edge-list text stream, the
 // format used by SNAP datasets: one "u v" pair per line, '#' or '%'
 // prefixed lines are comments. The result is normalized (undirected,
-// deduplicated, sorted).
+// deduplicated, sorted). Malformed lines and implausibly sparse vertex
+// IDs (see maxSparseVertexID) are reported as ErrMalformed-wrapping
+// errors.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
 	b := NewBuilder(0)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	lineNo := 0
+	var maxID uint64
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -27,19 +50,32 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("graph: line %d: want two vertex IDs, got %q", lineNo, line)
+			return nil, malformedf("line %d: want two vertex IDs, got %q", lineNo, line)
 		}
 		u, err := strconv.ParseUint(fields[0], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			return nil, malformedf("line %d: %v", lineNo, err)
 		}
 		v, err := strconv.ParseUint(fields[1], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			return nil, malformedf("line %d: %v", lineNo, err)
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
 		}
 		b.AddEdge(uint32(u), uint32(v))
+		if maxID > maxSparseVertexID && maxID > uint64(1024*b.NumEdgesAdded()) {
+			return nil, malformedf("line %d: vertex ID %d implausibly sparse for %d edges",
+				lineNo, maxID, b.NumEdgesAdded())
+		}
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, malformedf("line %d: %v", lineNo+1, err)
+		}
 		return nil, fmt.Errorf("graph: reading edge list: %w", err)
 	}
 	return b.Build(), nil
@@ -63,6 +99,11 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 // binaryMagic identifies the binary CSR file format.
 const binaryMagic = 0x46475253 // "FGRS"
 
+// maxBinaryCount bounds the vertex and adjacency counts a binary header
+// may claim, far above any graph this simulator models but low enough to
+// reject a corrupt header before any allocation math can overflow.
+const maxBinaryCount = 1 << 40
+
 // WriteBinary serializes the graph in a compact little-endian CSR format:
 // magic, vertex count, adjacency length, offsets, neighbors.
 func WriteBinary(w io.Writer, g *Graph) error {
@@ -80,36 +121,100 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadBinary deserializes a graph written by WriteBinary and validates
-// its invariants.
+// readChunkInt64 reads count little-endian int64s in bounded chunks, so
+// a header claiming a huge count cannot force an allocation larger than
+// the data actually present in the stream.
+func readChunkInt64(r io.Reader, count int) ([]int64, error) {
+	const chunk = 1 << 16
+	cap0 := count
+	if cap0 > chunk {
+		cap0 = chunk
+	}
+	out := make([]int64, 0, cap0)
+	buf := make([]int64, chunk)
+	for len(out) < count {
+		k := count - len(out)
+		if k > chunk {
+			k = chunk
+		}
+		if err := binary.Read(r, binary.LittleEndian, buf[:k]); err != nil {
+			return nil, err
+		}
+		out = append(out, buf[:k]...)
+	}
+	return out, nil
+}
+
+// readChunkUint32 is readChunkInt64 for uint32 payloads.
+func readChunkUint32(r io.Reader, count int) ([]uint32, error) {
+	const chunk = 1 << 16
+	cap0 := count
+	if cap0 > chunk {
+		cap0 = chunk
+	}
+	out := make([]uint32, 0, cap0)
+	buf := make([]uint32, chunk)
+	for len(out) < count {
+		k := count - len(out)
+		if k > chunk {
+			k = chunk
+		}
+		if err := binary.Read(r, binary.LittleEndian, buf[:k]); err != nil {
+			return nil, err
+		}
+		out = append(out, buf[:k]...)
+	}
+	return out, nil
+}
+
+// ReadBinary deserializes a graph written by WriteBinary, rejecting any
+// structurally unsound input with an ErrMalformed-wrapping error before
+// a single neighbor list is dereferenced: implausible headers, truncated
+// payloads, offsets that are non-monotone, out of range, or don't start
+// at zero, and CSR invariant violations (Validate). Allocation is
+// bounded by the bytes actually present in the stream, so a hostile
+// header cannot exhaust memory.
 func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReader(r)
 	hdr := make([]uint64, 3)
 	if err := binary.Read(br, binary.LittleEndian, hdr); err != nil {
-		return nil, fmt.Errorf("graph: reading header: %w", err)
+		return nil, malformedf("reading header: %v", err)
 	}
 	if hdr[0] != binaryMagic {
-		return nil, fmt.Errorf("graph: bad magic %#x", hdr[0])
+		return nil, malformedf("bad magic %#x", hdr[0])
+	}
+	if hdr[1] > maxBinaryCount || hdr[2] > maxBinaryCount {
+		return nil, malformedf("implausible header (n=%d, m=%d)", hdr[1], hdr[2])
 	}
 	n, m := int(hdr[1]), int(hdr[2])
-	if n < 0 || m < 0 {
-		return nil, fmt.Errorf("graph: corrupt header (n=%d, m=%d)", n, m)
+	offsets, err := readChunkInt64(br, n+1)
+	if err != nil {
+		return nil, malformedf("reading offsets: %v", err)
 	}
-	g := &Graph{
-		offsets: make([]int64, n+1),
-		neigh:   make([]uint32, m),
+	neigh, err := readChunkUint32(br, m)
+	if err != nil {
+		return nil, malformedf("reading adjacency: %v", err)
 	}
-	if err := binary.Read(br, binary.LittleEndian, g.offsets); err != nil {
-		return nil, fmt.Errorf("graph: reading offsets: %w", err)
+	// Bounds-check every offset before Validate walks neighbor lists:
+	// Neighbors slices the adjacency array with these values, so a
+	// negative or oversized offset would panic, not error.
+	if offsets[0] != 0 {
+		return nil, malformedf("offsets start at %d, want 0", offsets[0])
 	}
-	if err := binary.Read(br, binary.LittleEndian, g.neigh); err != nil {
-		return nil, fmt.Errorf("graph: reading adjacency: %w", err)
+	for v := 0; v < n; v++ {
+		if offsets[v+1] < offsets[v] {
+			return nil, malformedf("offsets not monotone at vertex %d", v)
+		}
+		if offsets[v+1] > int64(m) {
+			return nil, malformedf("offset %d of vertex %d exceeds adjacency length %d", offsets[v+1], v, m)
+		}
 	}
-	if g.offsets[n] != int64(m) {
-		return nil, fmt.Errorf("graph: offsets end %d does not match adjacency length %d", g.offsets[n], m)
+	if offsets[n] != int64(m) {
+		return nil, malformedf("offsets end %d does not match adjacency length %d", offsets[n], m)
 	}
+	g := &Graph{offsets: offsets, neigh: neigh}
 	if err := g.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", err, ErrMalformed)
 	}
 	return g, nil
 }

@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeListMalformed(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"one field", "0 1\n2\n"},
+		{"non-numeric u", "a 1\n"},
+		{"non-numeric v", "1 b\n"},
+		{"negative", "-1 2\n"},
+		{"overflow", "0 4294967296\n"},
+		{"sparse hostile ID", "0 4294967295\n"},
+		{"oversized line", "0 1\n# " + strings.Repeat("x", 2<<20) + "\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadEdgeList(strings.NewReader(c.input))
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			if !errors.Is(err, ErrMalformed) {
+				t.Errorf("error %v does not wrap ErrMalformed", err)
+			}
+		})
+	}
+}
+
+func TestReadEdgeListAccepts(t *testing.T) {
+	in := "# comment\n% also comment\n\n0 1\n1 2\n0 1\n2 0\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Errorf("got %d vertices, %d edges; want 3, 3", g.NumVertices(), g.NumEdges())
+	}
+}
+
+// failingReader simulates a genuine I/O failure mid-stream.
+type failingReader struct{}
+
+func (failingReader) Read([]byte) (int, error) { return 0, fmt.Errorf("disk on fire") }
+
+// TestReadEdgeListIOErrorNotMalformed: a transport failure must stay
+// distinguishable from bad input.
+func TestReadEdgeListIOErrorNotMalformed(t *testing.T) {
+	_, err := ReadEdgeList(failingReader{})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if errors.Is(err, ErrMalformed) {
+		t.Errorf("I/O failure %v must not wrap ErrMalformed", err)
+	}
+}
+
+// binFile assembles a binary CSR image from raw header words, offsets,
+// and adjacency, bypassing WriteBinary's invariants.
+func binFile(hdr []uint64, offsets []int64, neigh []uint32) []byte {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, hdr)
+	binary.Write(&buf, binary.LittleEndian, offsets)
+	binary.Write(&buf, binary.LittleEndian, neigh)
+	return buf.Bytes()
+}
+
+func TestReadBinaryMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated header", binFile([]uint64{binaryMagic, 2}, nil, nil)},
+		{"bad magic", binFile([]uint64{0xDEAD, 0, 0}, nil, nil)},
+		{"implausible vertex count", binFile([]uint64{binaryMagic, 1 << 41, 0}, nil, nil)},
+		{"implausible edge count", binFile([]uint64{binaryMagic, 1, 1 << 41}, nil, nil)},
+		{"huge count truncated payload", binFile([]uint64{binaryMagic, 1 << 30, 1 << 30}, []int64{0}, nil)},
+		{"truncated offsets", binFile([]uint64{binaryMagic, 2, 0}, []int64{0, 0}, nil)},
+		{"truncated adjacency", binFile([]uint64{binaryMagic, 2, 2}, []int64{0, 1, 2}, []uint32{1})},
+		{"offsets not starting at zero", binFile([]uint64{binaryMagic, 2, 2}, []int64{1, 1, 2}, []uint32{1, 0})},
+		{"non-monotone offsets", binFile([]uint64{binaryMagic, 2, 2}, []int64{0, 2, 1}, []uint32{1, 0})},
+		{"offset beyond adjacency", binFile([]uint64{binaryMagic, 2, 2}, []int64{0, 3, 2}, []uint32{1, 0})},
+		{"offsets end mismatch", binFile([]uint64{binaryMagic, 2, 2}, []int64{0, 1, 1}, []uint32{1, 0})},
+		{"neighbor out of range", binFile([]uint64{binaryMagic, 2, 2}, []int64{0, 1, 2}, []uint32{5, 0})},
+		{"asymmetric adjacency", binFile([]uint64{binaryMagic, 2, 1}, []int64{0, 1, 1}, []uint32{1})},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadBinary(bytes.NewReader(c.data))
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			if !errors.Is(err, ErrMalformed) {
+				t.Errorf("error %v does not wrap ErrMalformed", err)
+			}
+		})
+	}
+}
+
+func TestReadBinaryRoundTrip(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(0, 3)
+	want := b.Build()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != want.NumVertices() || got.NumEdges() != want.NumEdges() {
+		t.Errorf("round trip changed shape: %d/%d vs %d/%d",
+			got.NumVertices(), got.NumEdges(), want.NumVertices(), want.NumEdges())
+	}
+}

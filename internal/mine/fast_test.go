@@ -2,6 +2,7 @@ package mine
 
 import (
 	"context"
+	"errors"
 	"testing"
 
 	"fingers/internal/datasets"
@@ -9,6 +10,7 @@ import (
 	"fingers/internal/graph/gen"
 	"fingers/internal/pattern"
 	"fingers/internal/plan"
+	"fingers/internal/simerr"
 )
 
 // sampleRoots picks a bounded root sample that still exercises every
@@ -194,8 +196,11 @@ func TestCountCtxCancellation(t *testing.T) {
 		ctx, cancel := context.WithCancel(context.Background())
 		cancel()
 		got, err = CountCtx(ctx, g, pl, workers)
-		if err != context.Canceled {
+		if !errors.Is(err, context.Canceled) {
 			t.Errorf("workers=%d: cancelled err = %v", workers, err)
+		}
+		if se, ok := simerr.As(err); !ok || se.Engine != "miner" || !se.IsCancellation() {
+			t.Errorf("workers=%d: cancelled err = %v, want miner SimError cancellation", workers, err)
 		}
 		if got > want {
 			t.Errorf("workers=%d: partial count %d exceeds total %d", workers, got, want)

@@ -8,6 +8,7 @@ import (
 
 	"fingers/internal/graph"
 	"fingers/internal/plan"
+	"fingers/internal/simerr"
 )
 
 // Count mines the plan on g and returns the number of embeddings (with
@@ -71,35 +72,61 @@ const maxRootChunk = 256
 // than left to straggle at the tail. workers ≤ 0 uses GOMAXPROCS. The
 // result is bit-identical to Count.
 func CountParallel(g *graph.Graph, pl *plan.Plan, workers int) uint64 {
-	n, _ := CountCtx(context.Background(), g, pl, workers)
+	n, err := CountCtx(context.Background(), g, pl, workers)
+	if err != nil {
+		// Unreachable for a background context unless a mining kernel
+		// panicked; preserve the crash contract of the ctx-less entry.
+		panic(err)
+	}
 	return n
 }
 
-// CountCtx is CountParallel with cancellation: the scheduler checks ctx
-// once per chunk and drains early when it fires, returning the partial
-// count alongside ctx.Err(). A nil error means the count is complete.
+// CountCtx is CountParallel with cancellation and panic recovery: the
+// scheduler checks ctx once per chunk and drains early when it fires,
+// returning the partial count alongside a *simerr.SimError wrapping
+// ctx.Err(). A panic inside a mining kernel likewise returns as a
+// *SimError attributed to the worker and root, aborting the remaining
+// workers at their next chunk boundary. A nil error means the count is
+// complete.
 func CountCtx(ctx context.Context, g *graph.Graph, pl *plan.Plan, workers int) (uint64, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	n := int64(g.NumVertices())
 	if n == 0 {
-		return 0, ctx.Err()
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, simerr.Cancelled("miner", 0, cerr)
+		}
+		return 0, nil
 	}
 	if int64(workers) > n {
 		workers = int(n)
 	}
 	if workers == 1 {
-		// Serial fast path: no scheduler, but still cancellable.
+		// Serial fast path: no scheduler, but still cancellable and
+		// panic-safe. total accumulates outside the closure so the roots
+		// mined before a failure are not lost.
 		c := NewCounter(g, pl)
 		var total uint64
-		for v := int64(0); v < n; v++ {
-			if v%maxRootChunk == 0 && ctx.Err() != nil {
-				return total, ctx.Err()
+		err := func() (err error) {
+			cur := int64(simerr.NoRoot)
+			defer func() {
+				if r := recover(); r != nil {
+					err = simerr.FromPanic("miner", 0, 0, cur, r)
+				}
+			}()
+			for v := int64(0); v < n; v++ {
+				if v%maxRootChunk == 0 {
+					if cerr := ctx.Err(); cerr != nil {
+						return simerr.Cancelled("miner", 0, cerr)
+					}
+				}
+				cur = v
+				total += c.Root(uint32(v))
 			}
-			total += c.Root(uint32(v))
-		}
-		return total, ctx.Err()
+			return nil
+		}()
+		return total, err
 	}
 
 	chunk := n / int64(workers*chunksPerWorker)
@@ -113,18 +140,39 @@ func CountCtx(ctx context.Context, g *graph.Graph, pl *plan.Plan, workers int) (
 	// are claimed first, so the makespan tail is a cheap tree, not a hub.
 	order := g.DegreeOrder()
 
+	// A worker panic cancels this derived context so its peers stop at
+	// their next chunk boundary instead of mining to exhaustion.
+	wctx, abort := context.WithCancel(ctx)
+	defer abort()
+
 	var cursor atomic.Int64
 	var total atomic.Uint64
+	var errMu sync.Mutex
+	var firstErr error
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(id int) {
 			defer wg.Done()
 			c := NewCounter(g, pl)
 			var local uint64
+			cur := int64(simerr.NoRoot)
+			defer func() {
+				// Bank the roots mined so far even when unwinding from a
+				// panic: partial counts are part of the partial report.
+				total.Add(local)
+				if r := recover(); r != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = simerr.FromPanic("miner", id, 0, cur, r)
+					}
+					errMu.Unlock()
+					abort()
+				}
+			}()
 			for {
 				base := cursor.Add(chunk) - chunk
-				if base >= n || ctx.Err() != nil {
+				if base >= n || wctx.Err() != nil {
 					break
 				}
 				end := base + chunk
@@ -132,14 +180,20 @@ func CountCtx(ctx context.Context, g *graph.Graph, pl *plan.Plan, workers int) (
 					end = n
 				}
 				for _, v := range order[base:end] {
+					cur = int64(v)
 					local += c.Root(v)
 				}
 			}
-			total.Add(local)
-		}()
+		}(w)
 	}
 	wg.Wait()
-	return total.Load(), ctx.Err()
+	if firstErr != nil {
+		return total.Load(), firstErr
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return total.Load(), simerr.Cancelled("miner", 0, cerr)
+	}
+	return total.Load(), nil
 }
 
 // List enumerates every embedding, invoking visit with the mapped
@@ -179,9 +233,28 @@ func List(g *graph.Graph, pl *plan.Plan, visit func(emb []uint32) bool) {
 // CountMulti mines every plan of a multi-pattern plan and returns the
 // per-pattern counts, in plan order (e.g. 3-motif counting, §5).
 func CountMulti(g *graph.Graph, mp *plan.MultiPlan) []uint64 {
-	counts := make([]uint64, len(mp.Plans))
-	for i, pl := range mp.Plans {
-		counts[i] = Count(g, pl)
+	counts, err := CountMultiCtx(context.Background(), g, mp, 1)
+	if err != nil {
+		// Unreachable for a background context unless a mining kernel
+		// panicked; preserve the crash contract of the ctx-less entry.
+		panic(err)
 	}
 	return counts
+}
+
+// CountMultiCtx is CountMulti with cancellation and panic recovery,
+// parallelized over root vertices within each pattern (workers ≤ 0 uses
+// GOMAXPROCS, 1 reproduces CountMulti's serial order). On a failure it
+// returns the counts completed so far — later patterns hold their
+// partial counts — alongside the *simerr.SimError from CountCtx.
+func CountMultiCtx(ctx context.Context, g *graph.Graph, mp *plan.MultiPlan, workers int) ([]uint64, error) {
+	counts := make([]uint64, len(mp.Plans))
+	for i, pl := range mp.Plans {
+		c, err := CountCtx(ctx, g, pl, workers)
+		counts[i] = c
+		if err != nil {
+			return counts, err
+		}
+	}
+	return counts, nil
 }

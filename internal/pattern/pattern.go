@@ -29,24 +29,37 @@ type Pattern struct {
 // New builds a pattern with n vertices and the given edges. It panics on
 // out-of-range vertices, self-loops, or n > MaxSize: patterns are
 // compile-time program inputs, so malformed ones are programmer errors.
+// TryNew reports the same conditions as an error, for boundaries that
+// ingest patterns from outside the program (files, flags, network).
 func New(n int, edges [][2]int) Pattern {
-	if n < 1 || n > MaxSize {
-		panic(fmt.Sprintf("pattern: size %d out of range [1,%d]", n, MaxSize))
+	p, err := TryNew(n, edges)
+	if err != nil {
+		panic(err.Error())
 	}
+	return p
+}
+
+// TryNew is New with validation instead of panics: a size outside
+// [1, MaxSize], an out-of-range edge endpoint, or a self-loop is
+// reported as an error.
+func TryNew(n int, edges [][2]int) (Pattern, error) {
 	var p Pattern
+	if n < 1 || n > MaxSize {
+		return p, fmt.Errorf("pattern: size %d out of range [1,%d]", n, MaxSize)
+	}
 	p.n = n
 	for _, e := range edges {
 		u, v := e[0], e[1]
 		if u < 0 || v < 0 || u >= n || v >= n {
-			panic(fmt.Sprintf("pattern: edge (%d,%d) out of range for size %d", u, v, n))
+			return Pattern{}, fmt.Errorf("pattern: edge (%d,%d) out of range for size %d", u, v, n)
 		}
 		if u == v {
-			panic(fmt.Sprintf("pattern: self-loop at %d", u))
+			return Pattern{}, fmt.Errorf("pattern: self-loop at %d", u)
 		}
 		p.adj[u] |= 1 << uint(v)
 		p.adj[v] |= 1 << uint(u)
 	}
-	return p
+	return p, nil
 }
 
 // Size returns the number of pattern vertices.

@@ -168,3 +168,25 @@ func TestRelabelIdentity(t *testing.T) {
 		t.Error("identity relabel changed pattern")
 	}
 }
+
+func TestTryNewErrors(t *testing.T) {
+	if _, err := TryNew(0, nil); err == nil {
+		t.Error("size 0: expected an error")
+	}
+	if _, err := TryNew(MaxSize+1, nil); err == nil {
+		t.Error("oversized pattern: expected an error")
+	}
+	if _, err := TryNew(3, [][2]int{{0, 3}}); err == nil {
+		t.Error("out-of-range edge: expected an error")
+	}
+	if _, err := TryNew(3, [][2]int{{1, 1}}); err == nil {
+		t.Error("self-loop: expected an error")
+	}
+	got, err := TryNew(3, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := New(3, [][2]int{{0, 1}, {1, 2}, {2, 0}}); got != want {
+		t.Errorf("TryNew diverges from New: %v vs %v", got, want)
+	}
+}

@@ -1,0 +1,37 @@
+package plan
+
+import (
+	"testing"
+
+	"fingers/internal/pattern"
+)
+
+// FuzzCompilePlan feeds arbitrary pattern shapes through the compiler.
+// The contract under fuzz: pattern.TryNew rejects malformed shapes with
+// an error (never a panic), and every pattern it accepts compiles —
+// possibly to a rejection for disconnected shapes — without panicking,
+// with any compiled plan passing Validate.
+func FuzzCompilePlan(f *testing.F) {
+	f.Add(uint8(3), []byte{0, 1, 1, 2, 2, 0}, false)
+	f.Add(uint8(4), []byte{0, 1, 1, 2, 2, 3, 3, 0}, true)
+	f.Add(uint8(1), []byte{}, false)
+	f.Add(uint8(9), []byte{0, 1}, false)
+	f.Add(uint8(5), []byte{0, 0}, false)
+	f.Fuzz(func(t *testing.T, n uint8, edgeBytes []byte, edgeInduced bool) {
+		edges := make([][2]int, 0, len(edgeBytes)/2)
+		for i := 0; i+1 < len(edgeBytes); i += 2 {
+			edges = append(edges, [2]int{int(edgeBytes[i]), int(edgeBytes[i+1])})
+		}
+		p, err := pattern.TryNew(int(n), edges)
+		if err != nil {
+			return
+		}
+		pl, err := Compile(p, Options{EdgeInduced: edgeInduced})
+		if err != nil {
+			return
+		}
+		if verr := pl.Validate(); verr != nil {
+			t.Fatalf("compiler emitted an invalid plan for %v: %v", p, verr)
+		}
+	})
+}

@@ -12,12 +12,17 @@
 package plan
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"fingers/internal/pattern"
 	"fingers/internal/setops"
 )
+
+// ErrInvalid marks a structurally malformed plan: every Validate failure
+// wraps it, so callers can test errors.Is(err, plan.ErrInvalid).
+var ErrInvalid = errors.New("invalid plan")
 
 // OpKind classifies one scheduled candidate-set update.
 type OpKind uint8
@@ -126,6 +131,82 @@ type Plan struct {
 // K returns the pattern size (number of levels).
 func (p *Plan) K() int { return len(p.Levels) }
 
+// Validate checks the structural invariants the miners and accelerator
+// models rely on, so a hand-built or deserialized plan fails fast with a
+// typed error (wrapping ErrInvalid) instead of panicking mid-simulation:
+// at least two levels matching the pattern size, Order a permutation,
+// action targets strictly ahead of their level, pending anti-subtract
+// ancestors and restriction references strictly behind, and every
+// non-root level initialized before use.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return fmt.Errorf("plan: nil plan: %w", ErrInvalid)
+	}
+	k := len(p.Levels)
+	if k < 2 {
+		return fmt.Errorf("plan: %d levels, need at least 2: %w", k, ErrInvalid)
+	}
+	if p.Pattern.Size() != k {
+		return fmt.Errorf("plan: pattern size %d != %d levels: %w", p.Pattern.Size(), k, ErrInvalid)
+	}
+	if len(p.Order) != k {
+		return fmt.Errorf("plan: order length %d != %d levels: %w", len(p.Order), k, ErrInvalid)
+	}
+	seen := make([]bool, k)
+	for _, v := range p.Order {
+		if v < 0 || v >= k || seen[v] {
+			return fmt.Errorf("plan: order %v is not a permutation of [0,%d): %w", p.Order, k, ErrInvalid)
+		}
+		seen[v] = true
+	}
+	if p.AutSize < 1 {
+		return fmt.Errorf("plan: automorphism group size %d < 1: %w", p.AutSize, ErrInvalid)
+	}
+	started := make([]bool, k)
+	started[0] = true
+	for i, lvl := range p.Levels {
+		for _, r := range lvl.Restrictions {
+			if r.Earlier < 0 || r.Earlier >= i {
+				return fmt.Errorf("plan: level %d restriction references level %d, want [0,%d): %w",
+					i, r.Earlier, i, ErrInvalid)
+			}
+		}
+		for _, a := range lvl.Actions {
+			if a.Target <= i || a.Target >= k {
+				return fmt.Errorf("plan: level %d action targets level %d, want (%d,%d): %w",
+					i, a.Target, i, k, ErrInvalid)
+			}
+			if a.Op > OpAntiSubtract {
+				return fmt.Errorf("plan: level %d action has unknown op %d: %w", i, a.Op, ErrInvalid)
+			}
+			if len(a.Pending) > 0 && a.Op != OpInit {
+				return fmt.Errorf("plan: level %d %v action carries pending ancestors: %w", i, a.Op, ErrInvalid)
+			}
+			for _, anc := range a.Pending {
+				if anc < 0 || anc >= i {
+					return fmt.Errorf("plan: level %d pending ancestor %d out of range [0,%d): %w",
+						i, anc, i, ErrInvalid)
+				}
+			}
+			switch a.Op {
+			case OpInit:
+				started[a.Target] = true
+			default:
+				if !started[a.Target] {
+					return fmt.Errorf("plan: level %d %v action on uninitialized set S%d: %w",
+						i, a.Op, a.Target, ErrInvalid)
+				}
+			}
+		}
+	}
+	for j := 1; j < k; j++ {
+		if !started[j] {
+			return fmt.Errorf("plan: candidate set S%d is never initialized: %w", j, ErrInvalid)
+		}
+	}
+	return nil
+}
+
 // Options configures compilation.
 type Options struct {
 	// EdgeInduced mines edge-induced subgraphs: subtraction operations
@@ -216,7 +297,13 @@ func Compile(p pattern.Pattern, opts Options) (*Plan, error) {
 	return pl, nil
 }
 
-// MustCompile is Compile panicking on error, for static pattern tables.
+// MustCompile is Compile panicking on error. It exists for static
+// pattern tables and tests whose patterns are known-good at authoring
+// time; any code compiling user- or file-supplied patterns must call
+// Compile and handle the error instead.
+//
+// Deprecated: prefer Compile at every boundary that ingests untrusted
+// patterns; MustCompile remains for compile-time-constant tables only.
 func MustCompile(p pattern.Pattern, opts Options) *Plan {
 	pl, err := Compile(p, opts)
 	if err != nil {

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -234,4 +235,38 @@ func TestOpKindStringAndSetOp(t *testing.T) {
 		}
 	}()
 	OpInit.SetOp()
+}
+
+func TestValidateRejectsCorruptedPlans(t *testing.T) {
+	if err := (*Plan)(nil).Validate(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("nil plan: err = %v, want ErrInvalid", err)
+	}
+	fresh := func() *Plan { return compile(t, pattern.TailedTriangle(), Options{}) }
+	if err := fresh().Validate(); err != nil {
+		t.Fatalf("compiled plan fails Validate: %v", err)
+	}
+	corrupt := []struct {
+		name string
+		mut  func(*Plan)
+	}{
+		{"order not a permutation", func(p *Plan) { p.Order[0] = p.Order[1] }},
+		{"order length mismatch", func(p *Plan) { p.Order = p.Order[:2] }},
+		{"zero automorphisms", func(p *Plan) { p.AutSize = 0 }},
+		{"restriction on later level", func(p *Plan) {
+			for i := range p.Levels {
+				if len(p.Levels[i].Restrictions) > 0 {
+					p.Levels[i].Restrictions[0].Earlier = len(p.Levels)
+					return
+				}
+			}
+			t.Skip("plan has no restrictions")
+		}},
+	}
+	for _, c := range corrupt {
+		pl := fresh()
+		c.mut(pl)
+		if err := pl.Validate(); !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: err = %v, want ErrInvalid", c.name, err)
+		}
+	}
 }

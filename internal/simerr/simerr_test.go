@@ -1,0 +1,87 @@
+package simerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestErrorRendering(t *testing.T) {
+	full := &SimError{Engine: "serial", PE: 3, Cycle: 1200, Root: 17,
+		Err: errors.New("boom")}
+	got := full.Error()
+	for _, want := range []string{"serial engine", "PE 3", "cycle 1200", "root 17", "boom"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("%q is missing %q", got, want)
+		}
+	}
+	bare := Cancelled("parallel", 0, context.Canceled)
+	got = bare.Error()
+	for _, absent := range []string{"PE", "cycle", "root"} {
+		if strings.Contains(got, absent) {
+			t.Errorf("%q mentions unattributed field %q", got, absent)
+		}
+	}
+}
+
+func TestUnwrapChain(t *testing.T) {
+	inner := errors.New("root cause")
+	se := &SimError{Engine: "miner", PE: NoPE, Root: NoRoot,
+		Err: fmt.Errorf("wrapped: %w", inner)}
+	if !errors.Is(se, inner) {
+		t.Error("errors.Is does not reach the wrapped cause")
+	}
+	outer := fmt.Errorf("cli: %w", se)
+	got, ok := As(outer)
+	if !ok || got != se {
+		t.Errorf("As(%v) = %v, %v", outer, got, ok)
+	}
+}
+
+func TestIsCancellation(t *testing.T) {
+	if !Cancelled("serial", 5, context.Canceled).IsCancellation() {
+		t.Error("Canceled not classified as cancellation")
+	}
+	if !Cancelled("serial", 5, context.DeadlineExceeded).IsCancellation() {
+		t.Error("DeadlineExceeded not classified as cancellation")
+	}
+	if (&SimError{Engine: "serial", Err: errors.New("boom")}).IsCancellation() {
+		t.Error("a crash classified as cancellation")
+	}
+}
+
+func TestFromPanic(t *testing.T) {
+	cause := errors.New("typed panic value")
+	var se *SimError
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				se = FromPanic("parallel", 2, 900, 41, r)
+			}
+		}()
+		panic(cause)
+	}()
+	if se == nil {
+		t.Fatal("no SimError captured")
+	}
+	if se.Engine != "parallel" || se.PE != 2 || se.Cycle != 900 || se.Root != 41 {
+		t.Errorf("attribution lost: %+v", se)
+	}
+	if !errors.Is(se, cause) {
+		t.Error("an error panic value must stay errors.Is-reachable")
+	}
+	if len(se.Stack) == 0 || !strings.Contains(string(se.Stack), "simerr") {
+		t.Error("stack capture missing or implausible")
+	}
+	// Non-error panic values render via %v.
+	var se2 *SimError
+	func() {
+		defer func() { se2 = FromPanic("serial", NoPE, 0, NoRoot, recover()) }()
+		panic("plain string")
+	}()
+	if !strings.Contains(se2.Error(), "plain string") {
+		t.Errorf("%q is missing the panic value", se2.Error())
+	}
+}

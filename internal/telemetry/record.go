@@ -53,15 +53,18 @@ type RunRecord struct {
 	Cycles           mem.Cycles `json:"cycles"`
 	Count            uint64     `json:"count"`
 	Tasks            int64      `json:"tasks"`
-	SharedAccesses   int64      `json:"shared_line_accesses"`
-	SharedMisses     int64      `json:"shared_line_misses"`
-	SharedMissRate   float64    `json:"shared_miss_rate"`
-	DRAMAccesses     int64      `json:"dram_accesses"`
-	DRAMBytes        int64      `json:"dram_bytes"`
-	IUActiveRate     float64    `json:"iu_active_rate,omitempty"`
-	IUBalanceRate    float64    `json:"iu_balance_rate,omitempty"`
-	Breakdown        Breakdown  `json:"breakdown"`
-	PerPE            []PERecord `json:"per_pe,omitempty"`
+	// Partial marks a run cut short by cancellation: Cycles is the
+	// simulated horizon reached and Count covers only the mined prefix.
+	Partial        bool       `json:"partial,omitempty"`
+	SharedAccesses int64      `json:"shared_line_accesses"`
+	SharedMisses   int64      `json:"shared_line_misses"`
+	SharedMissRate float64    `json:"shared_miss_rate"`
+	DRAMAccesses   int64      `json:"dram_accesses"`
+	DRAMBytes      int64      `json:"dram_bytes"`
+	IUActiveRate   float64    `json:"iu_active_rate,omitempty"`
+	IUBalanceRate  float64    `json:"iu_balance_rate,omitempty"`
+	Breakdown      Breakdown  `json:"breakdown"`
+	PerPE          []PERecord `json:"per_pe,omitempty"`
 }
 
 // WriteRecord appends one record to w as a single JSONL line.

@@ -3,10 +3,14 @@ package fingers
 import (
 	"context"
 	"fmt"
+	"time"
 
+	"fingers/internal/accel"
 	fingerspe "fingers/internal/fingers"
 	"fingers/internal/flexminer"
 	"fingers/internal/mine"
+	"fingers/internal/simerr"
+	"fingers/internal/telemetry"
 )
 
 // Arch selects which accelerator timing model Simulate runs.
@@ -41,6 +45,9 @@ type simConfig struct {
 	fiCfg      AcceleratorConfig
 	fmCfg      BaselineConfig
 	par        *ParallelConfig
+	ctx        context.Context
+	timeout    time.Duration
+	deadline   time.Time
 }
 
 // SimOption configures a Simulate call; the constructors below are the
@@ -83,19 +90,68 @@ func WithParallelSim(cfg ParallelConfig) SimOption {
 	return func(c *simConfig) { c.par = &cfg }
 }
 
+// WithContext makes the run cancellable: when ctx fires, the simulation
+// stops within one cancellation quantum (accel.CancelCheckQuantum
+// scheduling steps on the serial engine, one epoch window on the
+// parallel engine) and Simulate returns the partial report — cycles
+// reached, per-PE progress, dispatched-root counts, Partial set —
+// alongside a *SimError wrapping ctx.Err(). A nil ctx is ignored.
+func WithContext(ctx context.Context) SimOption {
+	return func(c *simConfig) { c.ctx = ctx }
+}
+
+// WithDeadline bounds the run to end by the given wall-clock instant, as
+// WithContext with a deadline context (the two compose: whichever fires
+// first stops the run).
+func WithDeadline(d time.Time) SimOption {
+	return func(c *simConfig) { c.deadline = d }
+}
+
+// WithTimeout bounds the run to the given wall-clock duration, as
+// WithContext with a timeout context (the two compose: whichever fires
+// first stops the run). A zero duration means no timeout; a negative
+// one expires immediately, as with context.WithTimeout.
+func WithTimeout(d time.Duration) SimOption {
+	return func(c *simConfig) { c.timeout = d }
+}
+
 // SimReport is the outcome of one Simulate call. Result is always
 // filled; the telemetry fields are populated on request (WithTracer,
 // WithStats) because assembling them is not free on large chips.
 type SimReport struct {
 	// Result is the simulation outcome: cycles, exact embedding count,
-	// cache and DRAM statistics, and the chip-wide cycle breakdown.
+	// cache and DRAM statistics, and the chip-wide cycle breakdown. On a
+	// partial run Result.Cycles is the horizon — the largest simulated
+	// cycle reached — and the counts cover everything mined so far.
 	Result SimResult
+	// Partial reports that the run stopped early — cancellation,
+	// deadline expiry, or a recovered panic — so Result covers only the
+	// simulated prefix. Simulate returns a non-nil *SimError whenever
+	// Partial is set.
+	Partial bool
+	// RootsDone is the number of search-tree roots dispatched to PEs;
+	// with RootsTotal it quantifies how far a partial run progressed.
+	RootsDone int
+	// RootsTotal is the total number of search-tree roots in the run.
+	RootsTotal int
 	// PerPE holds each PE's cycle attribution (buckets sum to the
-	// makespan); nil unless WithTracer or WithStats was given.
+	// makespan); nil unless WithTracer or WithStats was given or the run
+	// ended partial (per-PE progress is part of the partial report).
 	PerPE []PECycleRecord
 	// IU holds the intersect-unit active/balance rates; the zero value
 	// unless WithStats was given on ArchFingers.
 	IU IUStats
+}
+
+// simChip is the chip surface Simulate drives, satisfied by both
+// accelerator models.
+type simChip interface {
+	SetTracer(telemetry.Tracer)
+	RunCtx(context.Context) (accel.Result, error)
+	RunParallelCtx(context.Context, accel.ParallelConfig) (accel.Result, error)
+	PERecords() []telemetry.PERecord
+	RootsTotal() int
+	RootsDispatched() int
 }
 
 // Simulate runs one accelerator timing model over the graph and plans
@@ -109,8 +165,15 @@ type SimReport struct {
 // loop, and the paper's default PE configuration for the chosen
 // architecture. Degenerate configurations (an unknown architecture, a
 // non-positive PE count, an invalid WithParallelSim window or worker
-// count, a nil graph, no plans) are reported as errors.
-func Simulate(arch Arch, g *Graph, plans []*Plan, opts ...SimOption) (SimReport, error) {
+// count, a nil graph, no plans, an invalid plan) are reported as errors.
+//
+// With WithContext, WithDeadline, or WithTimeout the run is
+// interruptible: on cancellation Simulate returns the partial report
+// (Partial set, Result covering the simulated prefix, per-PE progress,
+// root counts) and a *SimError wrapping the context error. A panic
+// anywhere inside the simulation surfaces the same way — as a *SimError
+// attributing the engine, PE, cycle, and root — never as a crash.
+func Simulate(arch Arch, g *Graph, plans []*Plan, opts ...SimOption) (rep SimReport, err error) {
 	cfg := simConfig{
 		pes:   1,
 		fiCfg: fingerspe.DefaultConfig(),
@@ -119,7 +182,6 @@ func Simulate(arch Arch, g *Graph, plans []*Plan, opts ...SimOption) (SimReport,
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	var rep SimReport
 	if g == nil {
 		return rep, fmt.Errorf("fingers: Simulate: graph is nil")
 	}
@@ -134,49 +196,76 @@ func Simulate(arch Arch, g *Graph, plans []*Plan, opts ...SimOption) (SimReport,
 			return rep, fmt.Errorf("fingers: Simulate: %w", err)
 		}
 	}
+	ctx := cfg.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !cfg.deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, cfg.deadline)
+		defer cancel()
+	}
+	if cfg.timeout != 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	// The engines recover panics inside PE steps; this guard catches the
+	// remainder (chip construction, telemetry assembly) so the façade
+	// never crashes the host over a simulation defect.
+	defer func() {
+		if r := recover(); r != nil {
+			rep.Partial = true
+			err = simerr.FromPanic("facade", simerr.NoPE, 0, simerr.NoRoot, r)
+		}
+	}()
+
+	var chip simChip
+	var fiChip *fingerspe.Chip
 	switch arch {
 	case ArchFingers:
-		chip := fingerspe.NewChip(cfg.fiCfg, cfg.pes, cfg.cacheBytes, g, plans)
-		chip.SetTracer(cfg.tracer)
-		if cfg.par != nil {
-			res, err := chip.RunParallel(*cfg.par)
-			if err != nil {
-				return rep, err
-			}
-			rep.Result = res
-		} else {
-			rep.Result = chip.Run()
+		c, cerr := fingerspe.NewChipErr(cfg.fiCfg, cfg.pes, cfg.cacheBytes, g, plans)
+		if cerr != nil {
+			return rep, fmt.Errorf("fingers: Simulate: %w", cerr)
 		}
-		if cfg.stats || cfg.tracer != nil {
-			rep.PerPE = chip.PERecords()
-		}
-		if cfg.stats {
-			rep.IU = chip.AggregateStats()
-		}
+		fiChip, chip = c, c
 	case ArchFlexMiner:
-		chip := flexminer.NewChip(cfg.fmCfg, cfg.pes, cfg.cacheBytes, g, plans)
-		chip.SetTracer(cfg.tracer)
-		if cfg.par != nil {
-			res, err := chip.RunParallel(*cfg.par)
-			if err != nil {
-				return rep, err
-			}
-			rep.Result = res
-		} else {
-			rep.Result = chip.Run()
+		c, cerr := flexminer.NewChipErr(cfg.fmCfg, cfg.pes, cfg.cacheBytes, g, plans)
+		if cerr != nil {
+			return rep, fmt.Errorf("fingers: Simulate: %w", cerr)
 		}
-		if cfg.stats || cfg.tracer != nil {
-			rep.PerPE = chip.PERecords()
-		}
+		chip = c
 	default:
 		return rep, fmt.Errorf("fingers: Simulate: unknown architecture %d", int(arch))
+	}
+	chip.SetTracer(cfg.tracer)
+
+	var runErr error
+	if cfg.par != nil {
+		rep.Result, runErr = chip.RunParallelCtx(ctx, *cfg.par)
+	} else {
+		rep.Result, runErr = chip.RunCtx(ctx)
+	}
+	rep.RootsTotal = chip.RootsTotal()
+	rep.RootsDone = chip.RootsDispatched()
+	if cfg.stats || cfg.tracer != nil || runErr != nil {
+		rep.PerPE = chip.PERecords()
+	}
+	if cfg.stats && fiChip != nil {
+		rep.IU = fiChip.AggregateStats()
+	}
+	if runErr != nil {
+		rep.Partial = true
+		return rep, runErr
 	}
 	return rep, nil
 }
 
-// CountCtx is CountParallel with cancellation: the root scheduler checks
-// ctx between chunks and returns the partial count alongside ctx.Err()
-// when it fires. A nil error means the count is complete.
+// CountCtx is CountParallel with cancellation and panic recovery: the
+// root scheduler checks ctx between chunks and returns the partial count
+// alongside a *SimError wrapping ctx.Err() when it fires; a panic inside
+// a mining worker returns the same way. A nil error means the count is
+// complete.
 func CountCtx(ctx context.Context, g *Graph, pl *Plan, workers int) (uint64, error) {
 	return mine.CountCtx(ctx, g, pl, workers)
 }
