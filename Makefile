@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke clean
+.PHONY: all build test race vet bench bench-smoke profile clean
 
 all: vet build test
 
@@ -30,6 +30,13 @@ bench:
 	$(GO) test -run '^$$' -bench BenchmarkSoftMine -benchmem -count 1 -json \
 		./internal/mine/ > BENCH_softmine.json
 	$(GO) run ./cmd/simbench -o BENCH_sim.json
+
+# profile captures CPU and heap profiles of one quick-grid cell
+# (As/tt on an 8-PE FINGERS chip — long enough to dominate startup,
+# short enough to iterate on). Inspect with `go tool pprof cpu.prof`.
+profile:
+	$(GO) run ./cmd/fingersim -graph As -pattern tt -arch fingers -pes 8 \
+		-cpuprofile cpu.prof -memprofile mem.prof
 
 # bench-smoke compiles and runs every benchmark once — the CI guard that
 # keeps the benchmark suite from bit-rotting without paying full runtime.

@@ -1,12 +1,18 @@
 // Command simbench benchmarks the simulator itself: it runs the quick
 // experiment grid (small datasets × {tc, tt, cyc}) on the serial event
 // loop and on the bounded-lag parallel engine, and reports wall time,
-// simulated cycles per second, the parallel/serial wall-clock speedup,
-// and the makespan divergence of the approximate parallel schedule.
+// simulated cycles per second, allocation and GC-pause totals, the
+// parallel/serial wall-clock speedup, the workers=1 engine overhead, and
+// the makespan divergence of the approximate parallel schedule.
 //
 // Usage:
 //
 //	simbench [-pes 8] [-sim-workers 8] [-sim-window 256] [-o BENCH_sim.json]
+//	         [-baseline BENCH_sim.json] [-max-regress-pct 10]
+//
+// With -baseline, the run compares its serial cycles/sec geomean against
+// the baseline report and exits non-zero when it regressed by more than
+// -max-regress-pct — the CI guard against simulator slowdowns.
 //
 // The JSON report records the host core count: wall-clock speedup needs
 // real cores, while the determinism contract (counts bit-identical,
@@ -40,24 +46,63 @@ type Cell struct {
 	CountsIdentical bool       `json:"counts_identical"`  // embedding counts bit-identical
 	SerialWallNS    int64      `json:"serial_wall_ns"`    // serial engine wall time
 	ParallelWallNS  int64      `json:"parallel_wall_ns"`  // parallel engine wall time
+	Workers1WallNS  int64      `json:"workers1_wall_ns"`  // parallel engine, Workers=1
 	Speedup         float64    `json:"speedup"`           // serial wall / parallel wall
+	Workers1Factor  float64    `json:"workers1_factor"`   // serial wall / workers=1 wall
 	SerialCyclesSec float64    `json:"serial_cycles_sec"` // simulated cycles per wall second
 	ParCyclesSec    float64    `json:"parallel_cycles_sec"`
+
+	// Allocation profile of the best-time repetition (runtime.MemStats
+	// deltas around the run: mallocs, bytes, and stop-the-world pause).
+	SerialAllocs     uint64 `json:"serial_allocs"`
+	SerialAllocBytes uint64 `json:"serial_alloc_bytes"`
+	SerialGCPauseNS  uint64 `json:"serial_gc_pause_ns"`
+	ParAllocs        uint64 `json:"parallel_allocs"`
+	ParAllocBytes    uint64 `json:"parallel_alloc_bytes"`
+	ParGCPauseNS     uint64 `json:"parallel_gc_pause_ns"`
 }
 
 // Report is the BENCH_sim.json schema.
 type Report struct {
-	Schema       string     `json:"schema"`
-	PEs          int        `json:"pes"`
-	Workers      int        `json:"workers"`
-	Window       mem.Cycles `json:"window"`
-	HostCores    int        `json:"host_cores"`
-	GoMaxProcs   int        `json:"gomaxprocs"`
-	Cells        []Cell     `json:"cells"`
-	GeomeanSpeed float64    `json:"geomean_speedup"`
-	GeomeanDivPc float64    `json:"geomean_divergence_pct"`
-	MaxDivPct    float64    `json:"max_divergence_pct"`
-	Note         string     `json:"note"`
+	Schema        string     `json:"schema"`
+	PEs           int        `json:"pes"`
+	Workers       int        `json:"workers"`
+	Window        mem.Cycles `json:"window"`
+	HostCores     int        `json:"host_cores"`
+	GoMaxProcs    int        `json:"gomaxprocs"`
+	Cells         []Cell     `json:"cells"`
+	GeomeanSpeed  float64    `json:"geomean_speedup"`
+	GeomeanW1     float64    `json:"geomean_workers1_factor"`
+	GeomeanSerCPS float64    `json:"geomean_serial_cycles_sec"`
+	GeomeanDivPc  float64    `json:"geomean_divergence_pct"`
+	MaxDivPct     float64    `json:"max_divergence_pct"`
+	Note          string     `json:"note"`
+}
+
+// measured is one instrumented run: wall time plus MemStats deltas.
+type measured struct {
+	ns     int64
+	allocs uint64
+	bytes  uint64
+	pause  uint64
+}
+
+// measure times f with allocation accounting. The GC runs first so the
+// deltas reflect f alone, not a prior run's deferred collection.
+func measure(f func()) measured {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	f()
+	ns := time.Since(t0).Nanoseconds()
+	runtime.ReadMemStats(&m1)
+	return measured{
+		ns:     ns,
+		allocs: m1.Mallocs - m0.Mallocs,
+		bytes:  m1.TotalAlloc - m0.TotalAlloc,
+		pause:  m1.PauseTotalNs - m0.PauseTotalNs,
+	}
 }
 
 func main() {
@@ -66,15 +111,19 @@ func main() {
 	window := flag.Int64("sim-window", int64(accel.DefaultWindow), "parallel engine epoch window Δ (simulated cycles)")
 	reps := flag.Int("reps", 3, "timed repetitions per cell (best-of)")
 	out := flag.String("o", "BENCH_sim.json", "output JSON path")
+	baseline := flag.String("baseline", "", "prior BENCH_sim.json to guard against regression (optional)")
+	maxRegress := flag.Float64("max-regress-pct", 10, "fail when serial cycles/sec geomean drops more than this vs -baseline")
 	flag.Parse()
 
 	pcfg := accel.ParallelConfig{Window: mem.Cycles(*window), Workers: *workers}
 	if err := pcfg.Validate(); err != nil {
 		fatal(err)
 	}
+	w1cfg := pcfg
+	w1cfg.Workers = 1
 
 	rep := Report{
-		Schema:     "fingers/simbench/v1",
+		Schema:     "fingers/simbench/v2",
 		PEs:        *pes,
 		Workers:    *workers,
 		Window:     pcfg.Window,
@@ -84,7 +133,7 @@ func main() {
 			"simulated results are deterministic in the window on any host",
 	}
 
-	logSpeed, logDiv, nDiv := 0.0, 0.0, 0
+	logSpeed, logW1, logCPS, logDiv, nDiv := 0.0, 0.0, 0.0, 0.0, 0
 	for _, d := range datasets.Small() {
 		g := d.Graph()
 		for _, pat := range []string{"tc", "tt", "cyc"} {
@@ -97,22 +146,34 @@ func main() {
 			var serial, par accel.Result
 			cell.SerialWallNS = int64(math.MaxInt64)
 			cell.ParallelWallNS = int64(math.MaxInt64)
+			cell.Workers1WallNS = int64(math.MaxInt64)
 			for r := 0; r < *reps; r++ {
 				chip := fingerspe.NewChip(fingerspe.DefaultConfig(), *pes, 0, g, plans)
-				t0 := time.Now()
-				serial = chip.Run()
-				if ns := time.Since(t0).Nanoseconds(); ns < cell.SerialWallNS {
-					cell.SerialWallNS = ns
+				m := measure(func() { serial = chip.Run() })
+				if m.ns < cell.SerialWallNS {
+					cell.SerialWallNS = m.ns
+					cell.SerialAllocs, cell.SerialAllocBytes, cell.SerialGCPauseNS = m.allocs, m.bytes, m.pause
 				}
 
 				chip = fingerspe.NewChip(fingerspe.DefaultConfig(), *pes, 0, g, plans)
-				t0 = time.Now()
-				par, err = chip.RunParallel(pcfg)
+				m = measure(func() {
+					par, err = chip.RunParallel(pcfg)
+				})
 				if err != nil {
 					fatal(err)
 				}
-				if ns := time.Since(t0).Nanoseconds(); ns < cell.ParallelWallNS {
-					cell.ParallelWallNS = ns
+				if m.ns < cell.ParallelWallNS {
+					cell.ParallelWallNS = m.ns
+					cell.ParAllocs, cell.ParAllocBytes, cell.ParGCPauseNS = m.allocs, m.bytes, m.pause
+				}
+
+				chip = fingerspe.NewChip(fingerspe.DefaultConfig(), *pes, 0, g, plans)
+				t0 := time.Now()
+				if _, err := chip.RunParallel(w1cfg); err != nil {
+					fatal(err)
+				}
+				if ns := time.Since(t0).Nanoseconds(); ns < cell.Workers1WallNS {
+					cell.Workers1WallNS = ns
 				}
 			}
 
@@ -121,11 +182,14 @@ func main() {
 			cell.CountsIdentical = serial.Count == par.Count && serial.Tasks == par.Tasks
 			cell.DivergencePct = 100 * math.Abs(float64(par.Cycles)-float64(serial.Cycles)) / float64(serial.Cycles)
 			cell.Speedup = float64(cell.SerialWallNS) / float64(cell.ParallelWallNS)
+			cell.Workers1Factor = float64(cell.SerialWallNS) / float64(cell.Workers1WallNS)
 			cell.SerialCyclesSec = float64(serial.Cycles) / (float64(cell.SerialWallNS) / 1e9)
 			cell.ParCyclesSec = float64(par.Cycles) / (float64(cell.ParallelWallNS) / 1e9)
 			rep.Cells = append(rep.Cells, cell)
 
 			logSpeed += math.Log(cell.Speedup)
+			logW1 += math.Log(cell.Workers1Factor)
+			logCPS += math.Log(cell.SerialCyclesSec)
 			if cell.DivergencePct > rep.MaxDivPct {
 				rep.MaxDivPct = cell.DivergencePct
 			}
@@ -136,22 +200,25 @@ func main() {
 				nDiv++
 			}
 
-			fmt.Printf("%-3s %-4s serial %8.1fms  parallel %8.1fms  speedup %5.2fx  div %.3f%%  counts-ok %v\n",
+			fmt.Printf("%-3s %-4s serial %8.1fms  parallel %8.1fms  speedup %5.2fx  w1 %5.2fx  div %.3f%%  allocs %d  counts-ok %v\n",
 				d.Name, pat, float64(cell.SerialWallNS)/1e6, float64(cell.ParallelWallNS)/1e6,
-				cell.Speedup, cell.DivergencePct, cell.CountsIdentical)
+				cell.Speedup, cell.Workers1Factor, cell.DivergencePct, cell.SerialAllocs, cell.CountsIdentical)
 
 			if !cell.CountsIdentical {
 				fatal(fmt.Errorf("%s/%s: parallel counts diverge from serial", d.Name, pat))
 			}
 		}
 	}
-	rep.GeomeanSpeed = math.Exp(logSpeed / float64(len(rep.Cells)))
+	n := float64(len(rep.Cells))
+	rep.GeomeanSpeed = math.Exp(logSpeed / n)
+	rep.GeomeanW1 = math.Exp(logW1 / n)
+	rep.GeomeanSerCPS = math.Exp(logCPS / n)
 	if nDiv > 0 {
 		rep.GeomeanDivPc = math.Exp(logDiv / float64(nDiv))
 	}
 
-	fmt.Printf("geomean speedup %.2fx (host cores %d, workers %d), geomean divergence %.3f%%, max %.3f%%\n",
-		rep.GeomeanSpeed, rep.HostCores, rep.Workers, rep.GeomeanDivPc, rep.MaxDivPct)
+	fmt.Printf("geomean speedup %.2fx, workers=1 factor %.2fx, serial %.0f cycles/sec (host cores %d, workers %d), geomean divergence %.3f%%, max %.3f%%\n",
+		rep.GeomeanSpeed, rep.GeomeanW1, rep.GeomeanSerCPS, rep.HostCores, rep.Workers, rep.GeomeanDivPc, rep.MaxDivPct)
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -167,6 +234,46 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println("wrote", *out)
+
+	if *baseline != "" {
+		if err := checkRegression(*baseline, rep, *maxRegress); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// checkRegression compares the run's serial cycles/sec geomean against a
+// committed baseline report, failing on a drop beyond maxRegressPct. The
+// baseline's geomean field is recomputed from its cells when absent (v1
+// reports predate it).
+func checkRegression(path string, cur Report, maxRegressPct float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	baseCPS := base.GeomeanSerCPS
+	if baseCPS == 0 && len(base.Cells) > 0 {
+		logSum := 0.0
+		for _, c := range base.Cells {
+			logSum += math.Log(c.SerialCyclesSec)
+		}
+		baseCPS = math.Exp(logSum / float64(len(base.Cells)))
+	}
+	if baseCPS == 0 {
+		return fmt.Errorf("baseline %s: no serial cycles/sec data", path)
+	}
+	ratio := cur.GeomeanSerCPS / baseCPS
+	fmt.Printf("baseline %s: serial geomean %.0f cycles/sec, current %.0f (%.2fx)\n",
+		path, baseCPS, cur.GeomeanSerCPS, ratio)
+	if ratio < 1-maxRegressPct/100 {
+		return fmt.Errorf("serial cycles/sec geomean regressed %.1f%% vs %s (limit %.1f%%)",
+			(1-ratio)*100, path, maxRegressPct)
+	}
+	return nil
 }
 
 func fatal(err error) {

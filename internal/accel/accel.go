@@ -21,6 +21,10 @@ import (
 // IDs in sequence, which places adjacent-ID roots on different PEs at the
 // same time — the locality-friendly policy §6.3 suggests; a custom order
 // enables load-balance and locality ablations.
+// The zero value (and, defensively, a nil *RootScheduler) is an empty,
+// exhausted scheduler: Next reports ok=false, Total and Remaining report
+// zero. Callers holding an optional scheduler can therefore query it
+// without a nil check of their own.
 type RootScheduler struct {
 	next  int
 	n     int
@@ -30,8 +34,14 @@ type RootScheduler struct {
 // NewRootScheduler schedules roots 0..n-1 in ID order.
 func NewRootScheduler(n int) *RootScheduler { return &RootScheduler{n: n} }
 
-// Total returns the number of roots the scheduler was built with.
-func (r *RootScheduler) Total() int { return r.n }
+// Total returns the number of roots the scheduler was built with; zero
+// for a nil or zero-value scheduler.
+func (r *RootScheduler) Total() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
 
 // NewRootSchedulerWithOrder schedules the given roots in the given order.
 func NewRootSchedulerWithOrder(order []uint32) *RootScheduler {
@@ -39,8 +49,9 @@ func NewRootSchedulerWithOrder(order []uint32) *RootScheduler {
 }
 
 // Next returns the next root, or ok=false when the graph is exhausted.
+// A nil or zero-value scheduler is exhausted from the start.
 func (r *RootScheduler) Next() (v uint32, ok bool) {
-	if r.next >= r.n {
+	if r == nil || r.next >= r.n {
 		return 0, false
 	}
 	if r.order != nil {
@@ -52,8 +63,14 @@ func (r *RootScheduler) Next() (v uint32, ok bool) {
 	return v, true
 }
 
-// Remaining returns the number of unassigned roots.
-func (r *RootScheduler) Remaining() int { return r.n - r.next }
+// Remaining returns the number of unassigned roots; zero for a nil or
+// zero-value scheduler.
+func (r *RootScheduler) Remaining() int {
+	if r == nil {
+		return 0
+	}
+	return r.n - r.next
+}
 
 // MemPort is a PE's view of the shared memory system: the shared cache,
 // reached through the NoC. *mem.Cache satisfies it directly (zero NoC

@@ -76,10 +76,19 @@ type SpecPE interface {
 	StageRoot()
 	// StagedRoot reports whether a staged root is pending consumption.
 	StagedRoot() bool
-	// Snapshot captures the PE's mutable state before a speculative step;
-	// Restore rewinds to a snapshot. A snapshot is restored at most once.
-	Snapshot() interface{}
-	Restore(snap interface{})
+	// SpecActivate toggles undo journaling: while on, every Step records
+	// enough to rewind it. SpecSave marks the current journal position and
+	// captures the PE's scalar state, returning a mark; SpecRewind rewinds
+	// the PE to a mark, discarding later marks (each mark is rewound to at
+	// most once, and only in reverse order). SpecFlush retires the whole
+	// journal once its steps can no longer be rewound — the engine calls
+	// it before each speculative phase, so journals never outlive an
+	// epoch. Steps taken with journaling off (the serial engine, solo
+	// fast-path and post-rewind commit stepping) carry zero journal cost.
+	SpecActivate(on bool)
+	SpecSave() int
+	SpecRewind(mark int)
+	SpecFlush()
 	// SwapPort replaces the PE's shared-memory port, returning the
 	// previous one.
 	SwapPort(p MemPort) MemPort
@@ -90,18 +99,26 @@ type SpecPE interface {
 
 // specEvent is one recorded action of a speculative step: a shared-memory
 // operation to revalidate and replay at commit, or a telemetry event to
-// re-emit in commit order.
+// re-emit in commit order. The struct is kept to the memory-op fields —
+// telemetry payloads (recorded only on traced runs) live in the block's
+// side table, indexed by tel — because the commit phase streams through
+// millions of these and entry size is directly memory traffic.
 type specEvent struct {
-	kind  evKind
+	kind evKind
+	// Probe answer.
+	ok    bool
+	tel   int32 // index into specBlock.tel for telemetry kinds
 	at    mem.Cycles
 	addr  int64
 	bytes int64
 	// Access results under the speculative view.
 	done   mem.Cycles
 	misses int64
-	// Probe answer.
-	ok bool
-	// Telemetry payloads.
+}
+
+// telEvent is the payload of one recorded telemetry event.
+type telEvent struct {
+	at                           mem.Cycles
 	engine, size                 int
 	longLen, shortLen, workloads int
 	str                          string
@@ -125,9 +142,10 @@ type specBlock struct {
 	pe      int
 	seq     int
 	start   mem.Cycles
-	snap    interface{}
+	snap    int // the PE's SpecSave mark taken before the step
 	alive   bool
 	entries []specEvent
+	tel     []telEvent // payloads of the telemetry entries, in entry order
 }
 
 // specAgent is the recording harness installed into one PE during the
@@ -149,6 +167,7 @@ func (a *specAgent) takeBlock() *specBlock {
 		b := a.free[n-1]
 		a.free = a.free[:n-1]
 		b.entries = b.entries[:0]
+		b.tel = b.tel[:0]
 		return b
 	}
 	return &specBlock{}
@@ -174,23 +193,26 @@ func (a *specAgent) Probe(addr, bytes int64) bool {
 // TaskGroupBegin implements telemetry.Tracer as a recorder.
 func (a *specAgent) TaskGroupBegin(pe, engine int, at mem.Cycles, size int) {
 	if a.traceOn {
-		a.cur.entries = append(a.cur.entries, specEvent{kind: evGroupBegin, at: at, engine: engine, size: size})
+		a.cur.tel = append(a.cur.tel, telEvent{at: at, engine: engine, size: size})
+		a.cur.entries = append(a.cur.entries, specEvent{kind: evGroupBegin, tel: int32(len(a.cur.tel) - 1)})
 	}
 }
 
 // TaskGroupEnd implements telemetry.Tracer as a recorder.
 func (a *specAgent) TaskGroupEnd(pe int, at mem.Cycles) {
 	if a.traceOn {
-		a.cur.entries = append(a.cur.entries, specEvent{kind: evGroupEnd, at: at})
+		a.cur.tel = append(a.cur.tel, telEvent{at: at})
+		a.cur.entries = append(a.cur.entries, specEvent{kind: evGroupEnd, tel: int32(len(a.cur.tel) - 1)})
 	}
 }
 
 // SetOpIssue implements telemetry.Tracer as a recorder.
 func (a *specAgent) SetOpIssue(pe int, at mem.Cycles, kind string, longLen, shortLen, workloads int) {
 	if a.traceOn {
-		a.cur.entries = append(a.cur.entries, specEvent{
-			kind: evSetOp, at: at, str: kind, longLen: longLen, shortLen: shortLen, workloads: workloads,
+		a.cur.tel = append(a.cur.tel, telEvent{
+			at: at, str: kind, longLen: longLen, shortLen: shortLen, workloads: workloads,
 		})
+		a.cur.entries = append(a.cur.entries, specEvent{kind: evSetOp, tel: int32(len(a.cur.tel) - 1)})
 	}
 }
 
@@ -250,6 +272,17 @@ type parEngine struct {
 	onSpec    []bool
 	alive     []bool
 
+	// fastCommit merges validation and application into one walk: blocks
+	// validate against an accumulating view whose state then bulk-flushes
+	// into the base, instead of re-walking every access through the live
+	// port. Only sound when nothing observes the live access path — no PE
+	// tracers, no port observers, no DRAM observer — since a flush emits
+	// no per-access events.
+	fastCommit bool
+	// viewDirty marks the commit view stale against the live base (a
+	// serial continuation or the epoch boundary mutated live state).
+	viewDirty bool
+
 	// Commit bookkeeping: a PE's speculative view was frozen at epoch
 	// start, so a block may skip validation only while the live state is
 	// still base-plus-its-own-replayed-blocks — i.e. while every commit
@@ -267,8 +300,17 @@ type parEngine struct {
 
 	epochEnd mem.Cycles
 
-	jobs chan int
-	wg   sync.WaitGroup
+	// Per-epoch scratch, reused across epochs.
+	ordered     []int
+	h           commitHeap
+	invalidated []bool
+
+	// inline dispatches speculative steps on the coordinator goroutine
+	// when the effective worker count is 1: the channel round-trip and
+	// scheduler handoff would buy no concurrency, only latency.
+	inline bool
+	jobs   chan int
+	wg     sync.WaitGroup
 
 	// errMu guards firstErr, the first panic recovered on a speculative
 	// worker goroutine; the coordinator observes it after the epoch
@@ -349,6 +391,7 @@ func RunParallelCtxWithProgress(ctx context.Context, pes []SpecPE, hier *mem.Hie
 		onSpec:    make([]bool, len(pes)),
 		alive:     make([]bool, len(pes)),
 	}
+	fast := !hier.DRAM.Observed()
 	for i, pe := range pes {
 		view := hier.Speculate()
 		e.agents[i] = &specAgent{peID: i, view: view, spec: ports[i].Speculative(view)}
@@ -359,22 +402,35 @@ func RunParallelCtxWithProgress(ctx context.Context, pes []SpecPE, hier *mem.Hie
 		e.real[i] = r
 		e.agents[i].traceOn = r != nil
 		e.alive[i] = true
+		if r != nil || ports[i].Obs != nil {
+			fast = false
+		}
+	}
+	e.fastCommit = fast
+	if fast {
+		// The commit view is the only writer while it runs, so it can
+		// also keep the base walk memo warm, exactly as live replay did.
+		e.checkView.RecordMemos(true)
 	}
 
 	workers := cfg.Workers
 	if workers > len(pes) {
 		workers = len(pes)
 	}
-	e.jobs = make(chan int, len(pes))
-	for w := 0; w < workers; w++ {
-		go func() {
-			for i := range e.jobs {
-				e.stepSpecSafe(i)
-				e.wg.Done()
-			}
-		}()
+	if workers <= 1 {
+		e.inline = true
+	} else {
+		e.jobs = make(chan int, len(pes))
+		for w := 0; w < workers; w++ {
+			go func() {
+				for i := range e.jobs {
+					e.stepSpecSafe(i)
+					e.wg.Done()
+				}
+			}()
+		}
+		defer close(e.jobs)
 	}
-	defer close(e.jobs)
 
 	err := e.runSafe(every, fn)
 
@@ -473,6 +529,7 @@ func (e *parEngine) ensureLive(i int) {
 // bounded by one epoch window), or an engine goroutine fails.
 func (e *parEngine) run(every int64, fn func(Progress)) error {
 	selected := make([]int, 0, len(e.pes))
+	e.invalidated = make([]bool, len(e.pes))
 	var lastFired int64
 	for {
 		if cerr := e.ctx.Err(); cerr != nil {
@@ -575,7 +632,8 @@ func (e *parEngine) runEpoch(selected []int) error {
 	// Reserve root handouts in (local clock, PE-id) order — the order
 	// the serial loop would pop these PEs in — so the shared scheduler
 	// is never touched during the concurrent phase.
-	ordered := append([]int(nil), selected...)
+	ordered := append(e.ordered[:0], selected...)
+	e.ordered = ordered
 	for a := 1; a < len(ordered); a++ {
 		for b := a; b > 0; b-- {
 			ti, tj := e.pes[ordered[b-1]].Time(), e.pes[ordered[b]].Time()
@@ -596,11 +654,17 @@ func (e *parEngine) runEpoch(selected []int) error {
 	for _, i := range selected {
 		e.ensureSpec(i)
 	}
-	e.wg.Add(len(selected))
-	for _, i := range selected {
-		e.jobs <- i
+	if e.inline {
+		for _, i := range selected {
+			e.stepSpecSafe(i)
+		}
+	} else {
+		e.wg.Add(len(selected))
+		for _, i := range selected {
+			e.jobs <- i
+		}
+		e.wg.Wait()
 	}
-	e.wg.Wait()
 	if err := e.specErr(); err != nil {
 		// A speculative step panicked: nothing from this epoch has been
 		// committed, so the live state is exactly the last barrier's.
@@ -610,16 +674,18 @@ func (e *parEngine) runEpoch(selected []int) error {
 	// Commit phase: validate and apply blocks in (cycle, PE-id, seq)
 	// order; failed validations rewind the PE and re-execute serially
 	// against the live state, interleaved into the same order.
-	h := make(commitHeap, 0, 4*len(selected))
+	h := e.h[:0]
 	for _, i := range selected {
+		e.invalidated[i] = false
 		for _, blk := range e.agents[i].blocks {
 			h = append(h, commitItem{start: blk.start, pe: blk.pe, seq: blk.seq, blk: blk})
 		}
 	}
 	heap.Init(&h)
-	invalidated := make(map[int]bool, len(selected))
+	invalidated := e.invalidated
 	contSeq := maxStepsPerEpoch
 	e.firstCommitter, e.mixed = -1, false
+	e.viewDirty = true // live state may have moved since the last commit phase
 	for h.Len() > 0 {
 		it := heap.Pop(&h).(commitItem)
 		i := it.pe
@@ -630,9 +696,17 @@ func (e *parEngine) runEpoch(selected []int) error {
 				e.recycle(blk)
 				continue
 			}
-			skipOK := !e.mixed && (e.firstCommitter == -1 || e.firstCommitter == i)
-			if skipOK || e.validate(blk) {
-				e.apply(blk)
+			var ok bool
+			if e.fastCommit {
+				ok = e.validateFlush(blk)
+			} else {
+				skipOK := !e.mixed && (e.firstCommitter == -1 || e.firstCommitter == i)
+				ok = skipOK || e.validate(blk)
+				if ok {
+					e.apply(blk)
+				}
+			}
+			if ok {
 				e.committed(i)
 				e.steps++
 				if !blk.alive {
@@ -641,7 +715,7 @@ func (e *parEngine) runEpoch(selected []int) error {
 			} else {
 				e.conflicts++
 				invalidated[i] = true
-				e.pes[i].Restore(blk.snap)
+				e.pes[i].SpecRewind(blk.snap)
 				e.ensureLive(i)
 				contSeq++
 				heap.Push(&h, commitItem{start: e.pes[i].Time(), pe: i, seq: contSeq})
@@ -662,6 +736,7 @@ func (e *parEngine) runEpoch(selected []int) error {
 			e.curPE = simerr.NoPE
 			return err
 		}
+		e.viewDirty = true // the step walked the live port directly
 		e.steps++
 		e.committed(i)
 		if !alive {
@@ -672,6 +747,7 @@ func (e *parEngine) runEpoch(selected []int) error {
 		heap.Push(&h, commitItem{start: pe.Time(), pe: i, seq: contSeq})
 	}
 	e.curPE = simerr.NoPE
+	e.h = h // keep the (drained) heap's grown backing for the next epoch
 	return nil
 }
 
@@ -687,7 +763,7 @@ func (e *parEngine) committed(i int) {
 
 // recycle returns a committed or discarded block to its agent's pool.
 func (e *parEngine) recycle(blk *specBlock) {
-	blk.snap = nil
+	blk.snap = 0
 	a := e.agents[blk.pe]
 	a.free = append(a.free, blk)
 }
@@ -701,6 +777,10 @@ func (e *parEngine) stepSpec(i int) {
 	a.view.Reset()
 	a.blocks = a.blocks[:0]
 	pe := e.pes[i]
+	// The previous epoch's journal can no longer be rewound to; retire it
+	// before recording this epoch's steps.
+	pe.SpecFlush()
+	pe.SpecActivate(true)
 	for seq := 0; seq < maxStepsPerEpoch; seq++ {
 		if seq > 0 {
 			if pe.Time() >= e.epochEnd {
@@ -714,7 +794,7 @@ func (e *parEngine) stepSpec(i int) {
 		blk.pe = i
 		blk.seq = seq
 		blk.start = pe.Time()
-		blk.snap = pe.Snapshot()
+		blk.snap = pe.SpecSave()
 		a.cur = blk
 		blk.alive = pe.Step()
 		a.blocks = append(a.blocks, blk)
@@ -722,6 +802,10 @@ func (e *parEngine) stepSpec(i int) {
 			break
 		}
 	}
+	// Stop journaling: commit-phase re-execution after a rewind must run
+	// at live-stepping cost. The journal itself stays until the next
+	// flush, so SpecRewind keeps working during commit.
+	pe.SpecActivate(false)
 	a.cur = nil
 }
 
@@ -750,6 +834,92 @@ func (e *parEngine) validate(blk *specBlock) bool {
 	return true
 }
 
+// validateFlush is the merged validate+apply of the fast commit path:
+// the block's operations walk an accumulating view over the live state
+// exactly once, and if every completion, miss count, and probe answer
+// matches the speculation, the view's state bulk-flushes into the base —
+// bit-identical to live replay, at one walk instead of two. On mismatch
+// the view resets, leaving the live state untouched, and the caller
+// rewinds the PE as usual. Untraced runs only (see fastCommit).
+func (e *parEngine) validateFlush(blk *specBlock) bool {
+	switch e.tryDirectCommit(blk) {
+	case directCommitted:
+		e.viewDirty = true // the stamps advanced the live LRU clock
+		return true
+	case directFailed:
+		return false
+	}
+	if e.viewDirty {
+		e.checkView.Reset()
+		e.viewDirty = false
+	}
+	cp := e.checks[blk.pe]
+	for k := range blk.entries {
+		en := &blk.entries[k]
+		switch en.kind {
+		case evAccess:
+			done, _, misses := cp.Access(en.at, en.addr, en.bytes)
+			if done != en.done || misses != en.misses {
+				e.checkView.Reset() // discard the failed block's partial walk
+				return false
+			}
+		case evProbe:
+			if cp.Probe(en.addr, en.bytes) != en.ok {
+				e.checkView.Reset()
+				return false
+			}
+		}
+	}
+	e.checkView.FlushToBase()
+	return true
+}
+
+// tryDirectCommit outcomes.
+const (
+	directBail      = iota // undecided: the general walk path must decide
+	directCommitted        // validated and applied straight to the base
+	directFailed           // definitively refuted: a probe answer diverged
+)
+
+// tryDirectCommit handles the dominant commit case — a block whose every
+// access was all-hit under speculation — without touching the commit
+// view. If the live walk memo proves each accessed range still fully
+// resident, the block's completions are forced (hit latency plus NoC
+// trip, independent of LRU and DRAM state), so validation reduces to
+// read-only residency proofs plus probe-answer checks, and application
+// to replaying the all-hit LRU bookkeeping on the base. Nothing mutates
+// until the whole block is proven, so a refuted or unprovable block
+// leaves the live state untouched.
+func (e *parEngine) tryDirectCommit(blk *specBlock) int {
+	c := e.hier.Shared
+	for k := range blk.entries {
+		en := &blk.entries[k]
+		switch en.kind {
+		case evAccess:
+			if en.bytes <= 0 {
+				continue
+			}
+			if en.misses != 0 || !c.ProvenResident(en.addr, en.bytes) {
+				return directBail
+			}
+		case evProbe:
+			// All accesses in a committable block are hits, so residency
+			// is static across the block and probes check against the
+			// base in any order.
+			if c.Probe(en.addr, en.bytes) != en.ok {
+				return directFailed
+			}
+		}
+	}
+	for k := range blk.entries {
+		en := &blk.entries[k]
+		if en.kind == evAccess && en.bytes > 0 {
+			c.StampHitWalk(en.addr, en.bytes)
+		}
+	}
+	return directCommitted
+}
+
 // apply commits a validated block: shared-memory operations replay
 // through the PE's live port — mutating cache/DRAM state and statistics
 // and re-emitting cache/DRAM telemetry exactly as the serial loop would
@@ -768,11 +938,13 @@ func (e *parEngine) apply(blk *specBlock) {
 		case evProbe:
 			// Probes have no side effects; nothing to replay.
 		case evGroupBegin:
-			trc.TaskGroupBegin(blk.pe, en.engine, en.at, en.size)
+			t := &blk.tel[en.tel]
+			trc.TaskGroupBegin(blk.pe, t.engine, t.at, t.size)
 		case evGroupEnd:
-			trc.TaskGroupEnd(blk.pe, en.at)
+			trc.TaskGroupEnd(blk.pe, blk.tel[en.tel].at)
 		case evSetOp:
-			trc.SetOpIssue(blk.pe, en.at, en.str, en.longLen, en.shortLen, en.workloads)
+			t := &blk.tel[en.tel]
+			trc.SetOpIssue(blk.pe, t.at, t.str, t.longLen, t.shortLen, t.workloads)
 		}
 	}
 }

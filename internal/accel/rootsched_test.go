@@ -1,0 +1,62 @@
+package accel
+
+import "testing"
+
+// TestRootSchedulerZeroValue pins the documented contract: the zero
+// value is an empty, exhausted scheduler.
+func TestRootSchedulerZeroValue(t *testing.T) {
+	var r RootScheduler
+	if _, ok := r.Next(); ok {
+		t.Error("zero-value Next returned ok=true")
+	}
+	if r.Total() != 0 || r.Remaining() != 0 {
+		t.Errorf("zero-value Total=%d Remaining=%d, want 0,0", r.Total(), r.Remaining())
+	}
+}
+
+// TestRootSchedulerNilReceiver pins the defensive nil contract: a nil
+// scheduler behaves like the zero value instead of dereferencing.
+func TestRootSchedulerNilReceiver(t *testing.T) {
+	var r *RootScheduler
+	if _, ok := r.Next(); ok {
+		t.Error("nil Next returned ok=true")
+	}
+	if r.Total() != 0 {
+		t.Errorf("nil Total = %d, want 0", r.Total())
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("nil Remaining = %d, want 0", r.Remaining())
+	}
+}
+
+// TestRootSchedulerExhaustion checks Remaining bookkeeping across a full
+// drain, for both the ID-order and the custom-order constructors.
+func TestRootSchedulerExhaustion(t *testing.T) {
+	r := NewRootScheduler(3)
+	for i := 0; i < 3; i++ {
+		v, ok := r.Next()
+		if !ok || v != uint32(i) {
+			t.Fatalf("Next #%d = %d,%v", i, v, ok)
+		}
+		if got := r.Remaining(); got != 2-i {
+			t.Errorf("Remaining after %d draws = %d", i+1, got)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("exhausted scheduler returned ok=true")
+	}
+	if r.Remaining() != 0 || r.Total() != 3 {
+		t.Errorf("drained: Remaining=%d Total=%d, want 0,3", r.Remaining(), r.Total())
+	}
+
+	o := NewRootSchedulerWithOrder([]uint32{7, 5})
+	if v, _ := o.Next(); v != 7 {
+		t.Errorf("ordered first = %d, want 7", v)
+	}
+	if v, _ := o.Next(); v != 5 {
+		t.Errorf("ordered second = %d, want 5", v)
+	}
+	if _, ok := o.Next(); ok {
+		t.Error("ordered scheduler not exhausted after its order")
+	}
+}

@@ -89,10 +89,43 @@ type PE struct {
 	// barrier; Step consumes it before pulling from the shared scheduler.
 	staged stagedRoot
 
+	// Undo journal (accel.SpecPE): while jactive, every stack mutation
+	// appends its inverse, and SpecSave checkpoints the scalar state.
+	jactive bool
+	journal []jEntry
+	saves   []peSave
+	nsaves  int
+
 	// Scratch reused across tasks.
 	iuBusy []mem.Cycles
 	opBusy []mem.Cycles
 	iuWl   []int
+	// iuKeys is a binary min-heap of packed (busy<<16 | IU index) keys:
+	// plain int64 order is exactly the (busy, index) lexicographic order
+	// the list scheduler's first-minimum scan resolves ties by. Only the
+	// root's key ever grows, so one sift-down per workload maintains it.
+	iuKeys []int64
+	opWl   int
+	// tkTouched/opTouched list the IUs assigned work this task / this op,
+	// so the post-op and post-task scans and resets touch only those
+	// instead of sweeping all NumIUs entries per (often tiny) op.
+	tkTouched []int
+	opTouched []int
+	// members/sorted are the task-group scratch: per-candidate fetch
+	// geometry probed once, then partitioned cache-hits-first.
+	members []member
+	sorted  []member
+	pairing setops.Pairing
+}
+
+// member is one task-group entry: a candidate with its neighbor-list
+// fetch geometry and residency.
+type member struct {
+	v     uint32
+	addr  int64
+	bytes int64
+	ready mem.Cycles
+	hit   bool
 }
 
 // stagedRoot is a pre-reserved root handout: the result the next root
@@ -114,6 +147,9 @@ func NewPE(cfg Config, g *graph.Graph, plans []*plan.Plan, roots *accel.RootSche
 		iuBusy:        make([]mem.Cycles, cfg.NumIUs),
 		opBusy:        make([]mem.Cycles, cfg.NumIUs),
 		iuWl:          make([]int, cfg.NumIUs),
+		iuKeys:        make([]int64, cfg.NumIUs),
+		tkTouched:     make([]int, 0, cfg.NumIUs),
+		opTouched:     make([]int, 0, cfg.NumIUs),
 	}
 	pe.stats.NumIUs = cfg.NumIUs
 	for _, pl := range plans {
@@ -188,9 +224,14 @@ func (pe *PE) groupSize() int {
 
 // Step processes one task group (or starts a new root tree).
 func (pe *PE) Step() bool {
-	// Drop exhausted frames.
+	// Drop exhausted frames, returning their nodes to the engine pool.
 	for len(pe.stack) > 0 && pe.stack[len(pe.stack)-1].next >= len(pe.stack[len(pe.stack)-1].cands) {
+		fr := pe.stack[len(pe.stack)-1]
 		pe.stack = pe.stack[:len(pe.stack)-1]
+		if pe.jactive {
+			pe.journal = append(pe.journal, jEntry{kind: jPop, fr: fr})
+		}
+		pe.engines[fr.engine].Release(fr.node)
 	}
 	if len(pe.stack) == 0 {
 		v, ok := pe.takeRoot()
@@ -209,6 +250,9 @@ func (pe *PE) Step() bool {
 	group := top.cands[top.next : top.next+n]
 	engineIdx := top.engine
 	parent := top.node
+	if pe.jactive {
+		pe.journal = append(pe.journal, jEntry{kind: jNext, idx: int32(len(pe.stack) - 1), next: int32(top.next)})
+	}
 	top.next += n
 	pe.runGroup(engineIdx, parent, group)
 	return true
@@ -249,56 +293,109 @@ func (pe *PE) StageRoot() {
 // StagedRoot reports whether a reserved root is pending (accel.SpecPE).
 func (pe *PE) StagedRoot() bool { return pe.staged.set }
 
-// peSnapshot captures a PE's mutable state before a speculative step.
-type peSnapshot struct {
+// jKind distinguishes journal entries: each records how to undo one
+// stack mutation.
+type jKind uint8
+
+const (
+	jPop  jKind = iota // a frame was popped; undo re-appends fr
+	jPush              // a frame was pushed; undo truncates one
+	jNext              // frame idx advanced its cursor; undo restores next
+)
+
+// jEntry is one undo record. Frame heights replay consistently because
+// entries are undone strictly in reverse order.
+type jEntry struct {
+	kind jKind
+	idx  int32
+	next int32
+	fr   frame
+}
+
+// peSave checkpoints the PE's scalar state plus a journal position; the
+// stack itself is rewound by replaying the journal, not by copying.
+type peSave struct {
 	now    mem.Cycles
 	count  uint64
 	tasks  int64
 	groups int64
-	stack  []frame
 	stats  IUStats
 	bd     telemetry.Breakdown
 	ema    float64
 	staged stagedRoot
+	jlen   int
 	marks  []int32
+	parks  []int
 }
 
-// Snapshot implements accel.SpecPE. The mining engines' nodes are
-// immutable, so the stack copy is shallow; only the per-frame cursor and
-// the engines' set-ID allocators need rewinding.
-func (pe *PE) Snapshot() interface{} {
-	s := &peSnapshot{
-		now:    pe.now,
-		count:  pe.count,
-		tasks:  pe.tasks,
-		groups: pe.groups,
-		stack:  append([]frame(nil), pe.stack...),
-		stats:  pe.stats,
-		bd:     pe.bd,
-		ema:    pe.emaIUsPerTask,
-		staged: pe.staged,
-		marks:  make([]int32, len(pe.engines)),
+// SpecActivate implements accel.SpecPE: toggles undo journaling on the
+// PE and node parking on its engines for a speculative phase.
+func (pe *PE) SpecActivate(on bool) {
+	pe.jactive = on
+	for _, e := range pe.engines {
+		e.Speculate(on)
 	}
-	for i, e := range pe.engines {
-		s.marks[i] = e.Mark()
-	}
-	return s
 }
 
-// Restore implements accel.SpecPE, rewinding to a Snapshot.
-func (pe *PE) Restore(snap interface{}) {
-	s := snap.(*peSnapshot)
-	pe.now = s.now
-	pe.count = s.count
-	pe.tasks = s.tasks
-	pe.groups = s.groups
-	pe.stack = append(pe.stack[:0], s.stack...)
-	pe.stats = s.stats
-	pe.bd = s.bd
-	pe.emaIUsPerTask = s.ema
-	pe.staged = s.staged
+// SpecSave implements accel.SpecPE: checkpoints the scalar state and
+// marks the current journal position, returning a mark for SpecRewind.
+// Saves are stored in a reusable arena indexed by the mark.
+func (pe *PE) SpecSave() int {
+	idx := pe.nsaves
+	if idx == len(pe.saves) {
+		pe.saves = append(pe.saves, peSave{})
+	}
+	pe.nsaves++
+	s := &pe.saves[idx]
+	s.now, s.count, s.tasks, s.groups = pe.now, pe.count, pe.tasks, pe.groups
+	s.stats, s.bd, s.ema, s.staged = pe.stats, pe.bd, pe.emaIUsPerTask, pe.staged
+	s.jlen = len(pe.journal)
+	s.marks = s.marks[:0]
+	s.parks = s.parks[:0]
+	for _, e := range pe.engines {
+		s.marks = append(s.marks, e.Mark())
+		s.parks = append(s.parks, e.ParkMark())
+	}
+	return idx
+}
+
+// SpecRewind implements accel.SpecPE: undoes every stack mutation after
+// the mark in reverse order, restores the scalar state, and revives the
+// nodes the restored frames reference from the engines' park logs.
+func (pe *PE) SpecRewind(mark int) {
+	s := &pe.saves[mark]
+	for k := len(pe.journal) - 1; k >= s.jlen; k-- {
+		en := &pe.journal[k]
+		switch en.kind {
+		case jPop:
+			pe.stack = append(pe.stack, en.fr)
+		case jPush:
+			pe.stack = pe.stack[:len(pe.stack)-1]
+		case jNext:
+			pe.stack[en.idx].next = int(en.next)
+		}
+	}
+	pe.journal = pe.journal[:s.jlen]
+	pe.now, pe.count, pe.tasks, pe.groups = s.now, s.count, s.tasks, s.groups
+	pe.stats, pe.bd, pe.emaIUsPerTask, pe.staged = s.stats, s.bd, s.ema, s.staged
 	for i, e := range pe.engines {
 		e.Rewind(s.marks[i])
+		e.ReviveParked(s.parks[i])
+	}
+	pe.nsaves = mark
+}
+
+// SpecFlush implements accel.SpecPE: retires the journal and save marks
+// of a fully committed speculative phase and returns parked nodes to the
+// engine pools.
+func (pe *PE) SpecFlush() {
+	for i := range pe.journal {
+		pe.journal[i].fr = frame{}
+	}
+	pe.journal = pe.journal[:0]
+	pe.nsaves = 0
+	for _, e := range pe.engines {
+		e.FlushParked()
 	}
 }
 
@@ -347,31 +444,37 @@ func (pe *PE) startRoot(v uint32) {
 func (pe *PE) runGroup(engineIdx int, parent *mine.Node, cands []uint32) {
 	e := pe.engines[engineIdx]
 	start := pe.now
-	type member struct {
-		v     uint32
-		ready mem.Cycles
+	probed := pe.members[:0]
+	for _, v := range cands {
+		addr, bytes := pe.g.NeighborAddr(v), pe.g.NeighborBytes(v)
+		probed = append(probed, member{v: v, addr: addr, bytes: bytes, hit: pe.shared.Probe(addr, bytes)})
 	}
-	members := make([]member, 0, len(cands))
+	pe.members = probed
 	// Cache-resident tasks are scheduled first — the implicit selection
-	// the paper implements by letting hits return immediately.
-	for _, v := range cands {
-		if pe.shared.Probe(pe.g.NeighborAddr(v), pe.g.NeighborBytes(v)) {
-			members = append(members, member{v: v})
+	// the paper implements by letting hits return immediately. The stable
+	// hits-then-misses partition preserves candidate order within each
+	// class.
+	members := pe.sorted[:0]
+	for i := range probed {
+		if probed[i].hit {
+			members = append(members, probed[i])
 		}
 	}
-	for _, v := range cands {
-		if !pe.shared.Probe(pe.g.NeighborAddr(v), pe.g.NeighborBytes(v)) {
-			members = append(members, member{v: v})
+	for i := range probed {
+		if !probed[i].hit {
+			members = append(members, probed[i])
 		}
 	}
+	pe.sorted = members
 	if pe.trc != nil {
 		pe.trc.TaskGroupBegin(pe.id, engineIdx, start, len(cands))
 	}
 	for i := range members {
-		members[i].ready = pe.shared.Access(start, pe.g.NeighborAddr(members[i].v), pe.g.NeighborBytes(members[i].v))
+		members[i].ready = pe.shared.Access(start, members[i].addr, members[i].bytes)
 	}
 	t := start
-	for _, m := range members {
+	for i := range members {
+		m := &members[i]
 		ready := m.ready
 		if t > ready {
 			ready = t
@@ -391,17 +494,24 @@ func (pe *PE) runGroup(engineIdx int, parent *mine.Node, cands []uint32) {
 	}
 }
 
-// finishTask counts leaves or pushes the child's frame.
+// finishTask counts leaves or pushes the child's frame. Nodes that gain
+// no frame (leaves, dead ends) are released to the engine pool at once;
+// framed nodes are released when their frame pops.
 func (pe *PE) finishTask(engineIdx int, e *mine.Engine, node *mine.Node) {
 	if node.Level == e.Plan.K()-2 {
 		pe.count += e.LeafCount(node)
+		e.Release(node)
 		return
 	}
 	cands := e.Candidates(node)
 	if len(cands) == 0 {
+		e.Release(node)
 		return
 	}
 	pe.stack = append(pe.stack, frame{engine: engineIdx, node: node, cands: cands})
+	if pe.jactive {
+		pe.journal = append(pe.journal, jEntry{kind: jPush})
+	}
 }
 
 // computeTask charges one task's compute phase: every distinct set
@@ -416,10 +526,13 @@ func (pe *PE) finishTask(engineIdx int, e *mine.Engine, node *mine.Node) {
 // by the sum of all stage latencies.
 func (pe *PE) computeTask(ready mem.Cycles, info mine.TaskInfo) mem.Cycles {
 	pe.tasks++
-	for i := range pe.iuBusy {
-		pe.iuBusy[i] = 0
-		pe.iuWl[i] = 0
+	// iuBusy/iuWl are all-zero here (the previous task reset exactly the
+	// entries it touched); zero-busy keys make the identity permutation a
+	// valid min-heap.
+	for i := range pe.iuKeys {
+		pe.iuKeys[i] = int64(i)
 	}
+	pe.tkTouched = pe.tkTouched[:0]
 	fetchStart := ready
 	// Extra fetches beyond the new vertex's list (postponed ancestors).
 	for _, v := range info.FetchVertices[1:] {
@@ -440,13 +553,10 @@ func (pe *PE) computeTask(ready mem.Cycles, info mine.TaskInfo) mem.Cycles {
 	}
 	// Serialized ancestor fetches and spill traffic are exposed latency.
 	pe.bd.MemStall += ready - fetchStart
-	usedIUs := 0
+	usedIUs := len(pe.tkTouched)
 	var busySum mem.Cycles
-	for _, b := range pe.iuBusy {
-		if b > 0 {
-			usedIUs++
-			busySum += b
-		}
+	for _, i := range pe.tkTouched {
+		busySum += pe.iuBusy[i]
 	}
 	// Each IU receives inputs and surrenders results through the serial
 	// round-robin sweeps (§4.3), whose period is proportional to the
@@ -458,14 +568,16 @@ func (pe *PE) computeTask(ready mem.Cycles, info mine.TaskInfo) mem.Cycles {
 	// scaling shrinks segments (the Figure 12 drop at 48 IUs).
 	rrPeriod := mem.Cycles(usedIUs)
 	var maxBusy mem.Cycles
-	for i, b := range pe.iuBusy {
-		eff := b
+	for _, i := range pe.tkTouched {
+		eff := pe.iuBusy[i]
 		if rr := mem.Cycles(pe.iuWl[i]) * rrPeriod; rr > eff {
 			eff = rr
 		}
 		if eff > maxBusy {
 			maxBusy = eff
 		}
+		pe.iuBusy[i] = 0
+		pe.iuWl[i] = 0
 	}
 	pe.stats.BusyIUCycles += busySum
 	// Divider stage: short heads stream through the long-head tree,
@@ -485,10 +597,14 @@ func (pe *PE) computeTask(ready mem.Cycles, info mine.TaskInfo) mem.Cycles {
 	pe.emaIUsPerTask = (1-emaAlpha)*pe.emaIUsPerTask + emaAlpha*iusThisTask
 	// Pipeline throughput: the slowest stage bounds this task's slot.
 	step := maxBusy
-	for _, s := range []mem.Cycles{divider, drain, pe.cfg.TaskOverheadCycles} {
-		if s > step {
-			step = s
-		}
+	if divider > step {
+		step = divider
+	}
+	if drain > step {
+		step = drain
+	}
+	if pe.cfg.TaskOverheadCycles > step {
+		step = pe.cfg.TaskOverheadCycles
 	}
 	// Attribution: the IU-bound portion is compute; anything the divider,
 	// collector sweeps, or fixed task cost add beyond it is overhead.
@@ -504,7 +620,8 @@ func (pe *PE) computeTask(ready mem.Cycles, info mine.TaskInfo) mem.Cycles {
 func (pe *PE) chargeOp(op mine.SetOpExec, searchSteps, totalWorkloads int) (int, int) {
 	long := setops.Segment(op.Long, pe.cfg.LongSegLen)
 	short := setops.Segment(op.Short, pe.cfg.ShortSegLen)
-	pairing := setops.Pair(long, short)
+	setops.PairInto(&pe.pairing, long, short)
+	pairing := &pe.pairing
 	// A task divider matches up to 15 long heads against up to 24 short
 	// heads at a time (§4.2); longer head lists are split into chunks,
 	// each short head re-streaming through every long-head chunk. Shorter
@@ -518,37 +635,14 @@ func (pe *PE) chargeOp(op mine.SetOpExec, searchSteps, totalWorkloads int) (int,
 	if maxLoad < 1 {
 		maxLoad = 1
 	}
-	for i := range pe.opBusy {
-		pe.opBusy[i] = 0
-	}
-	opWorkloads := 0
-	schedule := func(cycles mem.Cycles) {
-		if cycles < 1 {
-			cycles = 1
-		}
-		best := 0
-		for j := 1; j < len(pe.iuBusy); j++ {
-			if pe.iuBusy[j] < pe.iuBusy[best] {
-				best = j
-			}
-		}
-		pe.iuBusy[best] += cycles
-		pe.opBusy[best] += cycles
-		pe.iuWl[best]++
-		opWorkloads++
-	}
-	shortLen := func(start, count int) int {
-		n := 0
-		for s := start; s < start+count; s++ {
-			n += len(short.Seg(s))
-		}
-		return n
-	}
+	// opBusy is all-zero here (the previous op reset its touched entries).
+	pe.opTouched = pe.opTouched[:0]
+	pe.opWl = 0
 	covered := 0 // subtraction: next short segment not yet known unpaired
 	for j, ld := range pairing.Loads {
 		if ld.ShortCount == 0 {
 			if op.Kind == setops.OpAntiSubtract {
-				schedule(mem.Cycles(len(long.Seg(j))))
+				pe.schedule(mem.Cycles(long.SegSize(j)))
 			}
 			continue
 		}
@@ -556,37 +650,37 @@ func (pe *PE) chargeOp(op mine.SetOpExec, searchSteps, totalWorkloads int) (int,
 			// Unpaired short segments before this long's range survive
 			// wholesale and become pass-through workloads.
 			for ; covered < ld.ShortStart; covered++ {
-				schedule(mem.Cycles(len(short.Seg(covered))))
+				pe.schedule(mem.Cycles(short.SegSize(covered)))
 			}
 			if end := ld.ShortStart + ld.ShortCount; end > covered {
 				covered = end
 			}
 		}
-		ll := len(long.Seg(j))
+		ll := long.SegSize(j)
 		for s := 0; s < ld.ShortCount; s += maxLoad {
 			n := ld.ShortCount - s
 			if n > maxLoad {
 				n = maxLoad
 			}
-			schedule(mem.Cycles(ll + shortLen(ld.ShortStart+s, n)))
+			pe.schedule(mem.Cycles(ll + short.SpanSize(ld.ShortStart+s, n)))
 		}
 	}
 	if op.Kind == setops.OpSubtract {
 		for ; covered < short.NumSegments(); covered++ {
-			schedule(mem.Cycles(len(short.Seg(covered))))
+			pe.schedule(mem.Cycles(short.SegSize(covered)))
 		}
 	}
+	opWorkloads := pe.opWl
 	// Balance-rate bookkeeping for this load's IU subset.
 	var dur, sum mem.Cycles
-	subset := 0
-	for _, b := range pe.opBusy {
-		if b > 0 {
-			subset++
-			sum += b
-			if b > dur {
-				dur = b
-			}
+	subset := len(pe.opTouched)
+	for _, i := range pe.opTouched {
+		b := pe.opBusy[i]
+		sum += b
+		if b > dur {
+			dur = b
 		}
+		pe.opBusy[i] = 0
 	}
 	if subset > 0 {
 		pe.stats.BalanceNum += float64(sum)
@@ -594,4 +688,47 @@ func (pe *PE) chargeOp(op mine.SetOpExec, searchSteps, totalWorkloads int) (int,
 		pe.stats.AssignedIUCycles += dur * mem.Cycles(subset)
 	}
 	return searchSteps, totalWorkloads + opWorkloads
+}
+
+// schedule assigns one workload to the earliest-available IU: the
+// lexicographic (busy, index) minimum, which is exactly the first index a
+// linear scan for the least-busy IU would report. Only the chosen IU's
+// key grows, so the heap root is the only entry that can violate heap
+// order afterwards; the root's new key is sifted down hole-style with
+// primitive int64 comparisons.
+func (pe *PE) schedule(cycles mem.Cycles) {
+	if cycles < 1 {
+		cycles = 1
+	}
+	h := pe.iuKeys
+	best := int(h[0] & 0xffff)
+	if pe.iuBusy[best] == 0 {
+		pe.tkTouched = append(pe.tkTouched, best)
+	}
+	if pe.opBusy[best] == 0 {
+		pe.opTouched = append(pe.opTouched, best)
+	}
+	pe.iuBusy[best] += cycles
+	pe.opBusy[best] += cycles
+	pe.iuWl[best]++
+	pe.opWl++
+	key := h[0] + int64(cycles)<<16
+	n := len(h)
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h[r] < h[l] {
+			m = r
+		}
+		if h[m] >= key {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = key
 }

@@ -71,6 +71,33 @@ type PE struct {
 	// staged holds a root reservation made at a parallel-engine epoch
 	// barrier; Step consumes it before pulling from the shared scheduler.
 	staged stagedRoot
+
+	// Undo journal (accel.SpecPE): while jactive, every stack mutation
+	// appends its inverse, and SpecSave checkpoints the scalar state.
+	jactive bool
+	journal []jEntry
+	saves   []peSave
+	nsaves  int
+}
+
+// jEntry is one undo record for the DFS stack: n == -1 undoes a pop by
+// re-appending item; n > 0 undoes a batch of n pushes by truncation.
+type jEntry struct {
+	item workItem
+	n    int32
+}
+
+// peSave checkpoints the PE's scalar state plus a journal position; the
+// stack itself is rewound by replaying the journal, not by copying.
+type peSave struct {
+	now    mem.Cycles
+	count  uint64
+	tasks  int64
+	bd     telemetry.Breakdown
+	staged stagedRoot
+	jlen   int
+	marks  []int32
+	parks  []int
 }
 
 // stagedRoot is a pre-reserved root handout: the result the next root
@@ -153,47 +180,70 @@ func (pe *PE) CurrentRoot() (uint32, bool) {
 	return 0, false
 }
 
-// peSnapshot captures a PE's mutable state before a speculative step.
-type peSnapshot struct {
-	now    mem.Cycles
-	count  uint64
-	tasks  int64
-	stack  []workItem
-	bd     telemetry.Breakdown
-	staged stagedRoot
-	marks  []int32
+// SpecActivate implements accel.SpecPE: toggles undo journaling on the
+// PE and node parking on its engines for a speculative phase.
+func (pe *PE) SpecActivate(on bool) {
+	pe.jactive = on
+	for _, e := range pe.engines {
+		e.Speculate(on)
+	}
 }
 
-// Snapshot implements accel.SpecPE. Mining-engine nodes are immutable,
-// so the stack copy is shallow; only the engines' set-ID allocators need
-// rewinding alongside.
-func (pe *PE) Snapshot() interface{} {
-	s := &peSnapshot{
-		now:    pe.now,
-		count:  pe.count,
-		tasks:  pe.tasks,
-		stack:  append([]workItem(nil), pe.stack...),
-		bd:     pe.bd,
-		staged: pe.staged,
-		marks:  make([]int32, len(pe.engines)),
+// SpecSave implements accel.SpecPE: checkpoints the scalar state and
+// marks the current journal position, returning a mark for SpecRewind.
+func (pe *PE) SpecSave() int {
+	idx := pe.nsaves
+	if idx == len(pe.saves) {
+		pe.saves = append(pe.saves, peSave{})
 	}
-	for i, e := range pe.engines {
-		s.marks[i] = e.Mark()
+	pe.nsaves++
+	s := &pe.saves[idx]
+	s.now, s.count, s.tasks = pe.now, pe.count, pe.tasks
+	s.bd, s.staged = pe.bd, pe.staged
+	s.jlen = len(pe.journal)
+	s.marks = s.marks[:0]
+	s.parks = s.parks[:0]
+	for _, e := range pe.engines {
+		s.marks = append(s.marks, e.Mark())
+		s.parks = append(s.parks, e.ParkMark())
 	}
-	return s
+	return idx
 }
 
-// Restore implements accel.SpecPE, rewinding to a Snapshot.
-func (pe *PE) Restore(snap interface{}) {
-	s := snap.(*peSnapshot)
-	pe.now = s.now
-	pe.count = s.count
-	pe.tasks = s.tasks
-	pe.stack = append(pe.stack[:0], s.stack...)
-	pe.bd = s.bd
-	pe.staged = s.staged
+// SpecRewind implements accel.SpecPE: undoes every stack mutation after
+// the mark in reverse order, restores the scalar state, and revives the
+// parked nodes the restored work items reference.
+func (pe *PE) SpecRewind(mark int) {
+	s := &pe.saves[mark]
+	for k := len(pe.journal) - 1; k >= s.jlen; k-- {
+		en := &pe.journal[k]
+		if en.n < 0 {
+			pe.stack = append(pe.stack, en.item)
+		} else {
+			pe.stack = pe.stack[:len(pe.stack)-int(en.n)]
+		}
+	}
+	pe.journal = pe.journal[:s.jlen]
+	pe.now, pe.count, pe.tasks = s.now, s.count, s.tasks
+	pe.bd, pe.staged = s.bd, s.staged
 	for i, e := range pe.engines {
 		e.Rewind(s.marks[i])
+		e.ReviveParked(s.parks[i])
+	}
+	pe.nsaves = mark
+}
+
+// SpecFlush implements accel.SpecPE: retires the journal and save marks
+// of a fully committed speculative phase and returns parked nodes to the
+// engine pools.
+func (pe *PE) SpecFlush() {
+	for i := range pe.journal {
+		pe.journal[i].item = workItem{}
+	}
+	pe.journal = pe.journal[:0]
+	pe.nsaves = 0
+	for _, e := range pe.engines {
+		e.FlushParked()
 	}
 }
 
@@ -214,6 +264,10 @@ func (pe *PE) SwapTracer(t telemetry.Tracer) telemetry.Tracer {
 }
 
 // Step executes one task in DFS order.
+//
+// Node pooling: only nodes no remaining work item can reference — leaves
+// and dead ends — are released; interior nodes stay live for their
+// pending sibling extensions and are left to the garbage collector.
 func (pe *PE) Step() bool {
 	if len(pe.stack) == 0 {
 		v, ok := pe.takeRoot()
@@ -226,10 +280,16 @@ func (pe *PE) Step() bool {
 		for i := len(pe.engines) - 1; i >= 0; i-- {
 			pe.stack = append(pe.stack, workItem{engine: i, start: true, root: v})
 		}
+		if pe.jactive {
+			pe.journal = append(pe.journal, jEntry{n: int32(len(pe.engines))})
+		}
 		return true
 	}
 	item := pe.stack[len(pe.stack)-1]
 	pe.stack = pe.stack[:len(pe.stack)-1]
+	if pe.jactive {
+		pe.journal = append(pe.journal, jEntry{item: item, n: -1})
+	}
 	e := pe.engines[item.engine]
 
 	var node *mine.Node
@@ -243,11 +303,19 @@ func (pe *PE) Step() bool {
 
 	if node.Level == e.Plan.K()-2 {
 		pe.count += e.LeafCount(node)
+		e.Release(node)
 		return true
 	}
 	cands := e.Candidates(node)
+	if len(cands) == 0 {
+		e.Release(node)
+		return true
+	}
 	for i := len(cands) - 1; i >= 0; i-- {
 		pe.stack = append(pe.stack, workItem{engine: item.engine, node: node, cand: cands[i]})
+	}
+	if pe.jactive {
+		pe.journal = append(pe.journal, jEntry{n: int32(len(cands))})
 	}
 	return true
 }
@@ -265,27 +333,41 @@ func (pe *PE) charge(info mine.TaskInfo) {
 	pe.now += pe.cfg.TaskOverheadCycles
 	pe.bd.Overhead += pe.cfg.TaskOverheadCycles
 	// DFS dependency: each fetch is fully exposed before compute starts.
-	fetched := make(map[uint32]bool, len(info.FetchVertices))
-	for _, v := range info.FetchVertices {
-		if fetched[v] {
+	// The fetch list is at most a few entries (the new vertex plus
+	// postponed ancestors), so duplicates are found by a prefix scan
+	// instead of a per-task map allocation.
+	for i, v := range info.FetchVertices {
+		dup := false
+		for j := 0; j < i; j++ {
+			if info.FetchVertices[j] == v {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		fetched[v] = true
 		t0 := pe.now
 		pe.now = pe.shared.Access(pe.now, pe.g.NeighborAddr(v), pe.g.NeighborBytes(v))
 		pe.bd.MemStall += pe.now - t0
 	}
 	// Serial set operations on the single merge unit. Sequential updates
 	// refetch a long input that does not fit in the private cache
-	// (Figure 3's motivating inefficiency).
-	used := make(map[uint32]bool, 2)
-	for _, op := range info.Ops {
-		if used[op.LongVertex] && pe.g.NeighborBytes(op.LongVertex) > pe.cfg.PrivateCacheBytes {
+	// (Figure 3's motivating inefficiency). An op's long input counts as
+	// already used when any earlier op of this task consumed it.
+	for i, op := range info.Ops {
+		usedBefore := false
+		for j := 0; j < i; j++ {
+			if info.Ops[j].LongVertex == op.LongVertex {
+				usedBefore = true
+				break
+			}
+		}
+		if usedBefore && pe.g.NeighborBytes(op.LongVertex) > pe.cfg.PrivateCacheBytes {
 			t0 := pe.now
 			pe.now = pe.shared.Access(pe.now, pe.g.NeighborAddr(op.LongVertex), pe.g.NeighborBytes(op.LongVertex))
 			pe.bd.MemStall += pe.now - t0
 		}
-		used[op.LongVertex] = true
 		// A candidate set spilled beyond the private cache is read back
 		// through the shared cache.
 		if int64(len(op.Short))*4 > pe.cfg.PrivateCacheBytes {

@@ -58,6 +58,10 @@ type DRAM struct {
 // SetObserver attaches (or, with nil, detaches) a burst observer.
 func (d *DRAM) SetObserver(o DRAMObserver) { d.obs = o }
 
+// Observed reports whether a burst observer is attached — consumers that
+// would bypass the access path (and so skip its events) must not.
+func (d *DRAM) Observed() bool { return d.obs != nil }
+
 // NewDRAM builds a DRAM model from the config.
 func NewDRAM(cfg DRAMConfig) *DRAM {
 	if cfg.Channels < 1 {
@@ -155,6 +159,20 @@ type Cache struct {
 	backing *DRAM
 	clock   int64 // LRU tick
 	stats   CacheStats
+
+	// memo caches line-walk geometry per byte range: the dominant access
+	// pattern is re-fetching the same neighbor lists, and a validated memo
+	// entry resolves such a fetch in O(lines) single compares instead of
+	// O(lines × ways) scans with per-line address divisions. The table is
+	// direct-mapped (collisions replace — entries are hints, losing one
+	// only costs a slow walk), which keeps the per-access lookup a hash,
+	// a mask, and one key compare. Speculative views read the table
+	// concurrently during the parallel engine's speculative phase (the
+	// live cache is quiescent then); only the live cache writes it.
+	memo []memoEntry
+	// rec, when non-nil, receives one wayRef per line from look — the
+	// slow-walk recording that (re)builds a memo entry.
+	rec *[]wayRef
 }
 
 // NewCache builds a cache from the config over the given DRAM.
@@ -173,20 +191,76 @@ func NewCache(cfg CacheConfig, backing *DRAM) *Cache {
 	for i := range sets {
 		sets[i] = make([]cacheLine, cfg.Ways)
 	}
-	return &Cache{cfg: cfg, sets: sets, numSets: numSets, backing: backing}
+	return &Cache{cfg: cfg, sets: sets, numSets: numSets, backing: backing,
+		memo: make([]memoEntry, memoTableSlots)}
+}
+
+// memoTableSlots sizes the direct-mapped walk memo; must be a power of
+// two. 8 Ki slots cover the hot neighbor lists of the bundled datasets
+// with few collisions at ~400 KB per cache.
+const memoTableSlots = 1 << 13
+
+// memoHash spreads a memoKey over the table (SplitMix64-style mixing).
+func memoHash(k memoKey) uint64 {
+	h := uint64(k.first)*0x9E3779B97F4A7C15 + uint64(k.lines)*0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	return h ^ h>>32
+}
+
+// memoFind returns the table's entry for key when it currently holds
+// key, nil otherwise. Read-only; safe for concurrent speculative views
+// while the live cache is quiescent.
+func (c *Cache) memoFind(key memoKey) *memoEntry {
+	e := &c.memo[memoHash(key)&(memoTableSlots-1)]
+	if e.used && e.key == key {
+		return e
+	}
+	return nil
+}
+
+// memoClaim claims key's slot for (re)recording, displacing whatever the
+// slot held and resetting the ref list (its storage is reused).
+func (c *Cache) memoClaim(key memoKey) *memoEntry {
+	e := &c.memo[memoHash(key)&(memoTableSlots-1)]
+	e.key = key
+	e.used = true
+	e.refs = e.refs[:0]
+	return e
+}
+
+// tryMemo attempts the memoized all-hit fast path: if every ref of the
+// range's memo entry still matches its way, the access is a pure hit walk
+// and its bookkeeping (line-access counters, per-line LRU stamps, clock
+// ticks) is replayed exactly as the slow walk would. Validation strictly
+// precedes mutation so a failed attempt leaves no trace.
+func (c *Cache) tryMemo(e *memoEntry) bool {
+	for _, r := range e.refs {
+		ln := &c.sets[r.set][r.way]
+		if !ln.valid || ln.tag != r.tag {
+			return false
+		}
+	}
+	c.stats.LineAccesses += int64(len(e.refs))
+	for _, r := range e.refs {
+		c.clock++
+		c.sets[r.set][r.way].lastUsed = c.clock
+	}
+	return true
 }
 
 // touch looks tag up in one set at LRU tick clock, updating replacement
 // state in place: a hit refreshes the line's stamp, a miss installs the
 // line over the LRU way (the last invalid way wins, otherwise the least
-// recently used). It is the single replacement core behind both the live
-// cache and the speculative views.
-func touch(set []cacheLine, tag int64, clock int64) bool {
+// recently used). It returns the way the line now occupies, so callers
+// can memoize the location. It is the single replacement core behind both
+// the live cache and the speculative views.
+func touch(set []cacheLine, tag int64, clock int64) (hit bool, way int) {
 	victim := 0
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			set[i].lastUsed = clock
-			return true
+			return true, i
 		}
 		if !set[i].valid {
 			victim = i
@@ -195,7 +269,69 @@ func touch(set []cacheLine, tag int64, clock int64) bool {
 		}
 	}
 	set[victim] = cacheLine{tag: tag, valid: true, lastUsed: clock}
-	return false
+	return false, victim
+}
+
+// wayRef pins one cache line of a memoized byte range to the way it was
+// last seen in. The ref is valid exactly while sets[set][way] still holds
+// tag — the same condition under which the line is resident — so a memo
+// entry whose refs all validate proves an all-hit walk without scanning
+// ways or dividing addresses.
+type wayRef struct {
+	set int32
+	way int32
+	tag int64
+}
+
+// memoKey identifies one byte range at line granularity.
+type memoKey struct {
+	first int64 // first line index
+	lines int64 // line count
+}
+
+// memoEntry is one direct-mapped table slot: the cached line-walk
+// geometry of the byte range in key — the way locations of all its lines
+// as of the last slow walk. Entries are hints, not authority — every use
+// revalidates each ref against the current sets, so neither eviction nor
+// slot displacement needs an invalidation protocol. The refs slice is
+// reused across refreshes and displacements.
+type memoEntry struct {
+	key  memoKey
+	used bool
+	refs []wayRef
+}
+
+// ProvenResident reports whether the walk memo proves [addr, addr+bytes)
+// fully resident right now, without mutating anything. False means
+// "unproven" (no entry, or stale refs), not "absent".
+func (c *Cache) ProvenResident(addr, bytes int64) bool {
+	if bytes <= 0 {
+		return true
+	}
+	first := addr / c.cfg.LineBytes
+	e := c.memoFind(memoKey{first: first, lines: (addr+bytes-1)/c.cfg.LineBytes - first + 1})
+	if e == nil {
+		return false
+	}
+	for _, r := range e.refs {
+		ln := &c.sets[r.set][r.way]
+		if !ln.valid || ln.tag != r.tag {
+			return false
+		}
+	}
+	return true
+}
+
+// StampHitWalk replays the bookkeeping of an all-hit walk over a range
+// the caller just proved resident (ProvenResident, with no intervening
+// fills or evictions): line-access counters, LRU clock ticks, and
+// per-line stamps, bit-identical to the slow walk on an all-hit range.
+func (c *Cache) StampHitWalk(addr, bytes int64) {
+	first := addr / c.cfg.LineBytes
+	e := c.memoFind(memoKey{first: first, lines: (addr+bytes-1)/c.cfg.LineBytes - first + 1})
+	if e == nil || !c.tryMemo(e) {
+		panic("mem: StampHitWalk on an unproven range")
+	}
 }
 
 // resident reports whether tag is in the set, without touching LRU state.
@@ -252,7 +388,12 @@ func (c *Cache) look(lineAddr int64) bool {
 	setIdx := (lineAddr / c.cfg.LineBytes) % c.numSets
 	tag := lineAddr / c.cfg.LineBytes / c.numSets
 	c.stats.LineAccesses++
-	if touch(c.sets[setIdx], tag, c.clock) {
+	hit, way := touch(c.sets[setIdx], tag, c.clock)
+	if c.rec != nil {
+		// The line is resident in `way` after touch, hit or fill.
+		*c.rec = append(*c.rec, wayRef{set: int32(setIdx), way: int32(way), tag: tag})
+	}
+	if hit {
 		return true
 	}
 	c.stats.LineMisses++
@@ -270,7 +411,17 @@ func (c *Cache) charge(now Cycles, addr, bytes int64) Cycles {
 // bandwidth occupancy for the missing bytes), modeling the streaming
 // neighbor-list fetches of §3.3.
 func (c *Cache) Access(now Cycles, addr int64, bytes int64) Cycles {
+	if bytes <= 0 {
+		return now + c.cfg.HitLatency
+	}
+	key := memoKey{first: addr / c.cfg.LineBytes, lines: (addr+bytes-1)/c.cfg.LineBytes - addr/c.cfg.LineBytes + 1}
+	if e := c.memoFind(key); e != nil && c.tryMemo(e) {
+		return now + c.cfg.HitLatency
+	}
+	e := c.memoClaim(key)
+	c.rec = &e.refs
 	done, _, _ := walkAccess(c.cfg, c, now, addr, bytes)
+	c.rec = nil
 	return done
 }
 
@@ -283,6 +434,20 @@ func (c *Cache) Probe(addr int64, bytes int64) bool {
 	}
 	first := addr / c.cfg.LineBytes
 	last := (addr + bytes - 1) / c.cfg.LineBytes
+	if e := c.memoFind(memoKey{first: first, lines: last - first + 1}); e != nil {
+		ok := true
+		for _, r := range e.refs {
+			ln := &c.sets[r.set][r.way]
+			if !ln.valid || ln.tag != r.tag {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+		// Stale refs prove nothing either way; fall through to the walk.
+	}
 	for line := first; line <= last; line++ {
 		lineAddr := line * c.cfg.LineBytes
 		setIdx := (lineAddr / c.cfg.LineBytes) % c.numSets
@@ -300,7 +465,7 @@ func (c *Cache) Stats() CacheStats { return c.stats }
 // Config returns the cache geometry.
 func (c *Cache) Config() CacheConfig { return c.cfg }
 
-// Reset invalidates all lines and clears counters.
+// Reset invalidates all lines and clears counters and the walk memo.
 func (c *Cache) Reset() {
 	for i := range c.sets {
 		for j := range c.sets[i] {
@@ -309,6 +474,10 @@ func (c *Cache) Reset() {
 	}
 	c.stats = CacheStats{}
 	c.clock = 0
+	for i := range c.memo {
+		c.memo[i].used = false
+	}
+	c.rec = nil
 }
 
 // Hierarchy bundles the chip-level shared memory system.

@@ -1,0 +1,233 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refAccess replays the pre-memo Access path: a plain walkAccess with no
+// recording and no fast path. Driving a second cache through it gives a
+// bit-exact reference for the memoized implementation.
+func refAccess(c *Cache, now Cycles, addr, bytes int64) Cycles {
+	done, _, _ := walkAccess(c.cfg, c, now, addr, bytes)
+	return done
+}
+
+// refProbe replays the pre-memo Probe path.
+func refProbe(c *Cache, addr, bytes int64) bool {
+	if bytes <= 0 {
+		return true
+	}
+	first := addr / c.cfg.LineBytes
+	last := (addr + bytes - 1) / c.cfg.LineBytes
+	for line := first; line <= last; line++ {
+		lineAddr := line * c.cfg.LineBytes
+		setIdx := (lineAddr / c.cfg.LineBytes) % c.numSets
+		tag := lineAddr / c.cfg.LineBytes / c.numSets
+		if !resident(c.sets[setIdx], tag) {
+			return false
+		}
+	}
+	return true
+}
+
+// tinyCacheConfig is small enough that the random workloads below evict
+// constantly, exercising memo invalidation by way reuse.
+func tinyCacheConfig() CacheConfig {
+	return CacheConfig{CapacityBytes: 1024, LineBytes: 64, Ways: 2, HitLatency: 16}
+}
+
+func sameCacheState(t *testing.T, got, want *Cache) {
+	t.Helper()
+	if got.clock != want.clock {
+		t.Fatalf("clock diverged: got %d want %d", got.clock, want.clock)
+	}
+	if got.stats != want.stats {
+		t.Fatalf("stats diverged: got %+v want %+v", got.stats, want.stats)
+	}
+	for i := range want.sets {
+		for j := range want.sets[i] {
+			if got.sets[i][j] != want.sets[i][j] {
+				t.Fatalf("set %d way %d diverged: got %+v want %+v",
+					i, j, got.sets[i][j], want.sets[i][j])
+			}
+		}
+	}
+}
+
+// TestMemoAccessEquivalence drives a memoized cache and a reference cache
+// through the same randomized access/probe sequence — a small working set
+// for memo hits, a moving front for evictions — and requires identical
+// completion cycles, probe answers, counters, and final line state.
+func TestMemoAccessEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dramA := NewDRAM(DefaultDRAMConfig())
+	dramB := NewDRAM(DefaultDRAMConfig())
+	memoized := NewCache(tinyCacheConfig(), dramA)
+	reference := NewCache(tinyCacheConfig(), dramB)
+
+	// Ranges overlap and repeat: ~16 hot neighbor lists plus a streaming
+	// front that keeps evicting them.
+	hot := make([][2]int64, 16)
+	for i := range hot {
+		hot[i] = [2]int64{int64(rng.Intn(64)) * 32, int64(1 + rng.Intn(300))}
+	}
+	front := int64(0)
+	now := Cycles(0)
+	for step := 0; step < 20000; step++ {
+		var addr, bytes int64
+		switch rng.Intn(4) {
+		case 0: // streaming front
+			addr, bytes = front, int64(64+rng.Intn(256))
+			front += bytes
+		default:
+			h := hot[rng.Intn(len(hot))]
+			addr, bytes = h[0], h[1]
+		}
+		if rng.Intn(5) == 0 {
+			pg, pw := memoized.Probe(addr, bytes), refProbe(reference, addr, bytes)
+			if pg != pw {
+				t.Fatalf("step %d: Probe(%d,%d) = %v, reference %v", step, addr, bytes, pg, pw)
+			}
+			continue
+		}
+		dg := memoized.Access(now, addr, bytes)
+		dw := refAccess(reference, now, addr, bytes)
+		if dg != dw {
+			t.Fatalf("step %d: Access(%d,%d,%d) = %d, reference %d", step, now, addr, bytes, dg, dw)
+		}
+		now += Cycles(rng.Intn(40))
+	}
+	sameCacheState(t, memoized, reference)
+	if dramA.Stats() != dramB.Stats() {
+		t.Fatalf("DRAM stats diverged: got %+v want %+v", dramA.Stats(), dramB.Stats())
+	}
+}
+
+// TestMemoZeroAndEdgeBytes pins the degenerate ranges.
+func TestMemoZeroAndEdgeBytes(t *testing.T) {
+	c := NewCache(tinyCacheConfig(), NewDRAM(DefaultDRAMConfig()))
+	if got := c.Access(0, 128, 0); got != c.cfg.HitLatency {
+		t.Fatalf("zero-byte access: got %d want %d", got, c.cfg.HitLatency)
+	}
+	if !c.Probe(128, 0) {
+		t.Fatal("zero-byte probe should be resident")
+	}
+	if c.stats.LineAccesses != 0 {
+		t.Fatalf("zero-byte access counted lines: %+v", c.stats)
+	}
+	// One-byte range at a line boundary: exactly one line, twice — the
+	// second access must take the memo path yet keep identical counters to
+	// a reference.
+	ref := NewCache(tinyCacheConfig(), NewDRAM(DefaultDRAMConfig()))
+	for i := 0; i < 2; i++ {
+		if g, w := c.Access(0, 64, 1), refAccess(ref, 0, 64, 1); g != w {
+			t.Fatalf("access %d: got %d want %d", i, g, w)
+		}
+	}
+	sameCacheState(t, c, ref)
+}
+
+// TestMemoSurvivesReset checks Reset drops stale geometry: entries from
+// before a Reset must not report hits on the emptied cache.
+func TestMemoSurvivesReset(t *testing.T) {
+	dram := NewDRAM(DefaultDRAMConfig())
+	c := NewCache(tinyCacheConfig(), dram)
+	c.Access(0, 0, 256)
+	if !c.Probe(0, 256) {
+		t.Fatal("range should be resident after access")
+	}
+	c.Reset()
+	dram.Reset()
+	if c.Probe(0, 256) {
+		t.Fatal("range resident after Reset")
+	}
+	ref := NewCache(tinyCacheConfig(), NewDRAM(DefaultDRAMConfig()))
+	if g, w := c.Access(0, 0, 256), refAccess(ref, 0, 0, 256); g != w {
+		t.Fatalf("post-Reset access: got %d want %d", g, w)
+	}
+}
+
+// TestSpecMemMemoEquivalence compares a speculative view over a
+// memo-warmed base against a view over an identically-warmed base with an
+// empty memo table: every access and probe must resolve identically, and
+// so must the views' counters.
+func TestSpecMemMemoEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	warm := make([][2]int64, 400)
+	for i := range warm {
+		warm[i] = [2]int64{int64(rng.Intn(96)) * 32, int64(1 + rng.Intn(300))}
+	}
+
+	build := func(memoized bool) *Hierarchy {
+		h := &Hierarchy{DRAM: NewDRAM(DefaultDRAMConfig())}
+		h.Shared = NewCache(tinyCacheConfig(), h.DRAM)
+		now := Cycles(0)
+		for _, w := range warm {
+			if memoized {
+				h.Shared.Access(now, w[0], w[1])
+			} else {
+				refAccess(h.Shared, now, w[0], w[1])
+			}
+			now += 13
+		}
+		return h
+	}
+	hm, hr := build(true), build(false)
+	sameCacheState(t, hm.Shared, hr.Shared)
+	warmed := false
+	for i := range hm.Shared.memo {
+		if hm.Shared.memo[i].used {
+			warmed = true
+			break
+		}
+	}
+	if !warmed {
+		t.Fatal("warmup left the memo table empty")
+	}
+
+	sm, sr := hm.Speculate(), hr.Speculate()
+	now := Cycles(0)
+	for step := 0; step < 8000; step++ {
+		w := warm[rng.Intn(len(warm))]
+		addr, bytes := w[0], w[1]
+		if rng.Intn(6) == 0 { // occasional cold range to force overlay fills
+			addr, bytes = int64(8192+rng.Intn(4096)), int64(1+rng.Intn(200))
+		}
+		if rng.Intn(5) == 0 {
+			pg, pw := sm.Probe(addr, bytes), sr.Probe(addr, bytes)
+			if pg != pw {
+				t.Fatalf("step %d: spec Probe(%d,%d) = %v, reference %v", step, addr, bytes, pg, pw)
+			}
+			continue
+		}
+		dg, lg, mg := sm.Access(now, addr, bytes)
+		dw, lw, mw := sr.Access(now, addr, bytes)
+		if dg != dw || lg != lw || mg != mw {
+			t.Fatalf("step %d: spec Access(%d,%d,%d) = (%d,%d,%d), reference (%d,%d,%d)",
+				step, now, addr, bytes, dg, lg, mg, dw, lw, mw)
+		}
+		now += Cycles(rng.Intn(30))
+	}
+	if sm.Stats() != sr.Stats() {
+		t.Fatalf("spec cache stats diverged: got %+v want %+v", sm.Stats(), sr.Stats())
+	}
+	if sm.DRAMStats() != sr.DRAMStats() {
+		t.Fatalf("spec DRAM stats diverged: got %+v want %+v", sm.DRAMStats(), sr.DRAMStats())
+	}
+	if sm.clock != sr.clock {
+		t.Fatalf("spec clock diverged: got %d want %d", sm.clock, sr.clock)
+	}
+
+	// Reset must recycle overlays and resync both views to equal state.
+	sm.Reset()
+	sr.Reset()
+	if len(sm.touched) != 0 || len(sm.pool) == 0 {
+		t.Fatalf("Reset did not pool overlays: %d live, %d pooled", len(sm.touched), len(sm.pool))
+	}
+	dg, lg, mg := sm.Access(0, warm[0][0], warm[0][1])
+	dw, lw, mw := sr.Access(0, warm[0][0], warm[0][1])
+	if dg != dw || lg != lw || mg != mw {
+		t.Fatalf("post-Reset spec access diverged: (%d,%d,%d) vs (%d,%d,%d)", dg, lg, mg, dw, lw, mw)
+	}
+}

@@ -10,18 +10,38 @@ package mem
 // the live hierarchy would.
 //
 // A SpecMem is confined to one goroutine; concurrent views over the same
-// base are safe as long as the base is not mutated while they run.
+// base are safe as long as the base is not mutated while they run. The
+// views also read (never write) the base cache's walk memo: its entries
+// are validated against the view's effective sets before use, so a hint
+// recorded against the live state can only accelerate, never corrupt, a
+// speculative walk.
 type SpecMem struct {
 	cache *Cache
 	dram  *DRAM
 
-	// sets overlays copied cache sets by set index; untouched sets read
-	// through to the base.
-	sets map[int64][]cacheLine
+	// overlay holds copied cache sets indexed by set number; a nil entry
+	// reads through to the base. Direct indexing keeps the per-access
+	// overlay check branch-cheap (the map it replaces dominated the
+	// parallel engine's profile).
+	overlay [][]cacheLine
+	// touched lists the set indices with overlay copies, so Reset
+	// releases exactly those instead of sweeping the whole overlay.
+	touched []int64
+	// pool recycles overlay set clones across Resets.
+	pool [][]cacheLine
 	// clock continues the base cache's LRU tick privately.
 	clock int64
 	// nextFree is a private copy of the DRAM channel occupancy.
 	nextFree []Cycles
+
+	// record, when set, makes slow walks (re)build memo entries in the
+	// base cache's table, exactly as the live cache does. Only safe for a
+	// view used while no other goroutine touches the base — the parallel
+	// engine's commit view — so it is off by default.
+	record bool
+	// rec receives one wayRef per line from look while a recording slow
+	// walk is in flight.
+	rec *[]wayRef
 
 	cstats CacheStats
 	dstats DRAMStats
@@ -34,7 +54,7 @@ func (h *Hierarchy) Speculate() *SpecMem {
 	s := &SpecMem{
 		cache:    h.Shared,
 		dram:     h.DRAM,
-		sets:     make(map[int64][]cacheLine),
+		overlay:  make([][]cacheLine, h.Shared.numSets),
 		nextFree: make([]Cycles, len(h.DRAM.nextFree)),
 	}
 	s.Reset()
@@ -42,11 +62,13 @@ func (h *Hierarchy) Speculate() *SpecMem {
 }
 
 // Reset discards the overlay and re-syncs the view to the base state,
-// reusing the view's allocations.
+// reusing the view's allocations (overlay clones return to a pool).
 func (s *SpecMem) Reset() {
-	for k := range s.sets {
-		delete(s.sets, k)
+	for _, k := range s.touched {
+		s.pool = append(s.pool, s.overlay[k])
+		s.overlay[k] = nil
 	}
+	s.touched = s.touched[:0]
 	s.clock = s.cache.clock
 	copy(s.nextFree, s.dram.nextFree)
 	s.cstats = CacheStats{}
@@ -56,12 +78,29 @@ func (s *SpecMem) Reset() {
 // set returns the overlay copy of one cache set, cloning it from the
 // base on first touch.
 func (s *SpecMem) set(setIdx int64) []cacheLine {
-	if set, ok := s.sets[setIdx]; ok {
+	if set := s.overlay[setIdx]; set != nil {
 		return set
 	}
-	set := append([]cacheLine(nil), s.cache.sets[setIdx]...)
-	s.sets[setIdx] = set
+	var set []cacheLine
+	if n := len(s.pool); n > 0 {
+		set = s.pool[n-1]
+		s.pool = s.pool[:n-1]
+		set = append(set[:0], s.cache.sets[setIdx]...)
+	} else {
+		set = append([]cacheLine(nil), s.cache.sets[setIdx]...)
+	}
+	s.overlay[setIdx] = set
+	s.touched = append(s.touched, setIdx)
 	return set
+}
+
+// effective returns the set the view currently observes: the overlay copy
+// when present, the base otherwise. Read-only.
+func (s *SpecMem) effective(setIdx int64) []cacheLine {
+	if set := s.overlay[setIdx]; set != nil {
+		return set
+	}
+	return s.cache.sets[setIdx]
 }
 
 // look implements lineWalker over the overlay.
@@ -70,7 +109,11 @@ func (s *SpecMem) look(lineAddr int64) bool {
 	setIdx := (lineAddr / s.cache.cfg.LineBytes) % s.cache.numSets
 	tag := lineAddr / s.cache.cfg.LineBytes / s.cache.numSets
 	s.cstats.LineAccesses++
-	if touch(s.set(setIdx), tag, s.clock) {
+	hit, way := touch(s.set(setIdx), tag, s.clock)
+	if s.rec != nil {
+		*s.rec = append(*s.rec, wayRef{set: int32(setIdx), way: int32(way), tag: tag})
+	}
+	if hit {
 		return true
 	}
 	s.cstats.LineMisses++
@@ -85,11 +128,75 @@ func (s *SpecMem) charge(now Cycles, addr, bytes int64) Cycles {
 	return done
 }
 
+// tryMemo is Cache.tryMemo against the view: refs validate against the
+// overlay where present and the base otherwise, and the all-hit replay
+// stamps overlay copies exactly as the slow walk would.
+func (s *SpecMem) tryMemo(e *memoEntry) bool {
+	for _, r := range e.refs {
+		ln := &s.effective(int64(r.set))[r.way]
+		if !ln.valid || ln.tag != r.tag {
+			return false
+		}
+	}
+	s.cstats.LineAccesses += int64(len(e.refs))
+	for _, r := range e.refs {
+		s.clock++
+		s.set(int64(r.set))[r.way].lastUsed = s.clock
+	}
+	return true
+}
+
+// RecordMemos makes the view's slow walks rebuild base-table memo
+// entries like the live cache's walks do. Enable it only on a view that
+// runs while the base is otherwise untouched (the parallel engine's
+// single-threaded commit view): the base memo table is written in place.
+func (s *SpecMem) RecordMemos(on bool) { s.record = on }
+
 // Access reads [addr, addr+bytes) at time now through the view and
 // returns the completion cycle plus the access's line and miss counts —
 // the geometry commit-time validation compares against the live state.
 func (s *SpecMem) Access(now Cycles, addr, bytes int64) (done Cycles, lines, misses int64) {
-	return walkAccess(s.cache.cfg, s, now, addr, bytes)
+	cfg := s.cache.cfg
+	if bytes > 0 {
+		first := addr / cfg.LineBytes
+		n := (addr+bytes-1)/cfg.LineBytes - first + 1
+		key := memoKey{first: first, lines: n}
+		if e := s.cache.memoFind(key); e != nil && s.tryMemo(e) {
+			return now + cfg.HitLatency, n, 0
+		}
+		if s.record {
+			e := s.cache.memoClaim(key)
+			s.rec = &e.refs
+			done, lines, misses = walkAccess(cfg, s, now, addr, bytes)
+			s.rec = nil
+			return done, lines, misses
+		}
+	}
+	return walkAccess(cfg, s, now, addr, bytes)
+}
+
+// FlushToBase commits the view's private state into the base hierarchy:
+// overlay sets overwrite their base sets, the LRU clock and DRAM channel
+// occupancy replace the base's, and the view's counters add onto the
+// base's. Because the view resolved its accesses with the same
+// replacement and scheduling cores the live models use, the flushed base
+// is bit-identical to having replayed those accesses live. The view ends
+// synced to the new base state, as after Reset.
+func (s *SpecMem) FlushToBase() {
+	for _, k := range s.touched {
+		copy(s.cache.sets[k], s.overlay[k])
+		s.pool = append(s.pool, s.overlay[k])
+		s.overlay[k] = nil
+	}
+	s.touched = s.touched[:0]
+	s.cache.clock = s.clock
+	s.cache.stats.LineAccesses += s.cstats.LineAccesses
+	s.cache.stats.LineMisses += s.cstats.LineMisses
+	copy(s.dram.nextFree, s.nextFree)
+	s.dram.stats.Accesses += s.dstats.Accesses
+	s.dram.stats.BytesMoved += s.dstats.BytesMoved
+	s.cstats = CacheStats{}
+	s.dstats = DRAMStats{}
 }
 
 // Probe reports residency in the view (overlay where present, base
@@ -101,15 +208,24 @@ func (s *SpecMem) Probe(addr, bytes int64) bool {
 	cfg := s.cache.cfg
 	first := addr / cfg.LineBytes
 	last := (addr + bytes - 1) / cfg.LineBytes
+	if e := s.cache.memoFind(memoKey{first: first, lines: last - first + 1}); e != nil {
+		ok := true
+		for _, r := range e.refs {
+			ln := &s.effective(int64(r.set))[r.way]
+			if !ln.valid || ln.tag != r.tag {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
 	for line := first; line <= last; line++ {
 		lineAddr := line * cfg.LineBytes
 		setIdx := (lineAddr / cfg.LineBytes) % s.cache.numSets
 		tag := lineAddr / cfg.LineBytes / s.cache.numSets
-		set := s.cache.sets[setIdx]
-		if ov, ok := s.sets[setIdx]; ok {
-			set = ov
-		}
-		if !resident(set, tag) {
+		if !resident(s.effective(setIdx), tag) {
 			return false
 		}
 	}

@@ -36,7 +36,10 @@ type SetOpExec struct {
 	Result []uint32
 }
 
-// TaskInfo reports what one task did, for the timing models.
+// TaskInfo reports what one task did, for the timing models. Its slices
+// are views into engine-owned scratch that the next Start/Extend call on
+// the same engine reuses: consume (or copy) a TaskInfo before issuing the
+// engine's next task.
 type TaskInfo struct {
 	// Level is the tree level the new vertex was added at.
 	Level int
@@ -50,9 +53,13 @@ type TaskInfo struct {
 }
 
 // Node is a search-tree node: a partial embedding with the candidate sets
-// materialized so far. Nodes are immutable; Extend returns fresh nodes and
-// set slices are shared structurally, so a Node may be kept on a stack
-// while siblings are explored (the accelerators' pseudo-DFS needs this).
+// materialized so far. Set slices are shared structurally downward — a
+// child's sets alias its ancestors' result buffers — so a Node may be
+// kept on a stack while siblings are explored (the accelerators'
+// pseudo-DFS needs this). Nodes come from a per-engine pool: callers that
+// hold many nodes (the PE models) hand exhausted ones back with Release,
+// strictly children before parents; callers that never Release (the
+// oracle walks) simply allocate fresh nodes, as before.
 type Node struct {
 	// Level is the index of the deepest chosen vertex (len(Verts)-1).
 	Level int
@@ -64,19 +71,75 @@ type Node struct {
 	// setID[j] identifies the operation that produced sets[j]; equal IDs
 	// mean shared storage (used for common-subexpression detection).
 	setID []int32
+	// bufs are the result arenas of the extend that produced this node
+	// (one per set operation); capacity survives pooling.
+	bufs [][]uint32
+	nbuf int
+}
+
+// claimBuf hands out the node's next result arena, empty.
+func (n *Node) claimBuf() []uint32 {
+	if n.nbuf == len(n.bufs) {
+		n.bufs = append(n.bufs, nil)
+	}
+	return n.bufs[n.nbuf][:0]
+}
+
+// storeBuf records the claimed arena's grown backing for reuse.
+func (n *Node) storeBuf(b []uint32) {
+	n.bufs[n.nbuf] = b
+	n.nbuf++
+}
+
+// opGroup is one distinct set operation during action grouping.
+type opGroup struct {
+	op      plan.OpKind
+	pending []int
+	srcID   int32
+	targets []int
 }
 
 // Engine walks one plan's search tree on one graph. An Engine is not safe
 // for concurrent use; create one per worker goroutine.
+//
+// The engine dispatches each set operation adaptively (merge, galloping,
+// or dense-bitvector kernels, as the software miner does) — the kernels
+// differ per call but the set algebra does not, so results, TaskInfo
+// geometry, and therefore modeled timing are bit-identical to the plain
+// merge walk.
 type Engine struct {
 	G      *graph.Graph
 	Plan   *plan.Plan
 	nextID int32
+
+	hub  *graph.HubIndex
+	root *Node // persistent level -1 parent for Start
+
+	// Node pool. While speculating, released nodes are parked instead of
+	// freed so a rewind can revive the frames that referenced them; see
+	// Speculate.
+	free   []*Node
+	parked []*Node
+	spec   bool
+
+	// Per-task scratch backing TaskInfo; valid until the next task.
+	ops     []SetOpExec
+	fetch   []uint32
+	groups  []opGroup
+	ngroups int
 }
 
 // NewEngine returns an engine for the plan on g.
 func NewEngine(g *graph.Graph, pl *plan.Plan) *Engine {
-	return &Engine{G: g, Plan: pl}
+	e := &Engine{G: g, Plan: pl, hub: g.Hubs()}
+	k := pl.K()
+	e.root = &Node{
+		Level: -1,
+		Verts: make([]uint32, 0, k),
+		sets:  make([][]uint32, k),
+		setID: make([]int32, k),
+	}
+	return e
 }
 
 func (e *Engine) newID() int32 {
@@ -87,22 +150,71 @@ func (e *Engine) newID() int32 {
 // Mark returns the engine's set-ID allocation cursor. Together with
 // Rewind it lets a speculatively executed task be rolled back and
 // replayed with bit-identical IDs (the accelerator models' parallel
-// engine snapshots PEs around speculative steps).
+// engine journals PEs around speculative steps).
 func (e *Engine) Mark() int32 { return e.nextID }
 
 // Rewind resets the set-ID allocation cursor to a Mark.
 func (e *Engine) Rewind(mark int32) { e.nextID = mark }
 
-// Start creates the root node for u_0 = v0 and performs the level-0 task.
-func (e *Engine) Start(v0 uint32) (*Node, TaskInfo) {
+// newNode takes a node from the pool, or allocates one.
+func (e *Engine) newNode() *Node {
+	if n := len(e.free); n > 0 {
+		nd := e.free[n-1]
+		e.free = e.free[:n-1]
+		return nd
+	}
 	k := e.Plan.K()
-	n := &Node{
-		Level: -1,
+	return &Node{
 		Verts: make([]uint32, 0, k),
 		sets:  make([][]uint32, k),
 		setID: make([]int32, k),
 	}
-	return e.extend(n, v0)
+}
+
+// Release returns n's storage to the engine's pool. The caller must hold
+// no live references: in particular every child of n (whose sets alias
+// n's buffers) must have been released first — pseudo-DFS pop order
+// satisfies this naturally. Releasing nil is a no-op. While the engine is
+// speculating, the release is parked rather than made reusable, so a
+// rewind that revives n's frame stays safe.
+func (e *Engine) Release(n *Node) {
+	if n == nil || n == e.root {
+		return
+	}
+	if e.spec {
+		e.parked = append(e.parked, n)
+		return
+	}
+	e.free = append(e.free, n)
+}
+
+// Speculate toggles journaled-release mode. While on, Release parks nodes
+// instead of recycling them; ParkMark/ReviveParked rewind the park log in
+// step with the caller's own journal, and FlushParked retires it once the
+// speculative work is committed.
+func (e *Engine) Speculate(on bool) { e.spec = on }
+
+// ParkMark returns the parked-release cursor, to pair with ReviveParked.
+func (e *Engine) ParkMark() int { return len(e.parked) }
+
+// ReviveParked drops releases parked at or after mark: the caller has
+// rewound its state to the mark, so those nodes are live again (or
+// unreferenced, in which case the garbage collector takes them).
+func (e *Engine) ReviveParked(mark int) { e.parked = e.parked[:mark] }
+
+// FlushParked moves every parked release into the free pool — the
+// speculative work that released them has committed.
+func (e *Engine) FlushParked() {
+	e.free = append(e.free, e.parked...)
+	for i := range e.parked {
+		e.parked[i] = nil
+	}
+	e.parked = e.parked[:0]
+}
+
+// Start creates the root node for u_0 = v0 and performs the level-0 task.
+func (e *Engine) Start(v0 uint32) (*Node, TaskInfo) {
+	return e.extend(e.root, v0)
 }
 
 // Extend performs the task of adding v at level n.Level+1: it applies that
@@ -115,70 +227,80 @@ func (e *Engine) Extend(n *Node, v uint32) (*Node, TaskInfo) {
 	return e.extend(n, v)
 }
 
+// claimGroup appends a grouping-scratch slot, reusing its targets backing.
+func (e *Engine) claimGroup(op plan.OpKind, pending []int, srcID int32) *opGroup {
+	if e.ngroups == len(e.groups) {
+		e.groups = append(e.groups, opGroup{})
+	}
+	g := &e.groups[e.ngroups]
+	e.ngroups++
+	g.op, g.pending, g.srcID = op, pending, srcID
+	g.targets = g.targets[:0]
+	return g
+}
+
+func (e *Engine) findInit(pending []int) *opGroup {
+	for i := 0; i < e.ngroups; i++ {
+		g := &e.groups[i]
+		if g.op != plan.OpInit || len(g.pending) != len(pending) {
+			continue
+		}
+		same := true
+		for x := range pending {
+			if g.pending[x] != pending[x] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return g
+		}
+	}
+	return e.claimGroup(plan.OpInit, pending, 0)
+}
+
+func (e *Engine) findUpdate(op plan.OpKind, srcID int32) *opGroup {
+	for i := 0; i < e.ngroups; i++ {
+		g := &e.groups[i]
+		if g.op == op && g.op != plan.OpInit && g.srcID == srcID {
+			return g
+		}
+	}
+	return e.claimGroup(op, nil, srcID)
+}
+
 func (e *Engine) extend(n *Node, v uint32) (*Node, TaskInfo) {
 	level := n.Level + 1
-	k := e.Plan.K()
-	child := &Node{
-		Level: level,
-		Verts: append(append(make([]uint32, 0, k), n.Verts...), v),
-		sets:  append([][]uint32(nil), n.sets...),
-		setID: append([]int32(nil), n.setID...),
-	}
-	info := TaskInfo{Level: level, NewVertex: v}
+	child := e.newNode()
+	child.Level = level
+	child.Verts = append(child.Verts[:0], n.Verts...)
+	child.Verts = append(child.Verts, v)
+	copy(child.sets, n.sets)
+	copy(child.setID, n.setID)
+	child.nbuf = 0
+
+	e.ops = e.ops[:0]
+	e.fetch = e.fetch[:0]
+	e.ngroups = 0
+
 	nv := e.G.Neighbors(v)
-	info.FetchVertices = append(info.FetchVertices, v)
+	e.fetch = append(e.fetch, v)
 
 	// Group this level's actions so shared updates compute once:
 	// initializations keyed by their pending-ancestor list, arithmetic
 	// updates keyed by (source set identity, op kind).
-	type group struct {
-		op      plan.OpKind
-		pending []int
-		srcID   int32
-		targets []int
-	}
-	var groups []group
-	findInit := func(pending []int) *group {
-		for i := range groups {
-			g := &groups[i]
-			if g.op != plan.OpInit || len(g.pending) != len(pending) {
-				continue
-			}
-			same := true
-			for x := range pending {
-				if g.pending[x] != pending[x] {
-					same = false
-					break
-				}
-			}
-			if same {
-				return g
-			}
-		}
-		groups = append(groups, group{op: plan.OpInit, pending: pending})
-		return &groups[len(groups)-1]
-	}
-	findUpdate := func(op plan.OpKind, srcID int32) *group {
-		for i := range groups {
-			g := &groups[i]
-			if g.op == op && g.op != plan.OpInit && g.srcID == srcID {
-				return g
-			}
-		}
-		groups = append(groups, group{op: op, srcID: srcID})
-		return &groups[len(groups)-1]
-	}
 	for _, act := range e.Plan.Levels[level].Actions {
-		var g *group
+		var g *opGroup
 		if act.Op == plan.OpInit {
-			g = findInit(act.Pending)
+			g = e.findInit(act.Pending)
 		} else {
-			g = findUpdate(act.Op, n.setID[act.Target])
+			g = e.findUpdate(act.Op, n.setID[act.Target])
 		}
 		g.targets = append(g.targets, act.Target)
 	}
 
-	for _, g := range groups {
+	for gi := 0; gi < e.ngroups; gi++ {
+		g := &e.groups[gi]
 		var result []uint32
 		id := e.newID()
 		switch g.op {
@@ -189,36 +311,42 @@ func (e *Engine) extend(n *Node, v uint32) (*Node, TaskInfo) {
 			for _, m := range g.pending {
 				anc := child.Verts[m]
 				ancN := e.G.Neighbors(anc)
-				info.FetchVertices = append(info.FetchVertices, anc)
+				e.fetch = append(e.fetch, anc)
 				// The accumulating candidate loses ancN's members; the IU
 				// executes this as a subtraction with the candidate as the
 				// short input and the ancestor's neighbor list as the long.
-				op := SetOpExec{
+				out := e.subtractInto(child.claimBuf(), result, ancN, anc)
+				child.storeBuf(out)
+				e.ops = append(e.ops, SetOpExec{
 					Kind:       setops.OpSubtract,
 					Short:      result,
 					Long:       ancN,
 					LongVertex: anc,
-					Targets:    append([]int(nil), g.targets...),
-				}
-				result = setops.Subtract(result, ancN)
-				op.Result = result
-				info.Ops = append(info.Ops, op)
+					Targets:    g.targets,
+					Result:     out,
+				})
+				result = out
 			}
 		case plan.OpIntersect, plan.OpSubtract:
 			src := n.sets[g.targets[0]]
 			kind := setops.OpIntersect
+			out := child.claimBuf()
 			if g.op == plan.OpSubtract {
 				kind = setops.OpSubtract
+				out = e.subtractInto(out, src, nv, v)
+			} else {
+				out = e.intersectInto(out, src, nv, v)
 			}
-			result = setops.Apply(kind, src, nv)
-			info.Ops = append(info.Ops, SetOpExec{
+			child.storeBuf(out)
+			e.ops = append(e.ops, SetOpExec{
 				Kind:       kind,
 				Short:      src,
 				Long:       nv,
 				LongVertex: v,
-				Targets:    append([]int(nil), g.targets...),
-				Result:     result,
+				Targets:    g.targets,
+				Result:     out,
 			})
+			result = out
 		default:
 			panic(fmt.Sprintf("mine: unexpected op kind %v", g.op))
 		}
@@ -227,7 +355,32 @@ func (e *Engine) extend(n *Node, v uint32) (*Node, TaskInfo) {
 			child.setID[t] = id
 		}
 	}
-	return child, info
+	return child, TaskInfo{Level: level, NewVertex: v, Ops: e.ops, FetchVertices: e.fetch}
+}
+
+// intersectInto computes src ∩ N(v) into dst with adaptive dispatch.
+func (e *Engine) intersectInto(dst, src, nv []uint32, v uint32) []uint32 {
+	switch row := e.hub.Row(v); {
+	case row != nil:
+		return setops.IntersectBitsInto(dst, src, row)
+	case len(nv) >= setops.GallopSkewThreshold*len(src) ||
+		len(src) >= setops.GallopSkewThreshold*len(nv):
+		return setops.IntersectGallopingInto(dst, src, nv)
+	default:
+		return setops.IntersectInto(dst, src, nv)
+	}
+}
+
+// subtractInto computes src − N(v) into dst with adaptive dispatch.
+func (e *Engine) subtractInto(dst, src, nv []uint32, v uint32) []uint32 {
+	switch row := e.hub.Row(v); {
+	case row != nil:
+		return setops.SubtractBitsInto(dst, src, row)
+	case len(nv) >= setops.GallopSkewThreshold*len(src):
+		return setops.SubtractGallopingInto(dst, src, nv)
+	default:
+		return setops.SubtractInto(dst, src, nv)
+	}
 }
 
 // bounds computes the symmetry-breaking window (lo, hi) for selecting the
@@ -267,7 +420,9 @@ func (e *Engine) window(n *Node, set []uint32) (a, b int) {
 
 // Candidates returns the valid vertices for extending n at the next
 // level, with symmetry-breaking restrictions and already-used vertices
-// filtered out. The returned slice must not be modified.
+// filtered out. The returned slice must not be modified; it stays valid
+// while n is live (it aliases n's candidate storage, or is freshly
+// allocated on the rare path where chosen vertices intrude).
 func (e *Engine) Candidates(n *Node) []uint32 {
 	set := n.sets[n.Level+1]
 	a, b := e.window(n, set)

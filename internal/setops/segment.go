@@ -38,6 +38,28 @@ func (s Segmentation) Seg(i int) []uint32 {
 	return s.Data[lo:hi]
 }
 
+// SegSize returns len(Seg(i)) without forming the subslice — segments
+// are contiguous, so the size is pure index arithmetic.
+func (s Segmentation) SegSize(i int) int {
+	lo := i * s.SegLen
+	hi := lo + s.SegLen
+	if hi > len(s.Data) {
+		hi = len(s.Data)
+	}
+	return hi - lo
+}
+
+// SpanSize returns the total element count of count consecutive segments
+// starting at segment start: len(Seg(start)) + … + len(Seg(start+count-1)).
+func (s Segmentation) SpanSize(start, count int) int {
+	lo := start * s.SegLen
+	hi := lo + count*s.SegLen
+	if hi > len(s.Data) {
+		hi = len(s.Data)
+	}
+	return hi - lo
+}
+
 // Heads returns the head list: the first element of every segment. The
 // data controller generates this list before segment pairing (§4 stage 2).
 func (s Segmentation) Heads() []uint32 {
@@ -89,10 +111,27 @@ type Pairing struct {
 // once and charges ceil(log2) comparisons per short segment to
 // SearchSteps, matching the hardware's work.
 func Pair(long, short Segmentation) Pairing {
+	var p Pairing
+	PairInto(&p, long, short)
+	return p
+}
+
+// PairInto is Pair writing into a caller-owned Pairing, reusing its Loads
+// storage — the PE models' hot path calls it once per set operation, with
+// zero steady-state allocation.
+func PairInto(p *Pairing, long, short Segmentation) {
 	nl, ns := long.NumSegments(), short.NumSegments()
-	p := Pairing{Long: long, Short: short, Loads: make([]SegLoad, nl)}
+	p.Long, p.Short = long, short
+	p.SearchSteps = 0
+	if cap(p.Loads) < nl {
+		p.Loads = make([]SegLoad, nl)
+	}
+	p.Loads = p.Loads[:nl]
+	for i := range p.Loads {
+		p.Loads[i] = SegLoad{}
+	}
 	if nl == 0 || ns == 0 {
-		return p
+		return
 	}
 	depth := 1
 	for 1<<depth < nl+1 {
@@ -113,7 +152,6 @@ func Pair(long, short Segmentation) Pairing {
 			ld.ShortCount++
 		}
 	}
-	return p
 }
 
 // Workload is one unit of work issued to an intersect unit: one long
