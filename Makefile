@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke profile clean
+.PHONY: all build test race vet bench bench-smoke trend profile clean
 
 all: vet build test
 
@@ -43,5 +43,14 @@ profile:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# trend renders the observability report over every artifact in the
+# checkout — the committed BENCH_sim.json plus any *.jsonl run logs the
+# CLIs have appended (fingersim/experiments/mine -json, simbench -o) —
+# as terminal tables, a self-contained TREND.html, and a
+# machine-readable fingers.trend/v1 TREND.json.
+trend:
+	$(GO) run ./cmd/fingerstat -dir . -html TREND.html -json TREND.json
+
 clean:
-	rm -f BENCH_softmine.txt BENCH_softmine.json BENCH_sim.json
+	rm -f BENCH_softmine.txt BENCH_softmine.json BENCH_sim.json \
+		TREND.html TREND.json

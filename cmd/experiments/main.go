@@ -60,6 +60,7 @@ func realMain() int {
 	workers := flag.Int("workers", 0, "experiment-cell worker pool width (0 = GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "also write per-experiment CSV files into this directory")
 	jsonOut := flag.String("json", "", "append one JSONL run record per simulated chip run to this file")
+	runTag := flag.String("run-tag", "", "tag stamped into -json records so trend tooling can group this sweep")
 	simWorkers := flag.Int("sim-workers", 0, "run each simulated chip on the parallel engine with this many host threads (0 = serial event loop)")
 	simWindow := flag.Int64("sim-window", int64(accel.DefaultWindow), "parallel engine epoch window Δ in simulated cycles")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile here")
@@ -121,6 +122,9 @@ func realMain() int {
 			return 1
 		}
 		defer log.Close()
+		meta := telemetry.HostMeta()
+		meta.RunTag = *runTag
+		log.SetMeta(meta)
 		opts.Log = log
 	}
 	args := flag.Args()

@@ -28,6 +28,7 @@ import (
 	"os/signal"
 	"runtime/pprof"
 	"syscall"
+	"time"
 
 	"fingers/internal/accel"
 	"fingers/internal/datasets"
@@ -59,6 +60,7 @@ func realMain() int {
 	pseudoDFS := flag.Bool("pseudo-dfs", true, "enable pseudo-DFS task grouping")
 	traceOut := flag.String("trace", "", "write Chrome trace_event JSON here (view at ui.perfetto.dev)")
 	jsonOut := flag.String("json", "", "append one JSONL run record per simulated architecture here")
+	runTag := flag.String("run-tag", "", "tag stamped into -json records so trend tooling can group this session")
 	progressEvery := flag.Int64("progress", 0, "print a progress line to stderr every N scheduler steps (0 = off)")
 	simWorkers := flag.Int("sim-workers", 0, "run the chip on the parallel engine with this many host threads (0 = serial event loop)")
 	simWindow := flag.Int64("sim-window", int64(accel.DefaultWindow), "parallel engine epoch window Δ in simulated cycles (results depend only on this; 1 = cycle-exact)")
@@ -136,6 +138,9 @@ func realMain() int {
 			return fail(err)
 		}
 		defer runLog.Close()
+		meta := telemetry.HostMeta()
+		meta.RunTag = *runTag
+		runLog.SetMeta(meta)
 	}
 
 	code := 0
@@ -160,7 +165,9 @@ func realMain() int {
 			}
 			return tasks
 		})
+		start := time.Now()
 		res, runErr := runChip(ctx, pcfg, *progressEvery, fn, chip.RunCtxWithProgress, chip.RunParallelCtxWithProgress)
+		wall := time.Since(start)
 		code = reportRunErr(code, runErr)
 		iu := chip.AggregateStats()
 		fmt.Printf("FINGERS   %2d PEs × %2d IUs (s_l=%d): %s%s\n", *pes, cfg.NumIUs, cfg.LongSegLen, res, partialMark(runErr))
@@ -170,6 +177,8 @@ func realMain() int {
 		if runLog != nil {
 			rec := exp.NewRunRecord("fingers", "fingersim", *graphArg, *patternArg, *pes, cfg.NumIUs, cache, g, res, chip.PERecords())
 			rec.Partial = runErr != nil
+			rec.StartedAt = start.UTC().Format(time.RFC3339Nano)
+			rec.WallNS = wall.Nanoseconds()
 			rec.IUActiveRate = iu.ActiveRate()
 			rec.IUBalanceRate = iu.BalanceRate()
 			if err := runLog.Write(rec); err != nil {
@@ -190,7 +199,9 @@ func realMain() int {
 			}
 			return tasks
 		})
+		start := time.Now()
 		res, runErr := runChip(ctx, pcfg, *progressEvery, fn, chip.RunCtxWithProgress, chip.RunParallelCtxWithProgress)
+		wall := time.Since(start)
 		code = reportRunErr(code, runErr)
 		fmt.Printf("FlexMiner %2d PEs: %s%s\n", *pes, res, partialMark(runErr))
 		fmt.Printf("          breakdown: %s\n", res.Breakdown)
@@ -198,6 +209,8 @@ func realMain() int {
 		if runLog != nil {
 			rec := exp.NewRunRecord("flexminer", "fingersim", *graphArg, *patternArg, *pes, 0, cache, g, res, chip.PERecords())
 			rec.Partial = runErr != nil
+			rec.StartedAt = start.UTC().Format(time.RFC3339Nano)
+			rec.WallNS = wall.Nanoseconds()
 			if err := runLog.Write(rec); err != nil {
 				code = reportRunErr(code, err)
 			}

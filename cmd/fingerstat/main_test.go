@@ -1,0 +1,267 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"fingers/internal/trend"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// testMTime is the injected modification-time clock: legacy artifacts
+// get fixed timestamps so goldens do not depend on checkout times, and
+// everything else must carry its own provenance header.
+func testMTime(path string) (time.Time, error) {
+	switch filepath.Base(path) {
+	case "runs_v1.jsonl":
+		return time.Date(2026, 7, 15, 0, 0, 0, 0, time.UTC), nil
+	case "bench_old.json":
+		return time.Date(2026, 7, 20, 0, 0, 0, 0, time.UTC), nil
+	}
+	return time.Time{}, fmt.Errorf("no test mtime for %s", path)
+}
+
+func buildModel(t *testing.T) *trend.Model {
+	t.Helper()
+	c, err := trend.Scan("testdata/corpus", trend.ScanOptions{MTime: testMTime})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	return trend.Build(c, trend.Options{})
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden; run with -update and review the diff.\n--- got ---\n%s", name, got)
+	}
+}
+
+func TestGoldenTerminal(t *testing.T) {
+	var buf bytes.Buffer
+	renderTerm(&buf, buildModel(t), colorizer{on: false})
+	out := buf.String()
+	if strings.Contains(out, "\x1b[") {
+		t.Fatal("colorizer off must not emit ANSI escapes")
+	}
+	checkGolden(t, "term.txt", buf.Bytes())
+}
+
+func TestGoldenHTML(t *testing.T) {
+	var buf bytes.Buffer
+	if err := renderHTML(&buf, buildModel(t), ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, banned := range []string{"<script", "http://", "https://", "url("} {
+		if strings.Contains(out, banned) {
+			t.Errorf("HTML must be self-contained and static: found %q", banned)
+		}
+	}
+	checkGolden(t, "report.html", buf.Bytes())
+}
+
+func TestGoldenTrendJSON(t *testing.T) {
+	m := buildModel(t)
+	var buf bytes.Buffer
+	if err := trend.WriteSummary(&buf, m.Summary("")); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trend.json", buf.Bytes())
+
+	// Round-trip: the golden document must parse back into the same
+	// summary the model projects.
+	raw, err := os.ReadFile(filepath.Join("testdata", "golden", "trend.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := trend.ParseSummary(raw)
+	if err != nil {
+		t.Fatalf("ParseSummary: %v", err)
+	}
+	if parsed.Schema != trend.SummarySchema {
+		t.Fatalf("schema = %q, want %q", parsed.Schema, trend.SummarySchema)
+	}
+	if !reflect.DeepEqual(parsed, m.Summary("")) {
+		t.Error("summary did not round-trip through fingers.trend/v1 JSON")
+	}
+}
+
+// TestExpectedRegressions pins the corpus's designed signal: the
+// fingers/mico/triangle run series slows from ~500k to 400k cycles/sec
+// and the mico/triangle bench cell drops from ~2.05M to 1.5M serial
+// cycles/sec; the stable flexminer and wv series must stay unflagged.
+func TestExpectedRegressions(t *testing.T) {
+	m := buildModel(t)
+	if got := m.Regressions(); got != 2 {
+		t.Fatalf("Regressions() = %d, want 2", got)
+	}
+	for _, s := range m.Series {
+		flagged := s.Flag != nil
+		want := s.Key.Arch == "fingers" && s.Key.Graph == "mico"
+		if flagged != want {
+			t.Errorf("series %v flagged=%v, want %v", s.Key, flagged, want)
+		}
+		if flagged && s.Flag.Metric != "cycles_per_sec" {
+			t.Errorf("series flag metric = %q, want cycles_per_sec", s.Flag.Metric)
+		}
+	}
+	for _, b := range m.Bench {
+		flagged := b.Flag != nil
+		want := b.Graph == "mico"
+		if flagged != want {
+			t.Errorf("bench %s/%s flagged=%v, want %v", b.Graph, b.Pattern, flagged, want)
+		}
+	}
+}
+
+// TestCorpusAccounting pins what the scanner ingested and skipped: two
+// run logs, three bench reports, one foreign JSON file, one foreign
+// JSONL line, and one truncated JSONL tail.
+func TestCorpusAccounting(t *testing.T) {
+	m := buildModel(t)
+	c := m.Corpus
+	if c.RunFiles != 2 || c.BenchFiles != 3 {
+		t.Errorf("files = %d run / %d bench, want 2 / 3", c.RunFiles, c.BenchFiles)
+	}
+	if c.Records != 11 {
+		t.Errorf("records = %d, want 11", c.Records)
+	}
+	if len(c.Skips) != 3 {
+		t.Fatalf("skips = %d (%v), want 3", len(c.Skips), c.Skips)
+	}
+	var foreignLine, tornTail, foreignFile bool
+	for _, s := range c.Skips {
+		switch {
+		case s.File == "runs_v2.jsonl" && s.Line > 0 && strings.Contains(s.Reason, "foreign schema"):
+			foreignLine = true
+		case s.File == "runs_v2.jsonl" && s.Line > 0:
+			tornTail = true
+		case s.File == "events.json" && s.Line == 0:
+			foreignFile = true
+		}
+	}
+	if !foreignLine || !tornTail || !foreignFile {
+		t.Errorf("skip classification incomplete: foreignLine=%v tornTail=%v foreignFile=%v (%v)",
+			foreignLine, tornTail, foreignFile, c.Skips)
+	}
+}
+
+// TestSituationFilters exercises the viewer's slicing flags.
+func TestSituationFilters(t *testing.T) {
+	c, err := trend.Scan("testdata/corpus", trend.ScanOptions{MTime: testMTime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := trend.Build(c, trend.Options{Arch: "flexminer"})
+	if len(m.Series) != 1 || m.Series[0].Key.Arch != "flexminer" {
+		t.Errorf("arch filter: got %d series", len(m.Series))
+	}
+	// Tag filtering drops the legacy untagged records.
+	m = trend.Build(c, trend.Options{Tag: "nightly", Arch: "fingers"})
+	if len(m.Series) != 1 {
+		t.Fatalf("tag filter: got %d series, want 1", len(m.Series))
+	}
+	if n := len(m.Series[0].Points); n != 5 {
+		t.Errorf("tagged points = %d, want 5 (legacy records are untagged)", n)
+	}
+	m = trend.Build(c, trend.Options{Last: 2, Arch: "fingers", Graph: "mico"})
+	if n := len(m.Series[0].Points); n != 2 {
+		t.Errorf("-last 2: got %d points", n)
+	}
+}
+
+// TestRunExitCodes drives the CLI end to end: render all three outputs
+// from the committed corpus, then check the -strict and
+// -fail-on-regress gates.
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base := config{
+		dir:           "testdata/corpus",
+		htmlPath:      filepath.Join(dir, "report.html"),
+		jsonPath:      filepath.Join(dir, "trend.json"),
+		window:        trend.DefaultWindow,
+		maxRegressPct: trend.DefaultMaxRegressPct,
+		noColor:       true,
+		now:           func() time.Time { return time.Date(2026, 8, 6, 0, 0, 0, 0, time.UTC) },
+		mtime:         testMTime,
+	}
+	var out, errb bytes.Buffer
+	if code := run(base, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errb.String())
+	}
+	for _, p := range []string{base.htmlPath, base.jsonPath} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("output %s missing or empty (err=%v)", p, err)
+		}
+	}
+	raw, err := os.ReadFile(base.jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := trend.ParseSummary(raw)
+	if err != nil {
+		t.Fatalf("CLI-written summary does not parse: %v", err)
+	}
+	if sum.GeneratedAt != "2026-08-06T00:00:00Z" {
+		t.Errorf("generated_at = %q", sum.GeneratedAt)
+	}
+
+	strict := base
+	strict.htmlPath, strict.jsonPath = "", ""
+	strict.strict = true
+	if code := run(strict, &bytes.Buffer{}, &bytes.Buffer{}); code != 2 {
+		t.Errorf("-strict over a corpus with skips: exit %d, want 2", code)
+	}
+
+	gate := base
+	gate.htmlPath, gate.jsonPath = "", ""
+	gate.failOnRegress = true
+	if code := run(gate, &bytes.Buffer{}, &bytes.Buffer{}); code != 3 {
+		t.Errorf("-fail-on-regress over a regressed corpus: exit %d, want 3", code)
+	}
+
+	// Filtered down to the healthy series, the gate passes.
+	clean := gate
+	clean.arch = "flexminer"
+	clean.graph = "wv"
+	clean.pattern = "4-clique"
+	if code := run(clean, &bytes.Buffer{}, &bytes.Buffer{}); code != 0 {
+		t.Errorf("-fail-on-regress on healthy slice: exit %d, want 0", code)
+	}
+}
+
+func TestParseFlagRejects(t *testing.T) {
+	var errb bytes.Buffer
+	if _, err := parseFlags([]string{}, &errb); err == nil {
+		t.Error("no inputs must be an error")
+	}
+	if _, err := parseFlags([]string{"-dir", "x", "-window", "0"}, &errb); err == nil {
+		t.Error("-window 0 must be an error")
+	}
+	if _, err := parseFlags([]string{"-dir", "x", "-max-regress-pct", "-5"}, &errb); err == nil {
+		t.Error("negative -max-regress-pct must be an error")
+	}
+}

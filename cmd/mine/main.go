@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -28,6 +29,7 @@ import (
 	"fingers/internal/plan"
 	"fingers/internal/planopt"
 	"fingers/internal/simerr"
+	"fingers/internal/telemetry"
 )
 
 func main() {
@@ -43,6 +45,8 @@ func realMain() int {
 	list := flag.Bool("list", false, "list embeddings instead of counting")
 	limit := flag.Int("limit", 20, "max embeddings to list")
 	optimize := flag.Bool("optimize", false, "pick the vertex order with the empirical cost model")
+	jsonOut := flag.String("json", "", "append one JSONL run record per counted pattern here")
+	runTag := flag.String("run-tag", "", "tag stamped into -json records so trend tooling can group this session")
 	flag.Parse()
 
 	if *graphArg == "" {
@@ -57,6 +61,17 @@ func realMain() int {
 	if err != nil {
 		return fail(err)
 	}
+	var runLog *telemetry.RunLog
+	if *jsonOut != "" {
+		runLog, err = telemetry.OpenRunLog(*jsonOut)
+		if err != nil {
+			return fail(err)
+		}
+		defer runLog.Close()
+		meta := telemetry.HostMeta()
+		meta.RunTag = *runTag
+		runLog.SetMeta(meta)
+	}
 	opts := plan.Options{EdgeInduced: *edgeInduced}
 	started := time.Now()
 	switch {
@@ -68,6 +83,7 @@ func realMain() int {
 		counts, cerr := mine.CountMultiCtx(ctx, g, mp, *workers)
 		for i, pl := range mp.Plans {
 			fmt.Printf("%v: %d\n", pl.Pattern, counts[i])
+			logMineRecord(runLog, g, *graphArg, fmt.Sprintf("%v", pl.Pattern), *workers, counts[i], cerr != nil, started)
 		}
 		if cerr != nil {
 			return failRun(cerr, "partial per-pattern counts printed above")
@@ -108,6 +124,7 @@ func realMain() int {
 			}
 		}
 		count, cerr := mine.CountCtx(ctx, g, pl, *workers)
+		logMineRecord(runLog, g, *graphArg, *patternArg, *workers, count, cerr != nil, started)
 		if cerr != nil {
 			return failRun(cerr, fmt.Sprintf("partial count over the roots mined so far: %d", count))
 		}
@@ -115,6 +132,41 @@ func realMain() int {
 	}
 	fmt.Fprintf(os.Stderr, "[%v]\n", time.Since(started).Round(time.Millisecond))
 	return 0
+}
+
+// logMineRecord appends one fingers.run/v1 record for a software count:
+// arch "software", no accelerator timing (cycles stay zero), wall time
+// and count carried so the trend viewer can track miner throughput.
+// No-op without -json; log I/O failures are reported, never fatal.
+func logMineRecord(log *telemetry.RunLog, g *graph.Graph, graphName, patternName string, workers int, count uint64, partial bool, started time.Time) {
+	if log == nil {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	st := graph.ComputeStats(g)
+	rec := telemetry.RunRecord{
+		Schema: telemetry.RunSchema,
+		Arch:   "software",
+		Graph: telemetry.GraphInfo{
+			Name:      graphName,
+			Vertices:  st.Vertices,
+			Edges:     st.Edges,
+			AvgDegree: st.AvgDegree,
+			MaxDegree: st.MaxDegree,
+		},
+		Experiment: "mine",
+		Pattern:    patternName,
+		PEs:        workers,
+		Count:      count,
+		Partial:    partial,
+	}
+	rec.StartedAt = started.UTC().Format(time.RFC3339Nano)
+	rec.WallNS = time.Since(started).Nanoseconds()
+	if err := log.Write(rec); err != nil {
+		fmt.Fprintln(os.Stderr, "mine: run log:", err)
+	}
 }
 
 func loadGraph(arg string) (*graph.Graph, error) {

@@ -8,7 +8,16 @@
 // Usage:
 //
 //	simbench [-pes 8] [-sim-workers 8] [-sim-window 256] [-o BENCH_sim.json]
+//	         [-runs 1] [-reps 3] [-run-tag ci]
 //	         [-baseline BENCH_sim.json] [-max-regress-pct 10]
+//
+// Each cell is measured -runs times (every measurement itself best-of
+// -reps timed repetitions) and the medians are reported — single-shot
+// wall times on shared CI runners are too noisy for downstream trend
+// tooling to flag regressions honestly. The report header records the
+// run count plus provenance (start time, git revision, host shape, and
+// the optional -run-tag batch label) so reports can be ordered and
+// attributed across time.
 //
 // With -baseline, the run compares its serial cycles/sec geomean against
 // the baseline report and exits non-zero when it regressed by more than
@@ -26,58 +35,19 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"fingers/internal/accel"
 	"fingers/internal/datasets"
 	"fingers/internal/exp"
 	fingerspe "fingers/internal/fingers"
+	"fingers/internal/graph"
 	"fingers/internal/mem"
+	"fingers/internal/plan"
+	"fingers/internal/simreport"
+	"fingers/internal/telemetry"
 )
-
-// Cell is one (graph, pattern) benchmark measurement.
-type Cell struct {
-	Graph   string `json:"graph"`
-	Pattern string `json:"pattern"`
-
-	SimCycles       mem.Cycles `json:"sim_cycles"`        // serial makespan
-	ParallelCycles  mem.Cycles `json:"parallel_cycles"`   // parallel makespan
-	DivergencePct   float64    `json:"divergence_pct"`    // |par-serial|/serial × 100
-	CountsIdentical bool       `json:"counts_identical"`  // embedding counts bit-identical
-	SerialWallNS    int64      `json:"serial_wall_ns"`    // serial engine wall time
-	ParallelWallNS  int64      `json:"parallel_wall_ns"`  // parallel engine wall time
-	Workers1WallNS  int64      `json:"workers1_wall_ns"`  // parallel engine, Workers=1
-	Speedup         float64    `json:"speedup"`           // serial wall / parallel wall
-	Workers1Factor  float64    `json:"workers1_factor"`   // serial wall / workers=1 wall
-	SerialCyclesSec float64    `json:"serial_cycles_sec"` // simulated cycles per wall second
-	ParCyclesSec    float64    `json:"parallel_cycles_sec"`
-
-	// Allocation profile of the best-time repetition (runtime.MemStats
-	// deltas around the run: mallocs, bytes, and stop-the-world pause).
-	SerialAllocs     uint64 `json:"serial_allocs"`
-	SerialAllocBytes uint64 `json:"serial_alloc_bytes"`
-	SerialGCPauseNS  uint64 `json:"serial_gc_pause_ns"`
-	ParAllocs        uint64 `json:"parallel_allocs"`
-	ParAllocBytes    uint64 `json:"parallel_alloc_bytes"`
-	ParGCPauseNS     uint64 `json:"parallel_gc_pause_ns"`
-}
-
-// Report is the BENCH_sim.json schema.
-type Report struct {
-	Schema        string     `json:"schema"`
-	PEs           int        `json:"pes"`
-	Workers       int        `json:"workers"`
-	Window        mem.Cycles `json:"window"`
-	HostCores     int        `json:"host_cores"`
-	GoMaxProcs    int        `json:"gomaxprocs"`
-	Cells         []Cell     `json:"cells"`
-	GeomeanSpeed  float64    `json:"geomean_speedup"`
-	GeomeanW1     float64    `json:"geomean_workers1_factor"`
-	GeomeanSerCPS float64    `json:"geomean_serial_cycles_sec"`
-	GeomeanDivPc  float64    `json:"geomean_divergence_pct"`
-	MaxDivPct     float64    `json:"max_divergence_pct"`
-	Note          string     `json:"note"`
-}
 
 // measured is one instrumented run: wall time plus MemStats deltas.
 type measured struct {
@@ -105,16 +75,98 @@ func measure(f func()) measured {
 	}
 }
 
+// measureCell runs one (graph, pattern) cell once: reps timed
+// repetitions per engine, keeping the best time of each.
+func measureCell(g *graph.Graph, plans []*plan.Plan, pes, reps int, pcfg, w1cfg accel.ParallelConfig) (simreport.Cell, error) {
+	var cell simreport.Cell
+	var serial, par accel.Result
+	var err error
+	cell.SerialWallNS = int64(math.MaxInt64)
+	cell.ParallelWallNS = int64(math.MaxInt64)
+	cell.Workers1WallNS = int64(math.MaxInt64)
+	for r := 0; r < reps; r++ {
+		chip := fingerspe.NewChip(fingerspe.DefaultConfig(), pes, 0, g, plans)
+		m := measure(func() { serial = chip.Run() })
+		if m.ns < cell.SerialWallNS {
+			cell.SerialWallNS = m.ns
+			cell.SerialAllocs, cell.SerialAllocBytes, cell.SerialGCPauseNS = m.allocs, m.bytes, m.pause
+		}
+
+		chip = fingerspe.NewChip(fingerspe.DefaultConfig(), pes, 0, g, plans)
+		m = measure(func() {
+			par, err = chip.RunParallel(pcfg)
+		})
+		if err != nil {
+			return cell, err
+		}
+		if m.ns < cell.ParallelWallNS {
+			cell.ParallelWallNS = m.ns
+			cell.ParAllocs, cell.ParAllocBytes, cell.ParGCPauseNS = m.allocs, m.bytes, m.pause
+		}
+
+		chip = fingerspe.NewChip(fingerspe.DefaultConfig(), pes, 0, g, plans)
+		t0 := time.Now()
+		if _, err := chip.RunParallel(w1cfg); err != nil {
+			return cell, err
+		}
+		if ns := time.Since(t0).Nanoseconds(); ns < cell.Workers1WallNS {
+			cell.Workers1WallNS = ns
+		}
+	}
+	cell.SimCycles = serial.Cycles
+	cell.ParallelCycles = par.Cycles
+	cell.CountsIdentical = serial.Count == par.Count && serial.Tasks == par.Tasks
+	cell.DivergencePct = 100 * math.Abs(float64(par.Cycles)-float64(serial.Cycles)) / float64(serial.Cycles)
+	return cell, nil
+}
+
+// medianCell combines N independent measurements of one cell into the
+// reported cell: per engine, the median wall time (lower middle for
+// even N) with its allocation profile, derived ratios recomputed from
+// the chosen medians. Simulated results are deterministic, so cycles
+// and count-identity come from the first sample and must agree across
+// all of them.
+func medianCell(samples []simreport.Cell) simreport.Cell {
+	cell := samples[0]
+	pick := func(key func(simreport.Cell) int64) simreport.Cell {
+		sorted := append([]simreport.Cell(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return key(sorted[i]) < key(sorted[j]) })
+		return sorted[(len(sorted)-1)/2]
+	}
+	s := pick(func(c simreport.Cell) int64 { return c.SerialWallNS })
+	cell.SerialWallNS = s.SerialWallNS
+	cell.SerialAllocs, cell.SerialAllocBytes, cell.SerialGCPauseNS = s.SerialAllocs, s.SerialAllocBytes, s.SerialGCPauseNS
+	p := pick(func(c simreport.Cell) int64 { return c.ParallelWallNS })
+	cell.ParallelWallNS = p.ParallelWallNS
+	cell.ParAllocs, cell.ParAllocBytes, cell.ParGCPauseNS = p.ParAllocs, p.ParAllocBytes, p.ParGCPauseNS
+	cell.Workers1WallNS = pick(func(c simreport.Cell) int64 { return c.Workers1WallNS }).Workers1WallNS
+	return cell
+}
+
+// finishCell derives the ratio fields from the (possibly median)
+// wall times.
+func finishCell(cell *simreport.Cell) {
+	cell.Speedup = float64(cell.SerialWallNS) / float64(cell.ParallelWallNS)
+	cell.Workers1Factor = float64(cell.SerialWallNS) / float64(cell.Workers1WallNS)
+	cell.SerialCyclesSec = float64(cell.SimCycles) / (float64(cell.SerialWallNS) / 1e9)
+	cell.ParCyclesSec = float64(cell.ParallelCycles) / (float64(cell.ParallelWallNS) / 1e9)
+}
+
 func main() {
 	pes := flag.Int("pes", 8, "simulated chip PE count")
 	workers := flag.Int("sim-workers", runtime.GOMAXPROCS(0), "parallel engine host threads")
 	window := flag.Int64("sim-window", int64(accel.DefaultWindow), "parallel engine epoch window Δ (simulated cycles)")
-	reps := flag.Int("reps", 3, "timed repetitions per cell (best-of)")
+	reps := flag.Int("reps", 3, "timed repetitions per measurement (best-of)")
+	runs := flag.Int("runs", 1, "independent measurements per cell; the report carries their median")
+	runTag := flag.String("run-tag", "", "batch label recorded in the report header (groups runs in the trend viewer)")
 	out := flag.String("o", "BENCH_sim.json", "output JSON path")
 	baseline := flag.String("baseline", "", "prior BENCH_sim.json to guard against regression (optional)")
 	maxRegress := flag.Float64("max-regress-pct", 10, "fail when serial cycles/sec geomean drops more than this vs -baseline")
 	flag.Parse()
 
+	if *runs < 1 {
+		fatal(fmt.Errorf("-runs must be >= 1, got %d", *runs))
+	}
 	pcfg := accel.ParallelConfig{Window: mem.Cycles(*window), Workers: *workers}
 	if err := pcfg.Validate(); err != nil {
 		fatal(err)
@@ -122,13 +174,16 @@ func main() {
 	w1cfg := pcfg
 	w1cfg.Workers = 1
 
-	rep := Report{
-		Schema:     "fingers/simbench/v2",
-		PEs:        *pes,
-		Workers:    *workers,
-		Window:     pcfg.Window,
-		HostCores:  runtime.NumCPU(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
+	meta := telemetry.HostMeta()
+	meta.RunTag = *runTag
+	started := time.Now()
+	rep := simreport.Report{
+		Schema:  simreport.Schema,
+		Meta:    meta,
+		PEs:     *pes,
+		Workers: *workers,
+		Window:  pcfg.Window,
+		Runs:    *runs,
 		Note: "wall-clock speedup requires free host cores (workers > 1 on a multi-core host); " +
 			"simulated results are deterministic in the window on any host",
 	}
@@ -141,50 +196,19 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			cell := Cell{Graph: d.Name, Pattern: pat}
-
-			var serial, par accel.Result
-			cell.SerialWallNS = int64(math.MaxInt64)
-			cell.ParallelWallNS = int64(math.MaxInt64)
-			cell.Workers1WallNS = int64(math.MaxInt64)
-			for r := 0; r < *reps; r++ {
-				chip := fingerspe.NewChip(fingerspe.DefaultConfig(), *pes, 0, g, plans)
-				m := measure(func() { serial = chip.Run() })
-				if m.ns < cell.SerialWallNS {
-					cell.SerialWallNS = m.ns
-					cell.SerialAllocs, cell.SerialAllocBytes, cell.SerialGCPauseNS = m.allocs, m.bytes, m.pause
-				}
-
-				chip = fingerspe.NewChip(fingerspe.DefaultConfig(), *pes, 0, g, plans)
-				m = measure(func() {
-					par, err = chip.RunParallel(pcfg)
-				})
+			samples := make([]simreport.Cell, *runs)
+			for i := range samples {
+				samples[i], err = measureCell(g, plans, *pes, *reps, pcfg, w1cfg)
 				if err != nil {
 					fatal(err)
 				}
-				if m.ns < cell.ParallelWallNS {
-					cell.ParallelWallNS = m.ns
-					cell.ParAllocs, cell.ParAllocBytes, cell.ParGCPauseNS = m.allocs, m.bytes, m.pause
-				}
-
-				chip = fingerspe.NewChip(fingerspe.DefaultConfig(), *pes, 0, g, plans)
-				t0 := time.Now()
-				if _, err := chip.RunParallel(w1cfg); err != nil {
-					fatal(err)
-				}
-				if ns := time.Since(t0).Nanoseconds(); ns < cell.Workers1WallNS {
-					cell.Workers1WallNS = ns
+				if samples[i].SimCycles != samples[0].SimCycles || samples[i].CountsIdentical != samples[0].CountsIdentical {
+					fatal(fmt.Errorf("%s/%s: run %d disagrees with run 0 on simulated results", d.Name, pat, i))
 				}
 			}
-
-			cell.SimCycles = serial.Cycles
-			cell.ParallelCycles = par.Cycles
-			cell.CountsIdentical = serial.Count == par.Count && serial.Tasks == par.Tasks
-			cell.DivergencePct = 100 * math.Abs(float64(par.Cycles)-float64(serial.Cycles)) / float64(serial.Cycles)
-			cell.Speedup = float64(cell.SerialWallNS) / float64(cell.ParallelWallNS)
-			cell.Workers1Factor = float64(cell.SerialWallNS) / float64(cell.Workers1WallNS)
-			cell.SerialCyclesSec = float64(serial.Cycles) / (float64(cell.SerialWallNS) / 1e9)
-			cell.ParCyclesSec = float64(par.Cycles) / (float64(cell.ParallelWallNS) / 1e9)
+			cell := medianCell(samples)
+			cell.Graph, cell.Pattern = d.Name, pat
+			finishCell(&cell)
 			rep.Cells = append(rep.Cells, cell)
 
 			logSpeed += math.Log(cell.Speedup)
@@ -216,9 +240,10 @@ func main() {
 	if nDiv > 0 {
 		rep.GeomeanDivPc = math.Exp(logDiv / float64(nDiv))
 	}
+	rep.WallNS = time.Since(started).Nanoseconds()
 
-	fmt.Printf("geomean speedup %.2fx, workers=1 factor %.2fx, serial %.0f cycles/sec (host cores %d, workers %d), geomean divergence %.3f%%, max %.3f%%\n",
-		rep.GeomeanSpeed, rep.GeomeanW1, rep.GeomeanSerCPS, rep.HostCores, rep.Workers, rep.GeomeanDivPc, rep.MaxDivPct)
+	fmt.Printf("geomean speedup %.2fx, workers=1 factor %.2fx, serial %.0f cycles/sec (host cores %d, workers %d, runs %d), geomean divergence %.3f%%, max %.3f%%\n",
+		rep.GeomeanSpeed, rep.GeomeanW1, rep.GeomeanSerCPS, rep.HostCores, rep.Workers, rep.Runs, rep.GeomeanDivPc, rep.MaxDivPct)
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -246,23 +271,12 @@ func main() {
 // committed baseline report, failing on a drop beyond maxRegressPct. The
 // baseline's geomean field is recomputed from its cells when absent (v1
 // reports predate it).
-func checkRegression(path string, cur Report, maxRegressPct float64) error {
-	raw, err := os.ReadFile(path)
+func checkRegression(path string, cur simreport.Report, maxRegressPct float64) error {
+	base, err := simreport.ParseFile(path)
 	if err != nil {
 		return fmt.Errorf("baseline: %w", err)
 	}
-	var base Report
-	if err := json.Unmarshal(raw, &base); err != nil {
-		return fmt.Errorf("baseline %s: %w", path, err)
-	}
-	baseCPS := base.GeomeanSerCPS
-	if baseCPS == 0 && len(base.Cells) > 0 {
-		logSum := 0.0
-		for _, c := range base.Cells {
-			logSum += math.Log(c.SerialCyclesSec)
-		}
-		baseCPS = math.Exp(logSum / float64(len(base.Cells)))
-	}
+	baseCPS := base.SerialGeomeanCPS()
 	if baseCPS == 0 {
 		return fmt.Errorf("baseline %s: no serial cycles/sec data", path)
 	}

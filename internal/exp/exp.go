@@ -17,6 +17,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fingers/internal/accel"
 	"fingers/internal/datasets"
@@ -197,10 +198,14 @@ func (o Options) runChip(serial func(context.Context) (accel.Result, error), par
 // appends its telemetry record (with IU rates and per-PE breakdowns).
 func (o Options) simFingers(experiment, graphName, patternName string, cfg fingers.Config, pes int, cacheBytes int64, g *graph.Graph, plans []*plan.Plan) accel.Result {
 	chip := fingers.NewChip(cfg, pes, cacheBytes, g, plans)
+	start := time.Now()
 	res, partial := o.runChip(chip.RunCtx, chip.RunParallelCtx)
+	wall := time.Since(start)
 	if o.Log != nil {
 		rec := NewRunRecord("fingers", experiment, graphName, patternName, pes, cfg.NumIUs, cacheBytes, g, res, chip.PERecords())
 		rec.Partial = partial
+		rec.StartedAt = start.UTC().Format(time.RFC3339Nano)
+		rec.WallNS = wall.Nanoseconds()
 		iu := chip.AggregateStats()
 		rec.IUActiveRate = iu.ActiveRate()
 		rec.IUBalanceRate = iu.BalanceRate()
@@ -212,10 +217,14 @@ func (o Options) simFingers(experiment, graphName, patternName string, cfg finge
 // simFlex runs one FlexMiner cell, logging like simFingers.
 func (o Options) simFlex(experiment, graphName, patternName string, pes int, cacheBytes int64, g *graph.Graph, plans []*plan.Plan) accel.Result {
 	chip := flexminer.NewChip(flexminer.DefaultConfig(), pes, cacheBytes, g, plans)
+	start := time.Now()
 	res, partial := o.runChip(chip.RunCtx, chip.RunParallelCtx)
+	wall := time.Since(start)
 	if o.Log != nil {
 		rec := NewRunRecord("flexminer", experiment, graphName, patternName, pes, 0, cacheBytes, g, res, chip.PERecords())
 		rec.Partial = partial
+		rec.StartedAt = start.UTC().Format(time.RFC3339Nano)
+		rec.WallNS = wall.Nanoseconds()
 		logWrite(o.Log, rec)
 	}
 	return res

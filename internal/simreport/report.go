@@ -1,0 +1,121 @@
+// Package simreport holds the BENCH_sim.json schema shared by its
+// producer (cmd/simbench) and its consumers (internal/trend,
+// cmd/fingerstat, the CI regression gate). Keeping the types in one
+// place is what lets the trend viewer parse every vintage of committed
+// report: v1 (no geomeans), v2 (allocation profile + regression gate),
+// and the current header with provenance metadata.
+package simreport
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"fingers/internal/mem"
+	"fingers/internal/telemetry"
+)
+
+// Schema is the current report schema tag. The provenance header and
+// Runs field are additive, so v2 stands; readers accept any
+// "fingers/simbench/" prefix.
+const Schema = "fingers/simbench/v2"
+
+// SchemaPrefix matches every vintage of simbench report.
+const SchemaPrefix = "fingers/simbench/"
+
+// Cell is one (graph, pattern) benchmark measurement.
+type Cell struct {
+	Graph   string `json:"graph"`
+	Pattern string `json:"pattern"`
+
+	SimCycles       mem.Cycles `json:"sim_cycles"`        // serial makespan
+	ParallelCycles  mem.Cycles `json:"parallel_cycles"`   // parallel makespan
+	DivergencePct   float64    `json:"divergence_pct"`    // |par-serial|/serial × 100
+	CountsIdentical bool       `json:"counts_identical"`  // embedding counts bit-identical
+	SerialWallNS    int64      `json:"serial_wall_ns"`    // serial engine wall time
+	ParallelWallNS  int64      `json:"parallel_wall_ns"`  // parallel engine wall time
+	Workers1WallNS  int64      `json:"workers1_wall_ns"`  // parallel engine, Workers=1
+	Speedup         float64    `json:"speedup"`           // serial wall / parallel wall
+	Workers1Factor  float64    `json:"workers1_factor"`   // serial wall / workers=1 wall
+	SerialCyclesSec float64    `json:"serial_cycles_sec"` // simulated cycles per wall second
+	ParCyclesSec    float64    `json:"parallel_cycles_sec"`
+
+	// Allocation profile of the best-time repetition (runtime.MemStats
+	// deltas around the run: mallocs, bytes, and stop-the-world pause).
+	SerialAllocs     uint64 `json:"serial_allocs"`
+	SerialAllocBytes uint64 `json:"serial_alloc_bytes"`
+	SerialGCPauseNS  uint64 `json:"serial_gc_pause_ns"`
+	ParAllocs        uint64 `json:"parallel_allocs"`
+	ParAllocBytes    uint64 `json:"parallel_alloc_bytes"`
+	ParGCPauseNS     uint64 `json:"parallel_gc_pause_ns"`
+}
+
+// Report is the BENCH_sim.json schema. The embedded telemetry.Meta
+// contributes started_at / wall_ns / git_rev / host_cores / gomaxprocs
+// / run_tag; reports written before the header round-trip unchanged
+// (every meta field is omitempty) and old readers ignore the extras.
+type Report struct {
+	Schema string `json:"schema"`
+	telemetry.Meta
+	PEs     int        `json:"pes"`
+	Workers int        `json:"workers"`
+	Window  mem.Cycles `json:"window"`
+	// Runs is the number of measured repetitions each cell is the
+	// median of (1 = single-shot, the pre-header behaviour).
+	Runs          int     `json:"runs,omitempty"`
+	Cells         []Cell  `json:"cells"`
+	GeomeanSpeed  float64 `json:"geomean_speedup"`
+	GeomeanW1     float64 `json:"geomean_workers1_factor"`
+	GeomeanSerCPS float64 `json:"geomean_serial_cycles_sec"`
+	GeomeanDivPc  float64 `json:"geomean_divergence_pct"`
+	MaxDivPct     float64 `json:"max_divergence_pct"`
+	Note          string  `json:"note"`
+}
+
+// SerialGeomeanCPS returns the serial cycles/sec geomean, recomputing
+// it from the cells when the header field is absent (v1 reports
+// predate it). Zero when no cell carries data.
+func (r *Report) SerialGeomeanCPS() float64 {
+	if r.GeomeanSerCPS > 0 {
+		return r.GeomeanSerCPS
+	}
+	logSum, n := 0.0, 0
+	for _, c := range r.Cells {
+		if c.SerialCyclesSec > 0 {
+			logSum += math.Log(c.SerialCyclesSec)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Parse decodes one report, rejecting JSON whose schema tag is not a
+// simbench report (a BENCH_softmine.json full of go-test events, say).
+func Parse(raw []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, err
+	}
+	if !strings.HasPrefix(r.Schema, SchemaPrefix) {
+		return nil, fmt.Errorf("schema %q is not a %s* report", r.Schema, SchemaPrefix)
+	}
+	return &r, nil
+}
+
+// ParseFile reads and decodes the report at path.
+func ParseFile(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Parse(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}

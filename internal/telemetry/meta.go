@@ -1,0 +1,148 @@
+// Run-record provenance: where and when a record was produced. Trend
+// tooling (internal/trend, cmd/fingerstat) needs a time axis and host
+// attribution to order records across sessions; every field is optional
+// so old logs parse unchanged and old readers ignore the additions.
+
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Meta is the optional provenance header shared by run records and
+// benchmark reports. All fields are omitempty: a zero Meta marshals to
+// nothing, so records written before this header existed are
+// byte-identical to records written with it left unset.
+type Meta struct {
+	// StartedAt is the wall-clock start of the run, RFC 3339 (UTC).
+	StartedAt string `json:"started_at,omitempty"`
+	// WallNS is the measured wall time of the run in nanoseconds.
+	WallNS int64 `json:"wall_ns,omitempty"`
+	// GitRev is the repository revision the binary was built from.
+	GitRev string `json:"git_rev,omitempty"`
+	// HostCores is runtime.NumCPU() on the producing host.
+	HostCores int `json:"host_cores,omitempty"`
+	// GoMaxProcs is the scheduler width the run executed under.
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	// RunTag groups records from one logical session (a sweep, a CI
+	// run) into a batch the trend viewer can slice on.
+	RunTag string `json:"run_tag,omitempty"`
+}
+
+// HostMeta captures the producing host's provenance: start time (now,
+// UTC), git revision, core count, and GOMAXPROCS. Callers set RunTag
+// and WallNS themselves — the tag is a user choice and the wall time is
+// only known when the run finishes.
+func HostMeta() Meta {
+	return Meta{
+		StartedAt:  time.Now().UTC().Format(time.RFC3339Nano),
+		GitRev:     GitRevision(),
+		HostCores:  runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Fill copies m's fields into dst wherever dst's are zero, so a
+// per-record value (a run-specific start time, say) always wins over
+// the session-wide stamp.
+func (m Meta) Fill(dst *Meta) {
+	if dst.StartedAt == "" {
+		dst.StartedAt = m.StartedAt
+	}
+	if dst.WallNS == 0 {
+		dst.WallNS = m.WallNS
+	}
+	if dst.GitRev == "" {
+		dst.GitRev = m.GitRev
+	}
+	if dst.HostCores == 0 {
+		dst.HostCores = m.HostCores
+	}
+	if dst.GoMaxProcs == 0 {
+		dst.GoMaxProcs = m.GoMaxProcs
+	}
+	if dst.RunTag == "" {
+		dst.RunTag = m.RunTag
+	}
+}
+
+// StartTime parses StartedAt; ok is false when the field is absent or
+// malformed (the trend reader then falls back to file mtime).
+func (m Meta) StartTime() (t time.Time, ok bool) {
+	if m.StartedAt == "" {
+		return time.Time{}, false
+	}
+	t, err := time.Parse(time.RFC3339Nano, m.StartedAt)
+	if err != nil {
+		return time.Time{}, false
+	}
+	return t, true
+}
+
+var (
+	gitRevOnce sync.Once
+	gitRev     string
+)
+
+// GitRevision best-effort resolves the source revision: the VCS stamp
+// Go embeds in built binaries, else the checked-out commit read from
+// the enclosing .git directory (covers `go run` and `go test`, which
+// skip VCS stamping). Empty when neither is available; never errors.
+func GitRevision() string {
+	gitRevOnce.Do(func() {
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" && s.Value != "" {
+					gitRev = s.Value
+					return
+				}
+			}
+		}
+		gitRev = dotGitHead()
+	})
+	return gitRev
+}
+
+// dotGitHead walks up from the working directory to the nearest .git
+// and resolves HEAD one level of indirection deep. All reads are
+// bounded; any irregularity yields "".
+func dotGitHead() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return ""
+	}
+	for {
+		head := readSmall(filepath.Join(dir, ".git", "HEAD"))
+		if head != "" {
+			if ref, ok := strings.CutPrefix(head, "ref: "); ok {
+				return readSmall(filepath.Join(dir, ".git", filepath.FromSlash(ref)))
+			}
+			return head
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}
+
+// readSmall returns the trimmed first line of a file, or "" for any
+// file over 1 KiB (a .git ref never is) or on error.
+func readSmall(path string) string {
+	b, err := os.ReadFile(path)
+	if err != nil || len(b) > 1024 {
+		return ""
+	}
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		b = b[:i]
+	}
+	return strings.TrimSpace(string(b))
+}

@@ -7,9 +7,12 @@ package telemetry
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
+	"strings"
 	"sync"
 
 	"fingers/internal/mem"
@@ -55,7 +58,11 @@ type RunRecord struct {
 	Tasks            int64      `json:"tasks"`
 	// Partial marks a run cut short by cancellation: Cycles is the
 	// simulated horizon reached and Count covers only the mined prefix.
-	Partial        bool       `json:"partial,omitempty"`
+	Partial bool `json:"partial,omitempty"`
+	// Meta is the optional provenance header (start time, wall time,
+	// git revision, host shape, run tag). Its fields marshal inline and
+	// omitempty, so records predating it round-trip unchanged.
+	Meta
 	SharedAccesses int64      `json:"shared_line_accesses"`
 	SharedMisses   int64      `json:"shared_line_misses"`
 	SharedMissRate float64    `json:"shared_miss_rate"`
@@ -94,11 +101,62 @@ func ReadRecords(r io.Reader) ([]RunRecord, error) {
 	return out, sc.Err()
 }
 
+// SkippedLine reports one JSONL line the lenient reader rejected: its
+// 1-based line number and a short reason (a JSON syntax error from a
+// truncated flush, or a foreign schema tag).
+type SkippedLine struct {
+	Line int
+	Err  string
+}
+
+// ReadRecordsLenient decodes the JSONL lines of r like ReadRecords but
+// skips — rather than aborts on — lines that fail to parse or carry a
+// non-run-record schema, returning them with line numbers so a
+// directory scan can report what it dropped. A partial log from a
+// SIGINT'd run (the CLIs flush records mid-sweep) therefore yields
+// every intact record plus a skip entry for the torn tail. The error
+// return covers only reader-level failures (I/O, an over-long line).
+func ReadRecordsLenient(r io.Reader) ([]RunRecord, []SkippedLine, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var out []RunRecord
+	var skipped []SkippedLine
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(bytes.TrimSpace(b)) == 0 {
+			continue
+		}
+		var rec RunRecord
+		if err := json.Unmarshal(b, &rec); err != nil {
+			skipped = append(skipped, SkippedLine{Line: line, Err: err.Error()})
+			continue
+		}
+		if rec.Schema != "" && !strings.HasPrefix(rec.Schema, "fingers.run/") {
+			skipped = append(skipped, SkippedLine{Line: line, Err: fmt.Sprintf("foreign schema %q", rec.Schema)})
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out, skipped, sc.Err()
+}
+
 // RunLog is a concurrency-safe append-only JSONL sink.
 type RunLog struct {
-	mu sync.Mutex
-	w  io.Writer
-	c  io.Closer
+	mu    sync.Mutex
+	w     io.Writer
+	c     io.Closer
+	stamp Meta
+}
+
+// SetMeta attaches a session-wide provenance stamp: every subsequent
+// Write fills the record's empty Meta fields from it (per-record values
+// win). Call once after OpenRunLog, typically with HostMeta().
+func (l *RunLog) SetMeta(m Meta) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stamp = m
 }
 
 // NewRunLog wraps any writer (e.g. a bytes.Buffer in tests).
@@ -113,10 +171,12 @@ func OpenRunLog(path string) (*RunLog, error) {
 	return &RunLog{w: f, c: f}, nil
 }
 
-// Write appends one record.
+// Write appends one record, filling empty provenance fields from the
+// SetMeta stamp.
 func (l *RunLog) Write(rec RunRecord) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.stamp.Fill(&rec.Meta)
 	return WriteRecord(l.w, rec)
 }
 

@@ -1,0 +1,331 @@
+package trend
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"fingers/internal/mem"
+	"fingers/internal/telemetry"
+)
+
+// fixedMTime is the deterministic mtime injector tests use.
+func fixedMTime(path string) (time.Time, error) {
+	return time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC), nil
+}
+
+// writeLog writes records (plus optional raw trailing lines) to a file.
+func writeLog(t *testing.T, path string, recs []telemetry.RunRecord, raw ...string) {
+	t.Helper()
+	var buf bytes.Buffer
+	log := telemetry.NewRunLog(&buf)
+	for _, r := range recs {
+		if err := log.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range raw {
+		buf.WriteString(s)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rec builds one record for series (fingers, As, tc) at a given start
+// time offset with the given cycles and wall time.
+func rec(minute int, cycles mem.Cycles, wallNS int64) telemetry.RunRecord {
+	r := telemetry.RunRecord{
+		Arch:    "fingers",
+		Graph:   telemetry.GraphInfo{Name: "As", Vertices: 3000},
+		Pattern: "tc",
+		PEs:     8,
+		Cycles:  cycles,
+		Count:   100,
+		Breakdown: telemetry.Breakdown{
+			Compute: cycles * 8 / 2, MemStall: cycles * 8 / 4,
+			Overhead: cycles * 8 / 8, Idle: cycles * 8 / 8,
+		},
+		SharedMissRate: 0.25,
+		DRAMBytes:      1 << 20,
+	}
+	r.StartedAt = time.Date(2026, 8, 1, 10, minute, 0, 0, time.UTC).Format(time.RFC3339)
+	r.WallNS = wallNS
+	r.RunTag = "t"
+	return r
+}
+
+func TestScanGroupsAndOrders(t *testing.T) {
+	dir := t.TempDir()
+	// Two logs, timestamps interleaved, plus a corrupt tail.
+	writeLog(t, filepath.Join(dir, "a.jsonl"),
+		[]telemetry.RunRecord{rec(0, 1000, 1e6), rec(20, 1200, 1e6)},
+		"{\"schema\":\"fingers.run/v1\",\"arch\":\"fing\n")
+	writeLog(t, filepath.Join(dir, "b.jsonl"),
+		[]telemetry.RunRecord{rec(10, 1100, 1e6)})
+
+	c, err := Scan(dir, ScanOptions{MTime: fixedMTime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Records != 3 || c.RunFiles != 2 {
+		t.Fatalf("records=%d files=%d, want 3/2", c.Records, c.RunFiles)
+	}
+	if len(c.Skips) != 1 || c.Skips[0].File != "a.jsonl" || c.Skips[0].Line != 3 {
+		t.Fatalf("skips = %+v", c.Skips)
+	}
+	k := Key{Arch: "fingers", Graph: "As", Pattern: "tc"}
+	pts := c.Points[k]
+	if len(pts) != 3 {
+		t.Fatalf("series holds %d points", len(pts))
+	}
+	if pts[0].Cycles != 1000 || pts[1].Cycles != 1100 || pts[2].Cycles != 1200 {
+		t.Errorf("points not time-ordered across files: %v %v %v", pts[0].Cycles, pts[1].Cycles, pts[2].Cycles)
+	}
+	if pts[0].CyclesPerSec != 1000/(1e6/1e9) {
+		t.Errorf("cycles/sec = %v", pts[0].CyclesPerSec)
+	}
+	if f := pts[0].Frac; f.Compute != 0.5 || f.Stall != 0.25 {
+		t.Errorf("breakdown fraction = %+v", f)
+	}
+}
+
+func TestMTimeFallbackOrdering(t *testing.T) {
+	dir := t.TempDir()
+	// Records without started_at share the file mtime and must keep
+	// their append (line) order.
+	old := []telemetry.RunRecord{
+		{Arch: "fingers", Graph: telemetry.GraphInfo{Name: "Mi"}, Pattern: "tt", Cycles: 10},
+		{Arch: "fingers", Graph: telemetry.GraphInfo{Name: "Mi"}, Pattern: "tt", Cycles: 20},
+	}
+	writeLog(t, filepath.Join(dir, "old.jsonl"), old)
+	c, err := Scan(dir, ScanOptions{MTime: fixedMTime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := c.Points[Key{Arch: "fingers", Graph: "Mi", Pattern: "tt"}]
+	if len(pts) != 2 || !pts[0].FromMTime || pts[0].Cycles != 10 || pts[1].Cycles != 20 {
+		t.Fatalf("mtime fallback points wrong: %+v", pts)
+	}
+}
+
+func TestScanSkipsForeignJSON(t *testing.T) {
+	dir := t.TempDir()
+	// A go-test event stream: valid JSON, wrong schema.
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_softmine.json"),
+		[]byte(`{"Time":"2026-08-01T00:00:00Z","Action":"run"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Scan(dir, ScanOptions{MTime: fixedMTime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BenchFiles != 0 || len(c.Skips) != 1 {
+		t.Fatalf("foreign JSON not skipped: bench=%d skips=%+v", c.BenchFiles, c.Skips)
+	}
+}
+
+func TestBenchIngestLegacyMTimeFallback(t *testing.T) {
+	dir := t.TempDir()
+	legacy := `{"schema":"fingers/simbench/v2","pes":8,"cells":[
+	  {"graph":"As","pattern":"tc","serial_cycles_sec":5e6,"speedup":0.55,"workers1_factor":0.6,"divergence_pct":0.02}]}`
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_sim.json"), []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Scan(dir, ScanOptions{MTime: fixedMTime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Bench) != 1 {
+		t.Fatalf("bench cells = %d", len(c.Bench))
+	}
+	bp := c.Bench[0]
+	if !bp.FromMTime || bp.At.IsZero() {
+		t.Errorf("legacy report did not fall back to mtime: %+v", bp)
+	}
+}
+
+// TestRollingAndRegression drives the rolling window and the σ-guarded
+// flag end to end: a stable series with one big final slowdown flags;
+// the same slowdown inside a noisy baseline does not.
+func TestRollingAndRegression(t *testing.T) {
+	dir := t.TempDir()
+	stable := make([]telemetry.RunRecord, 0, 6)
+	for i := 0; i < 5; i++ {
+		stable = append(stable, rec(i, 1000, int64(1e6+float64(i)*1e3))) // ~1e9 cps, tight
+	}
+	stable = append(stable, rec(10, 1000, 2e6)) // half the cycles/sec
+	writeLog(t, filepath.Join(dir, "s.jsonl"), stable)
+	c, err := Scan(dir, ScanOptions{MTime: fixedMTime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Build(c, Options{Window: 5, MaxRegressPct: 10})
+	if len(m.Series) != 1 {
+		t.Fatalf("series = %d", len(m.Series))
+	}
+	s := m.Series[0]
+	if s.Flag == nil {
+		t.Fatal("slowdown not flagged")
+	}
+	if s.Flag.Metric != "cycles_per_sec" || s.Flag.DeltaPct < 40 {
+		t.Errorf("flag = %+v", s.Flag)
+	}
+	if m.Regressions() != 1 {
+		t.Errorf("Regressions() = %d", m.Regressions())
+	}
+	// Rolling stats aligned and windowed.
+	if len(s.Roll) != len(s.Points) {
+		t.Fatalf("roll misaligned: %d vs %d", len(s.Roll), len(s.Points))
+	}
+	if s.Roll[0].SigmaCycles != 0 {
+		t.Errorf("single-point window has σ=%v", s.Roll[0].SigmaCycles)
+	}
+}
+
+func TestSigmaGuardSuppressesNoisyFlag(t *testing.T) {
+	dir := t.TempDir()
+	// Wildly noisy wall times: the final value is within the noise band.
+	walls := []int64{1e6, 3e6, 1e6, 3e6, 1e6, 2.2e6}
+	recs := make([]telemetry.RunRecord, len(walls))
+	for i, w := range walls {
+		recs[i] = rec(i, 1000, w)
+	}
+	writeLog(t, filepath.Join(dir, "n.jsonl"), recs)
+	c, err := Scan(dir, ScanOptions{MTime: fixedMTime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Build(c, Options{Window: 5, MaxRegressPct: 10})
+	if f := m.Series[0].Flag; f != nil {
+		t.Errorf("noisy series flagged: %+v", f)
+	}
+}
+
+func TestPartialPointsExcludedFromFlagging(t *testing.T) {
+	dir := t.TempDir()
+	recs := []telemetry.RunRecord{rec(0, 1000, 1e6), rec(1, 1000, 1e6), rec(2, 1000, 1e6)}
+	bad := rec(3, 100, 2e6) // torn run: fewer cycles, slower
+	bad.Partial = true
+	recs = append(recs, bad)
+	writeLog(t, filepath.Join(dir, "p.jsonl"), recs)
+	c, err := Scan(dir, ScanOptions{MTime: fixedMTime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Build(c, Options{})
+	if f := m.Series[0].Flag; f != nil {
+		t.Errorf("partial record drove a flag: %+v", f)
+	}
+}
+
+func TestCyclesFallbackFlagWithoutWallTime(t *testing.T) {
+	dir := t.TempDir()
+	// Old-style records: no wall time, so the cycle count is the metric.
+	recs := make([]telemetry.RunRecord, 4)
+	for i := range recs {
+		recs[i] = telemetry.RunRecord{Arch: "fingers", Graph: telemetry.GraphInfo{Name: "As"}, Pattern: "tc", Cycles: 1000}
+	}
+	recs[3].Cycles = 1500 // 50% more simulated cycles
+	writeLog(t, filepath.Join(dir, "c.jsonl"), recs)
+	c, err := Scan(dir, ScanOptions{MTime: fixedMTime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Build(c, Options{})
+	f := m.Series[0].Flag
+	if f == nil || f.Metric != "cycles" {
+		t.Fatalf("cycle regression not flagged: %+v", f)
+	}
+}
+
+func TestBuildFilters(t *testing.T) {
+	dir := t.TempDir()
+	a := rec(0, 1000, 1e6)
+	b := rec(1, 1000, 1e6)
+	b.Arch = "flexminer"
+	writeLog(t, filepath.Join(dir, "f.jsonl"), []telemetry.RunRecord{a, b})
+	c, err := Scan(dir, ScanOptions{MTime: fixedMTime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := Build(c, Options{Arch: "flexminer"}); len(m.Series) != 1 || m.Series[0].Key.Arch != "flexminer" {
+		t.Errorf("arch filter failed: %+v", m.Series)
+	}
+	if m := Build(c, Options{Tag: "nope"}); len(m.Series) != 0 {
+		t.Errorf("tag filter failed: %+v", m.Series)
+	}
+	if m := Build(c, Options{Last: 1}); len(m.Series) != 2 || len(m.Series[0].Points) != 1 {
+		t.Errorf("last-N failed")
+	}
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	recs := make([]telemetry.RunRecord, 5)
+	for i := range recs {
+		recs[i] = rec(i, mem.Cycles(1000+i*10), 1e6)
+	}
+	writeLog(t, filepath.Join(dir, "r.jsonl"), recs)
+	bench := `{"schema":"fingers/simbench/v2","started_at":"2026-08-01T09:00:00Z","runs":3,"cells":[
+	  {"graph":"As","pattern":"tc","serial_cycles_sec":5e6,"speedup":0.55,"workers1_factor":0.6,"divergence_pct":0.02}]}`
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_sim.json"), []byte(bench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Scan(dir, ScanOptions{MTime: fixedMTime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Build(c, Options{})
+	sum := m.Summary("")
+	if sum.Schema != SummarySchema || len(sum.Series) != 1 || len(sum.Bench) != 1 {
+		t.Fatalf("summary shape: %+v", sum)
+	}
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, sum); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSummary(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sum, back) {
+		t.Errorf("summary did not round-trip:\n%+v\n%+v", sum, back)
+	}
+	if sum.Bench[0].Points != 1 || sum.Bench[0].LatestSerialCPS != 5e6 {
+		t.Errorf("bench summary: %+v", sum.Bench[0])
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := meanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 || std != 2 {
+		t.Errorf("meanStd = %v, %v (want 5, 2)", mean, std)
+	}
+	if m, s := meanStd(nil); m != 0 || s != 0 {
+		t.Errorf("empty meanStd = %v, %v", m, s)
+	}
+}
+
+func TestFlagRegressDirections(t *testing.T) {
+	base := []float64{100, 100, 100}
+	if f := flagRegress("cycles", 150, base, 10, true); f == nil || f.DeltaPct != 50 {
+		t.Errorf("higher-is-worse: %+v", f)
+	}
+	if f := flagRegress("cps", 50, base, 10, false); f == nil || f.DeltaPct != 50 {
+		t.Errorf("lower-is-worse: %+v", f)
+	}
+	if f := flagRegress("cps", 95, base, 10, false); f != nil {
+		t.Errorf("within threshold flagged: %+v", f)
+	}
+	if f := flagRegress("cps", 50, base[:1], 10, false); f != nil {
+		t.Errorf("single baseline point flagged: %+v", f)
+	}
+}
+
+// Silence unused-import drift if helpers change.
+var _ = fmt.Sprintf
