@@ -39,9 +39,9 @@ import (
 	"syscall"
 	"time"
 
+	"fingers"
 	"fingers/internal/accel"
 	"fingers/internal/exp"
-	"fingers/internal/mem"
 	"fingers/internal/telemetry"
 )
 
@@ -70,21 +70,26 @@ func realMain() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// The engine knobs ride through a JobSpec so the CLI shares the
+	// daemon's validation and unit conversions instead of duplicating
+	// them.
+	spec := fingers.JobSpec{CacheKB: *cacheKB, SimWorkers: *simWorkers}
+	if *simWorkers > 0 {
+		spec.SimWindow = *simWindow
+	}
+	pcfg, err := spec.ParallelSim()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
 	opts := exp.Options{
 		Quick:            *quick,
 		FingersPEs:       *fiPEs,
 		FlexPEs:          *fmPEs,
-		SharedCacheBytes: *cacheKB << 10,
+		SharedCacheBytes: spec.CacheBytes(),
 		Workers:          *workers,
 		Ctx:              ctx,
-	}
-	if *simWorkers > 0 {
-		pcfg := accel.ParallelConfig{Window: mem.Cycles(*simWindow), Workers: *simWorkers}
-		if err := pcfg.Validate(); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			return 1
-		}
-		opts.SimParallel = &pcfg
+		SimParallel:      pcfg,
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -124,6 +129,7 @@ func realMain() int {
 		defer log.Close()
 		meta := telemetry.HostMeta()
 		meta.RunTag = *runTag
+		meta.Source = "experiments"
 		log.SetMeta(meta)
 		opts.Log = log
 	}

@@ -1,0 +1,140 @@
+// Command fingersd serves graph-mining simulations over HTTP: a
+// long-lived daemon that loads and preprocesses each dataset once,
+// shares the immutable graph (CSR + hub index) across requests, and
+// runs fingers.JobSpec jobs through a bounded admission queue with
+// per-request deadlines.
+//
+// Usage:
+//
+//	fingersd -addr :8080 -concurrency 4 -queue 32 -json runs.jsonl
+//	curl -s localhost:8080/v1/graphs
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	    -d '{"arch":"fingers","graph":"Mi","pattern":"tc","pes":8}'
+//	curl -s localhost:8080/v1/jobs/job-000001
+//	curl -sN localhost:8080/v1/jobs/job-000001/stream > run.jsonl
+//
+// The stream endpoint emits fingers.run/v1 JSONL — periodic partial
+// records while the job runs, then the final record — which fingerstat
+// ingests directly.
+//
+// SIGINT/SIGTERM drains gracefully: admission stops (503), running and
+// queued jobs get -drain-timeout to finish, anything still in flight is
+// then canceled so its partial record is flushed to -json, and the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"fingers/internal/service"
+	"fingers/internal/telemetry"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	addr := flag.String("addr", ":8080", "listen address")
+	concurrency := flag.Int("concurrency", 2, "jobs simulated at once")
+	queueDepth := flag.Int("queue", 16, "admission queue depth (full queue returns 429)")
+	defaultTimeout := flag.Duration("default-timeout", 0, "deadline applied to jobs that set none (0 = unbounded)")
+	maxTimeout := flag.Duration("max-timeout", 0, "clamp on per-job deadlines (0 = no clamp)")
+	jsonOut := flag.String("json", "", "append one JSONL run record per finished job here")
+	runTag := flag.String("run-tag", "", "default run tag stamped into records (a job's own tag wins)")
+	preload := flag.String("preload", "", "comma-separated graphs to load at startup (\"all\" = every registered graph)")
+	streamInterval := flag.Duration("stream-interval", 500*time.Millisecond, "cadence of partial records on /stream")
+	progressEvery := flag.Int64("progress-every", 65536, "scheduler steps between live progress snapshots")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight jobs on shutdown before they are canceled")
+	flag.Parse()
+
+	reg := service.NewRegistry()
+	if *preload != "" {
+		for _, n := range strings.Split(*preload, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if err := reg.Preload(n); err != nil {
+				return fail(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "fingersd: preloaded %s\n", *preload)
+	}
+
+	var runLog *telemetry.RunLog
+	if *jsonOut != "" {
+		var err error
+		runLog, err = telemetry.OpenRunLog(*jsonOut)
+		if err != nil {
+			return fail(err)
+		}
+		defer runLog.Close()
+	}
+	meta := telemetry.HostMeta()
+	meta.Source = "fingersd"
+	meta.RunTag = *runTag
+	if runLog != nil {
+		runLog.SetMeta(meta)
+	}
+
+	mgr := service.NewManager(reg, service.Config{
+		Concurrency:    *concurrency,
+		QueueDepth:     *queueDepth,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		ProgressEvery:  *progressEvery,
+		Meta:           meta,
+		Log:            runLog,
+	})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: service.NewServer(mgr, *streamInterval).Handler(),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "fingersd: listening on %s\n", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		// The listener failed before any signal (bad address, port in use).
+		mgr.Drain(0)
+		return fail(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "fingersd: draining")
+	// Stop admission and flush in-flight jobs first, so every record —
+	// partial or complete — is written before connections close.
+	mgr.Drain(*drainTimeout)
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		srv.Close()
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fail(err)
+	}
+	fmt.Fprintln(os.Stderr, "fingersd: drained, exiting")
+	return 0
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "fingersd:", err)
+	return 1
+}

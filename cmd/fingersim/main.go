@@ -9,6 +9,11 @@
 //	fingersim -graph path/to/edges.txt -pattern 4cl -arch fingers -ius 48
 //	fingersim -graph Mi -pattern tt -arch both -trace /tmp/t.json -json /tmp/r.jsonl
 //
+// The flags populate a fingers.JobSpec — the same serializable job
+// description the fingersd daemon accepts over HTTP — and the spec
+// drives the Simulate façade, so a CLI invocation and a daemon job with
+// equal fields configure the chip identically.
+//
 // -trace writes a Chrome trace_event file (open at ui.perfetto.dev, one
 // track per PE); -json appends one machine-readable run record per
 // simulated architecture; -progress N prints a live status line every N
@@ -30,13 +35,11 @@ import (
 	"syscall"
 	"time"
 
+	"fingers"
 	"fingers/internal/accel"
 	"fingers/internal/datasets"
 	"fingers/internal/exp"
-	fingerspe "fingers/internal/fingers"
-	"fingers/internal/flexminer"
 	"fingers/internal/graph"
-	"fingers/internal/mem"
 	"fingers/internal/simerr"
 	"fingers/internal/telemetry"
 )
@@ -68,17 +71,30 @@ func realMain() int {
 	memProfile := flag.String("memprofile", "", "write a heap profile here on exit")
 	flag.Parse()
 
+	// One spec per architecture: -arch both expands into the two specs a
+	// daemon client would submit as two jobs.
+	var archNames []string
 	switch *arch {
-	case "fingers", "flexminer", "both":
+	case "fingers", "flexminer":
+		archNames = []string{*arch}
+	case "both":
+		archNames = []string{"fingers", "flexminer"}
 	default:
 		return fail(fmt.Errorf("unknown -arch %q (valid values: fingers, flexminer, both)", *arch))
 	}
-	var pcfg *accel.ParallelConfig
+	base := fingers.JobSpec{
+		Graph:      *graphArg,
+		Pattern:    *patternArg,
+		PEs:        *pes,
+		IUs:        *ius,
+		IsoArea:    isoArea,
+		PseudoDFS:  pseudoDFS,
+		CacheKB:    *cacheKB,
+		SimWorkers: *simWorkers,
+		RunTag:     *runTag,
+	}
 	if *simWorkers > 0 {
-		pcfg = &accel.ParallelConfig{Window: mem.Cycles(*simWindow), Workers: *simWorkers}
-		if err := pcfg.Validate(); err != nil {
-			return fail(err)
-		}
+		base.SimWindow = *simWindow
 	}
 
 	// SIGINT/SIGTERM cancels the in-flight simulation; the partial
@@ -114,11 +130,15 @@ func realMain() int {
 		}()
 	}
 
-	g, err := loadGraph(*graphArg)
+	base.Arch = archNames[0]
+	if err := base.Validate(); err != nil {
+		return fail(err)
+	}
+	g, err := base.ResolveGraph()
 	if err != nil {
 		return fail(err)
 	}
-	plans, err := exp.PlansFor(*patternArg)
+	plans, err := base.Plans()
 	if err != nil {
 		return fail(err)
 	}
@@ -140,82 +160,20 @@ func realMain() int {
 		defer runLog.Close()
 		meta := telemetry.HostMeta()
 		meta.RunTag = *runTag
+		meta.Source = "fingersim"
 		runLog.SetMeta(meta)
 	}
 
 	code := 0
-	cache := *cacheKB << 10
-	if *arch == "fingers" || *arch == "both" {
-		cfg := fingerspe.DefaultConfig()
-		if *isoArea {
-			cfg = cfg.WithIUs(*ius)
-		} else {
-			cfg = cfg.WithIUsUnlimited(*ius)
+	for _, name := range archNames {
+		if code != 0 {
+			break
 		}
-		cfg.PseudoDFS = *pseudoDFS
-		sched := accel.NewRootScheduler(g.NumVertices())
-		chip := fingerspe.NewChipWithScheduler(cfg, *pes, cache, g, plans, sched)
-		if chrome != nil {
-			chrome.StartProcess("FINGERS")
-			chip.SetTracer(chrome)
-		}
-		fn := progressFunc("FINGERS", *progressEvery, sched, chip.Hier, func() (tasks int64) {
-			for _, pe := range chip.PEs {
-				tasks += pe.Tasks()
-			}
-			return tasks
-		})
-		start := time.Now()
-		res, runErr := runChip(ctx, pcfg, *progressEvery, fn, chip.RunCtxWithProgress, chip.RunParallelCtxWithProgress)
-		wall := time.Since(start)
-		code = reportRunErr(code, runErr)
-		iu := chip.AggregateStats()
-		fmt.Printf("FINGERS   %2d PEs × %2d IUs (s_l=%d): %s%s\n", *pes, cfg.NumIUs, cfg.LongSegLen, res, partialMark(runErr))
-		fmt.Printf("          IU active %.1f%%, balance %.1f%%\n", 100*iu.ActiveRate(), 100*iu.BalanceRate())
-		fmt.Printf("          breakdown: %s\n", res.Breakdown)
-		fmt.Printf("          roots dispatched: %d/%d\n", chip.RootsDispatched(), chip.RootsTotal())
-		if runLog != nil {
-			rec := exp.NewRunRecord("fingers", "fingersim", *graphArg, *patternArg, *pes, cfg.NumIUs, cache, g, res, chip.PERecords())
-			rec.Partial = runErr != nil
-			rec.StartedAt = start.UTC().Format(time.RFC3339Nano)
-			rec.WallNS = wall.Nanoseconds()
-			rec.IUActiveRate = iu.ActiveRate()
-			rec.IUBalanceRate = iu.BalanceRate()
-			if err := runLog.Write(rec); err != nil {
-				code = reportRunErr(code, err)
-			}
-		}
+		spec := base
+		spec.Arch = name
+		code = runArch(ctx, spec, g, plans, chrome, runLog, *progressEvery, code)
 	}
-	if (*arch == "flexminer" || *arch == "both") && code == 0 {
-		sched := accel.NewRootScheduler(g.NumVertices())
-		chip := flexminer.NewChipWithScheduler(flexminer.DefaultConfig(), *pes, cache, g, plans, sched)
-		if chrome != nil {
-			chrome.StartProcess("FlexMiner")
-			chip.SetTracer(chrome)
-		}
-		fn := progressFunc("FlexMiner", *progressEvery, sched, chip.Hier, func() (tasks int64) {
-			for _, pe := range chip.PEs {
-				tasks += pe.Tasks()
-			}
-			return tasks
-		})
-		start := time.Now()
-		res, runErr := runChip(ctx, pcfg, *progressEvery, fn, chip.RunCtxWithProgress, chip.RunParallelCtxWithProgress)
-		wall := time.Since(start)
-		code = reportRunErr(code, runErr)
-		fmt.Printf("FlexMiner %2d PEs: %s%s\n", *pes, res, partialMark(runErr))
-		fmt.Printf("          breakdown: %s\n", res.Breakdown)
-		fmt.Printf("          roots dispatched: %d/%d\n", chip.RootsDispatched(), chip.RootsTotal())
-		if runLog != nil {
-			rec := exp.NewRunRecord("flexminer", "fingersim", *graphArg, *patternArg, *pes, 0, cache, g, res, chip.PERecords())
-			rec.Partial = runErr != nil
-			rec.StartedAt = start.UTC().Format(time.RFC3339Nano)
-			rec.WallNS = wall.Nanoseconds()
-			if err := runLog.Write(rec); err != nil {
-				code = reportRunErr(code, err)
-			}
-		}
-	}
+
 	if chrome != nil {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -233,17 +191,75 @@ func realMain() int {
 	return code
 }
 
-// runChip runs one chip on the selected engine — the serial event loop,
-// or with -sim-workers the bounded-lag parallel engine — under the
-// signal-cancelled context. On cancellation or a recovered simulation
-// panic it returns the partial result alongside the *simerr.SimError.
-func runChip(ctx context.Context, pcfg *accel.ParallelConfig, every int64, fn func(accel.Progress),
-	serial func(context.Context, int64, func(accel.Progress)) (accel.Result, error),
-	parallel func(context.Context, accel.ParallelConfig, int64, func(accel.Progress)) (accel.Result, error)) (accel.Result, error) {
-	if pcfg == nil {
-		return serial(ctx, every, fn)
+// runArch simulates one architecture from its spec through the Simulate
+// façade, prints the report, and appends the run record.
+func runArch(ctx context.Context, spec fingers.JobSpec, g *fingers.Graph, plans []*fingers.Plan,
+	chrome *telemetry.Chrome, runLog *telemetry.RunLog, progressEvery int64, code int) int {
+	arch, err := spec.ArchValue()
+	if err != nil {
+		return failCode(code, err)
 	}
-	return parallel(ctx, *pcfg, every, fn)
+	opts, err := spec.ToOptions()
+	if err != nil {
+		return failCode(code, err)
+	}
+	opts = append(opts, fingers.WithContext(ctx), fingers.WithStats())
+	if chrome != nil {
+		chrome.StartProcess(arch.String())
+		opts = append(opts, fingers.WithTracer(chrome))
+	}
+	if progressEvery > 0 {
+		label := arch.String()
+		opts = append(opts, fingers.WithProgress(progressEvery, func(p fingers.SimProgress) {
+			fmt.Fprintf(os.Stderr, "%s: steps=%d t=%dcy active-pes=%d\n", label, p.Steps, p.Now, p.Active)
+		}))
+	}
+
+	start := time.Now()
+	rep, runErr := fingers.Simulate(arch, g, plans, opts...)
+	wall := time.Since(start)
+	code = reportRunErr(code, runErr)
+
+	cfg := spec.AcceleratorConfig()
+	switch arch {
+	case fingers.ArchFingers:
+		fmt.Printf("FINGERS   %2d PEs × %2d IUs (s_l=%d): %s%s\n",
+			specPEs(spec), cfg.NumIUs, cfg.LongSegLen, rep.Result, partialMark(runErr))
+		fmt.Printf("          IU active %.1f%%, balance %.1f%%\n",
+			100*rep.IU.ActiveRate(), 100*rep.IU.BalanceRate())
+	case fingers.ArchFlexMiner:
+		fmt.Printf("FlexMiner %2d PEs: %s%s\n", specPEs(spec), rep.Result, partialMark(runErr))
+	}
+	fmt.Printf("          breakdown: %s\n", rep.Result.Breakdown)
+	fmt.Printf("          roots dispatched: %d/%d\n", rep.RootsDone, rep.RootsTotal)
+
+	if runLog != nil {
+		recIUs := 0
+		if arch == fingers.ArchFingers {
+			recIUs = cfg.NumIUs
+		}
+		rec := exp.NewRunRecord(spec.Arch, "fingersim", spec.Graph, spec.Pattern,
+			specPEs(spec), recIUs, spec.CacheBytes(), g, rep.Result, rep.PerPE)
+		rec.Partial = rep.Partial
+		rec.StartedAt = start.UTC().Format(time.RFC3339Nano)
+		rec.WallNS = wall.Nanoseconds()
+		if arch == fingers.ArchFingers {
+			rec.IUActiveRate = rep.IU.ActiveRate()
+			rec.IUBalanceRate = rep.IU.BalanceRate()
+		}
+		if err := runLog.Write(rec); err != nil {
+			code = reportRunErr(code, err)
+		}
+	}
+	return code
+}
+
+// specPEs is the effective PE count (a zero spec field means 1).
+func specPEs(s fingers.JobSpec) int {
+	if s.PEs == 0 {
+		return 1
+	}
+	return s.PEs
 }
 
 // reportRunErr folds one run error into the exit code: 130 for a
@@ -279,32 +295,6 @@ func failCode(code int, err error) int {
 		return code
 	}
 	return 1
-}
-
-// progressFunc builds the periodic status-line callback: simulated time,
-// PEs still active, roots remaining, and the live shared-cache MPKI
-// (line misses per thousand extension tasks — the per-task analogue of
-// misses per kilo-instruction). Returns nil when progress is disabled.
-func progressFunc(label string, every int64, sched *accel.RootScheduler, hier *mem.Hierarchy, tasksFn func() int64) func(accel.Progress) {
-	if every <= 0 {
-		return nil
-	}
-	return func(p accel.Progress) {
-		cs := hier.Shared.Stats()
-		mpki := 0.0
-		if tasks := tasksFn(); tasks > 0 {
-			mpki = 1000 * float64(cs.LineMisses) / float64(tasks)
-		}
-		fmt.Fprintf(os.Stderr, "%s: steps=%d t=%dcy active-pes=%d roots-remaining=%d shared-MPKI=%.1f\n",
-			label, p.Steps, p.Now, p.Active, sched.Remaining(), mpki)
-	}
-}
-
-func loadGraph(arg string) (*graph.Graph, error) {
-	if d, err := datasets.ByName(arg); err == nil {
-		return d.Graph(), nil
-	}
-	return graph.LoadFile(arg)
 }
 
 // fail reports err and returns exit code 1 (flag/input errors, before

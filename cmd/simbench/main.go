@@ -80,19 +80,24 @@ func measure(f func()) measured {
 func measureCell(g *graph.Graph, plans []*plan.Plan, pes, reps int, pcfg, w1cfg accel.ParallelConfig) (simreport.Cell, error) {
 	var cell simreport.Cell
 	var serial, par accel.Result
-	var err error
 	cell.SerialWallNS = int64(math.MaxInt64)
 	cell.ParallelWallNS = int64(math.MaxInt64)
 	cell.Workers1WallNS = int64(math.MaxInt64)
 	for r := 0; r < reps; r++ {
-		chip := fingerspe.NewChip(fingerspe.DefaultConfig(), pes, 0, g, plans)
+		chip, err := fingerspe.NewChipErr(fingerspe.DefaultConfig(), pes, 0, g, plans)
+		if err != nil {
+			return cell, err
+		}
 		m := measure(func() { serial = chip.Run() })
 		if m.ns < cell.SerialWallNS {
 			cell.SerialWallNS = m.ns
 			cell.SerialAllocs, cell.SerialAllocBytes, cell.SerialGCPauseNS = m.allocs, m.bytes, m.pause
 		}
 
-		chip = fingerspe.NewChip(fingerspe.DefaultConfig(), pes, 0, g, plans)
+		chip, err = fingerspe.NewChipErr(fingerspe.DefaultConfig(), pes, 0, g, plans)
+		if err != nil {
+			return cell, err
+		}
 		m = measure(func() {
 			par, err = chip.RunParallel(pcfg)
 		})
@@ -104,7 +109,10 @@ func measureCell(g *graph.Graph, plans []*plan.Plan, pes, reps int, pcfg, w1cfg 
 			cell.ParAllocs, cell.ParAllocBytes, cell.ParGCPauseNS = m.allocs, m.bytes, m.pause
 		}
 
-		chip = fingerspe.NewChip(fingerspe.DefaultConfig(), pes, 0, g, plans)
+		chip, err = fingerspe.NewChipErr(fingerspe.DefaultConfig(), pes, 0, g, plans)
+		if err != nil {
+			return cell, err
+		}
 		t0 := time.Now()
 		if _, err := chip.RunParallel(w1cfg); err != nil {
 			return cell, err

@@ -33,17 +33,30 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fi := fingers.SimulateFingers(cfg, fiPEs, 0, g, pl)
-		fm := fingers.SimulateFlexMiner(fingers.DefaultBaselineConfig(), 8, 0, g, pl)
-		if fi.Count != fm.Count {
-			log.Fatalf("%s: counts diverge (%d vs %d)", name, fi.Count, fm.Count)
+		plans := []*fingers.Plan{pl}
+		fi, err := fingers.Simulate(fingers.ArchFingers, g, plans,
+			fingers.WithAcceleratorConfig(cfg), fingers.WithPEs(fiPEs))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fm, err := fingers.Simulate(fingers.ArchFlexMiner, g, plans, fingers.WithPEs(8))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if fi.Result.Count != fm.Result.Count {
+			log.Fatalf("%s: counts diverge (%d vs %d)", name, fi.Result.Count, fm.Result.Count)
 		}
 		// Ablate branch-level parallelism: strict DFS, single-task groups.
 		strict := cfg
 		strict.PseudoDFS = false
-		noBranch := fingers.SimulateFingers(strict, fiPEs, 0, g, pl)
+		noBranch, err := fingers.Simulate(fingers.ArchFingers, g, plans,
+			fingers.WithAcceleratorConfig(strict), fingers.WithPEs(fiPEs))
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-5s %14d %14d %9.2fx %13.2fx\n",
-			name, fi.Count, fi.Cycles, fi.Speedup(fm), fi.Speedup(noBranch))
+			name, fi.Result.Count, fi.Result.Cycles,
+			fi.Result.Speedup(fm.Result), fi.Result.Speedup(noBranch.Result))
 	}
 	fmt.Println("\ncliques gain little from set-level parallelism (all candidate sets")
 	fmt.Println("are identical), so the pseudo-DFS gain column explains the speedup.")

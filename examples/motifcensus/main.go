@@ -41,6 +41,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res := fingers.SimulateFingers(fingers.DefaultAcceleratorConfig(), 4, 0, g, mp.Plans...)
-	fmt.Printf("3-motif on a 4-PE FINGERS chip: %s\n", res)
+	rep, err := fingers.Simulate(fingers.ArchFingers, g, mp.Plans, fingers.WithPEs(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3-motif on a 4-PE FINGERS chip: %s\n", rep.Result)
 }

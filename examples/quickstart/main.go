@@ -33,12 +33,19 @@ func main() {
 	fmt.Printf("tailed triangles: %d\n\n", count)
 
 	// The same workload on one FINGERS PE and one FlexMiner PE.
-	fi := fingers.SimulateFingers(fingers.DefaultAcceleratorConfig(), 1, 0, g, pl)
-	fm := fingers.SimulateFlexMiner(fingers.DefaultBaselineConfig(), 1, 0, g, pl)
-	if fi.Count != count || fm.Count != count {
-		log.Fatalf("simulators disagree with software: %d / %d vs %d", fi.Count, fm.Count, count)
+	fi, err := fingers.Simulate(fingers.ArchFingers, g, []*fingers.Plan{pl})
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("FINGERS   1 PE: %s\n", fi)
-	fmt.Printf("FlexMiner 1 PE: %s\n", fm)
-	fmt.Printf("single-PE speedup: %.2fx\n", fi.Speedup(fm))
+	fm, err := fingers.Simulate(fingers.ArchFlexMiner, g, []*fingers.Plan{pl})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if fi.Result.Count != count || fm.Result.Count != count {
+		log.Fatalf("simulators disagree with software: %d / %d vs %d",
+			fi.Result.Count, fm.Result.Count, count)
+	}
+	fmt.Printf("FINGERS   1 PE: %s\n", fi.Result)
+	fmt.Printf("FlexMiner 1 PE: %s\n", fm.Result)
+	fmt.Printf("single-PE speedup: %.2fx\n", fi.Result.Speedup(fm.Result))
 }

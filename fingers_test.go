@@ -28,17 +28,28 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if got := fingers.CountParallel(g, pl, 3); got != want {
 		t.Errorf("parallel count %d != %d", got, want)
 	}
-	fi := fingers.SimulateFingers(fingers.DefaultAcceleratorConfig(), 2, 0, g, pl)
-	fm := fingers.SimulateFlexMiner(fingers.DefaultBaselineConfig(), 2, 0, g, pl)
-	if fi.Count != want || fm.Count != want {
-		t.Errorf("simulated counts %d/%d, want %d", fi.Count, fm.Count, want)
+	plans := []*fingers.Plan{pl}
+	fi, err := fingers.Simulate(fingers.ArchFingers, g, plans, fingers.WithPEs(2))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if fi.Speedup(fm) <= 1 {
-		t.Errorf("FINGERS not faster: %.2f", fi.Speedup(fm))
+	fm, err := fingers.Simulate(fingers.ArchFlexMiner, g, plans, fingers.WithPEs(2))
+	if err != nil {
+		t.Fatal(err)
 	}
-	res, iu := fingers.SimulateFingersWithStats(fingers.DefaultAcceleratorConfig(), 1, 0, g, pl)
-	if res.Count != want || iu.ActiveRate() <= 0 {
-		t.Errorf("stats run: count %d, active %.2f", res.Count, iu.ActiveRate())
+	if fi.Result.Count != want || fm.Result.Count != want {
+		t.Errorf("simulated counts %d/%d, want %d", fi.Result.Count, fm.Result.Count, want)
+	}
+	if fi.Result.Speedup(fm.Result) <= 1 {
+		t.Errorf("FINGERS not faster: %.2f", fi.Result.Speedup(fm.Result))
+	}
+	stats, err := fingers.Simulate(fingers.ArchFingers, g, plans,
+		fingers.WithPEs(1), fingers.WithStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Result.Count != want || stats.IU.ActiveRate() <= 0 {
+		t.Errorf("stats run: count %d, active %.2f", stats.Result.Count, stats.IU.ActiveRate())
 	}
 }
 

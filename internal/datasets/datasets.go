@@ -142,9 +142,30 @@ func Names() []string {
 	return out
 }
 
+// NotFoundError reports an unknown dataset name with enough structure
+// for callers to build rich error surfaces — an HTTP 404 JSON body, a
+// CLI hint — without parsing the message: the rejected name, the
+// sorted valid mnemonics, and the nearest plausible match (empty when
+// nothing is within typo distance).
+type NotFoundError struct {
+	Name       string
+	Known      []string
+	Suggestion string
+}
+
+// Error renders the message ByName has always produced, so callers
+// that do display the string see no change.
+func (e *NotFoundError) Error() string {
+	if e.Suggestion != "" {
+		return fmt.Sprintf("datasets: unknown dataset %q (did you mean %q? known: %v)", e.Name, e.Suggestion, e.Known)
+	}
+	return fmt.Sprintf("datasets: unknown dataset %q (known: %v)", e.Name, e.Known)
+}
+
 // ByName returns the dataset with the given mnemonic. An unknown name
-// is reported with the full list of valid names and, when one is close
-// enough to look like a typo, a nearest-match suggestion.
+// is reported as a *NotFoundError carrying the full list of valid
+// names and, when one is close enough to look like a typo, a
+// nearest-match suggestion.
 func ByName(name string) (*Dataset, error) {
 	for _, d := range registry {
 		if d.Name == name || strings.EqualFold(d.Name, name) || strings.EqualFold(d.FullName, name) {
@@ -153,27 +174,34 @@ func ByName(name string) (*Dataset, error) {
 	}
 	known := Names()
 	sort.Strings(known)
-	if sug := nearest(name); sug != "" {
-		return nil, fmt.Errorf("datasets: unknown dataset %q (did you mean %q? known: %v)", name, sug, known)
-	}
-	return nil, fmt.Errorf("datasets: unknown dataset %q (known: %v)", name, known)
+	return nil, &NotFoundError{Name: name, Known: known, Suggestion: nearest(name)}
 }
 
-// nearest returns the registered mnemonic or full name with the smallest
-// case-insensitive edit distance from name, or "" when nothing is within
-// a plausible typo distance (2 edits, and strictly closer than the
-// name's own length).
+// nearest returns the registered mnemonic or full name closest to name,
+// or "" when nothing is within typo distance.
 func nearest(name string) string {
+	var cands []string
+	for _, d := range registry {
+		cands = append(cands, d.Name, d.FullName)
+	}
+	return Suggest(name, cands)
+}
+
+// Suggest returns the candidate with the smallest case-insensitive edit
+// distance from name, or "" when nothing is within a plausible typo
+// distance (2 edits, and strictly closer than the name's own length).
+// It powers ByName's did-you-mean hint; registries that extend the
+// bundled set use it to build the same NotFoundError shape over their
+// own name list.
+func Suggest(name string, candidates []string) string {
 	lower := strings.ToLower(name)
 	best, bestDist := "", len(lower)
-	for _, d := range registry {
-		for _, cand := range []string{d.Name, d.FullName} {
-			if cand == "" {
-				continue
-			}
-			if dist := editDistance(lower, strings.ToLower(cand)); dist < bestDist {
-				best, bestDist = cand, dist
-			}
+	for _, cand := range candidates {
+		if cand == "" {
+			continue
+		}
+		if dist := editDistance(lower, strings.ToLower(cand)); dist < bestDist {
+			best, bestDist = cand, dist
 		}
 	}
 	if bestDist > 2 {

@@ -1,6 +1,7 @@
 package datasets
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -161,5 +162,32 @@ func TestByNameNoSuggestionWhenFar(t *testing.T) {
 	}
 	if strings.Contains(err.Error(), "did you mean") {
 		t.Errorf("error %q suggests a match for a hopeless name", err)
+	}
+}
+
+func TestByNameStructuredError(t *testing.T) {
+	_, err := ByName("Mj")
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	var nf *NotFoundError
+	if !errors.As(err, &nf) {
+		t.Fatalf("error is %T, want *NotFoundError", err)
+	}
+	if nf.Name != "Mj" || nf.Suggestion != "Mi" {
+		t.Errorf("NotFoundError %+v, want Name=Mj Suggestion=Mi", nf)
+	}
+	if len(nf.Known) != len(Names()) {
+		t.Errorf("Known has %d names, want %d", len(nf.Known), len(Names()))
+	}
+}
+
+func TestSuggestOverCustomCandidates(t *testing.T) {
+	cands := []string{"As", "Mi", "wiki-local"}
+	if got := Suggest("wiki-locl", cands); got != "wiki-local" {
+		t.Errorf("Suggest = %q, want wiki-local", got)
+	}
+	if got := Suggest("completely-different", cands); got != "" {
+		t.Errorf("Suggest for a hopeless name = %q, want empty", got)
 	}
 }

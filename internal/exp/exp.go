@@ -25,7 +25,6 @@ import (
 	"fingers/internal/flexminer"
 	"fingers/internal/graph"
 	"fingers/internal/mem"
-	"fingers/internal/pattern"
 	"fingers/internal/plan"
 	"fingers/internal/telemetry"
 )
@@ -102,48 +101,67 @@ func (o Options) patterns() []string {
 // PlansFor compiles the plan set of one benchmark mnemonic; "3mc" expands
 // to the 3-motif multi-pattern plan.
 func PlansFor(name string) ([]*plan.Plan, error) {
-	if name == "3mc" {
-		mp, err := plan.Motif(3, plan.Options{})
-		if err != nil {
-			return nil, err
-		}
-		return mp.Plans, nil
-	}
-	p, err := pattern.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	return []*plan.Plan{plan.MustCompile(p, plan.Options{})}, nil
+	return plan.ForBenchmark(name)
 }
 
 // RunFingers simulates a FINGERS chip on one benchmark cell.
 func RunFingers(cfg fingers.Config, pes int, cacheBytes int64, g *graph.Graph, plans []*plan.Plan) accel.Result {
-	return fingers.NewChip(cfg, pes, cacheBytes, g, plans).Run()
+	return newFingersChip(cfg, pes, cacheBytes, g, plans).Run()
 }
 
 // RunFlexMiner simulates a FlexMiner chip on one benchmark cell.
 func RunFlexMiner(pes int, cacheBytes int64, g *graph.Graph, plans []*plan.Plan) accel.Result {
-	return flexminer.NewChip(flexminer.DefaultConfig(), pes, cacheBytes, g, plans).Run()
+	return newFlexChip(pes, cacheBytes, g, plans).Run()
+}
+
+// newFingersChip constructs a FINGERS chip through the validating
+// constructor. The experiment tables only run vetted configurations, so
+// a construction failure is a repo defect and panics, matching
+// runChip's contract for unexpected simulation errors.
+func newFingersChip(cfg fingers.Config, pes int, cacheBytes int64, g *graph.Graph, plans []*plan.Plan) *fingers.Chip {
+	chip, err := fingers.NewChipErr(cfg, pes, cacheBytes, g, plans)
+	if err != nil {
+		panic(fmt.Sprintf("exp: chip construction: %v", err))
+	}
+	return chip
+}
+
+// newFlexChip is newFingersChip for the FlexMiner baseline.
+func newFlexChip(pes int, cacheBytes int64, g *graph.Graph, plans []*plan.Plan) *flexminer.Chip {
+	chip, err := flexminer.NewChipErr(flexminer.DefaultConfig(), pes, cacheBytes, g, plans)
+	if err != nil {
+		panic(fmt.Sprintf("exp: chip construction: %v", err))
+	}
+	return chip
 }
 
 // NewRunRecord assembles the machine-readable summary of one simulated
 // run for the JSONL run log. ius is 0 for architectures without IUs.
 func NewRunRecord(arch, experiment, graphName, patternName string, pes, ius int, cacheBytes int64, g *graph.Graph, res accel.Result, perPE []telemetry.PERecord) telemetry.RunRecord {
+	st := graph.ComputeStats(g)
+	gi := telemetry.GraphInfo{
+		Name:      graphName,
+		Vertices:  st.Vertices,
+		Edges:     st.Edges,
+		AvgDegree: st.AvgDegree,
+		MaxDegree: st.MaxDegree,
+	}
+	return NewRunRecordInfo(arch, experiment, gi, patternName, pes, ius, cacheBytes, res, perPE)
+}
+
+// NewRunRecordInfo is NewRunRecord for callers that already hold the
+// graph's summary — the service registry computes each graph's stats
+// once and reuses them for every job — so the CSR is not re-walked per
+// record.
+func NewRunRecordInfo(arch, experiment string, gi telemetry.GraphInfo, patternName string, pes, ius int, cacheBytes int64, res accel.Result, perPE []telemetry.PERecord) telemetry.RunRecord {
 	if cacheBytes == 0 {
 		cacheBytes = mem.DefaultSharedCacheConfig().CapacityBytes
 	}
-	st := graph.ComputeStats(g)
 	return telemetry.RunRecord{
-		Schema:     telemetry.RunSchema,
-		Arch:       arch,
-		Experiment: experiment,
-		Graph: telemetry.GraphInfo{
-			Name:      graphName,
-			Vertices:  st.Vertices,
-			Edges:     st.Edges,
-			AvgDegree: st.AvgDegree,
-			MaxDegree: st.MaxDegree,
-		},
+		Schema:           telemetry.RunSchema,
+		Arch:             arch,
+		Experiment:       experiment,
+		Graph:            gi,
 		Pattern:          patternName,
 		PEs:              pes,
 		IUs:              ius,
@@ -197,7 +215,7 @@ func (o Options) runChip(serial func(context.Context) (accel.Result, error), par
 // simFingers runs one FINGERS cell and, when a run log is attached,
 // appends its telemetry record (with IU rates and per-PE breakdowns).
 func (o Options) simFingers(experiment, graphName, patternName string, cfg fingers.Config, pes int, cacheBytes int64, g *graph.Graph, plans []*plan.Plan) accel.Result {
-	chip := fingers.NewChip(cfg, pes, cacheBytes, g, plans)
+	chip := newFingersChip(cfg, pes, cacheBytes, g, plans)
 	start := time.Now()
 	res, partial := o.runChip(chip.RunCtx, chip.RunParallelCtx)
 	wall := time.Since(start)
@@ -216,7 +234,7 @@ func (o Options) simFingers(experiment, graphName, patternName string, cfg finge
 
 // simFlex runs one FlexMiner cell, logging like simFingers.
 func (o Options) simFlex(experiment, graphName, patternName string, pes int, cacheBytes int64, g *graph.Graph, plans []*plan.Plan) accel.Result {
-	chip := flexminer.NewChip(flexminer.DefaultConfig(), pes, cacheBytes, g, plans)
+	chip := newFlexChip(pes, cacheBytes, g, plans)
 	start := time.Now()
 	res, partial := o.runChip(chip.RunCtx, chip.RunParallelCtx)
 	wall := time.Since(start)

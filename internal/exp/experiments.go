@@ -334,7 +334,7 @@ func Table3(opts Options) *Table3Result {
 		if err != nil {
 			panic(err)
 		}
-		chip := fingers.NewChip(fingers.DefaultConfig(), 1, opts.cacheBytes(), g, plans)
+		chip := newFingersChip(fingers.DefaultConfig(), 1, opts.cacheBytes(), g, plans)
 		runRes, _ := opts.runChip(chip.RunCtx, chip.RunParallelCtx)
 		st := chip.AggregateStats()
 		if opts.Log != nil {

@@ -17,7 +17,7 @@ func BenchmarkSinglePE(b *testing.B) {
 	b.ReportAllocs()
 	var cycles int64
 	for i := 0; i < b.N; i++ {
-		res := NewChip(DefaultConfig(), 1, 0, g, pls).Run()
+		res := mustChip(b, DefaultConfig(), 1, 0, g, pls).Run()
 		cycles = int64(res.Cycles)
 	}
 	b.ReportMetric(float64(cycles), "sim-cycles")
@@ -29,7 +29,7 @@ func BenchmarkChip20PE(b *testing.B) {
 	pls := []*plan.Plan{mustPlan(b, "tc")}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		NewChip(DefaultConfig(), 20, 0, g, pls).Run()
+		mustChip(b, DefaultConfig(), 20, 0, g, pls).Run()
 	}
 }
 
@@ -50,7 +50,7 @@ func BenchmarkSinglePENilTracer(b *testing.B) {
 	pls := []*plan.Plan{mustPlan(b, "tt")}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		chip := NewChip(DefaultConfig(), 1, 0, g, pls)
+		chip := mustChip(b, DefaultConfig(), 1, 0, g, pls)
 		chip.SetTracer(nil)
 		chip.Run()
 	}
@@ -63,7 +63,7 @@ func BenchmarkSinglePECountingTracer(b *testing.B) {
 	pls := []*plan.Plan{mustPlan(b, "tt")}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		chip := NewChip(DefaultConfig(), 1, 0, g, pls)
+		chip := mustChip(b, DefaultConfig(), 1, 0, g, pls)
 		chip.SetTracer(&telemetry.Counting{})
 		chip.Run()
 	}

@@ -33,8 +33,8 @@ func (p *panicTracer) DRAMBurst(start, done mem.Cycles, addr, bytes int64) {}
 func TestChipRunCtxMatchesRun(t *testing.T) {
 	g := gen.PowerLawCluster(200, 4, 0.5, 31)
 	pls := plansFor(t, "tt")
-	want := NewChip(DefaultConfig(), 4, 0, g, pls).Run()
-	got, err := NewChip(DefaultConfig(), 4, 0, g, pls).RunCtx(context.Background())
+	want := mustChip(t, DefaultConfig(), 4, 0, g, pls).Run()
+	got, err := mustChip(t, DefaultConfig(), 4, 0, g, pls).RunCtx(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestChipRunCtxMatchesRun(t *testing.T) {
 func TestChipRunCtxAlreadyCancelled(t *testing.T) {
 	g := gen.PowerLawCluster(200, 4, 0.5, 31)
 	pls := plansFor(t, "tc")
-	chip := NewChip(DefaultConfig(), 2, 0, g, pls)
+	chip := mustChip(t, DefaultConfig(), 2, 0, g, pls)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	res, err := chip.RunCtx(ctx)
@@ -71,7 +71,7 @@ func TestChipRunCtxAlreadyCancelled(t *testing.T) {
 func TestChipRunCtxCancelMidRun(t *testing.T) {
 	g := gen.PowerLawCluster(400, 5, 0.6, 37)
 	pls := plansFor(t, "tt")
-	chip := NewChip(DefaultConfig(), 4, 0, g, pls)
+	chip := mustChip(t, DefaultConfig(), 4, 0, g, pls)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var steps int64
@@ -107,7 +107,7 @@ func TestChipRunCtxCancelMidRun(t *testing.T) {
 func TestChipRunParallelCtxAlreadyCancelled(t *testing.T) {
 	g := gen.PowerLawCluster(200, 4, 0.5, 41)
 	pls := plansFor(t, "tc")
-	chip := NewChip(DefaultConfig(), 4, 0, g, pls)
+	chip := mustChip(t, DefaultConfig(), 4, 0, g, pls)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	pcfg := accel.ParallelConfig{Window: 64, Workers: 2}
@@ -130,7 +130,7 @@ func TestChipRunParallelCtxAlreadyCancelled(t *testing.T) {
 func TestChipRunParallelCtxCancelMidEpoch(t *testing.T) {
 	g := gen.PowerLawCluster(400, 5, 0.6, 43)
 	pls := plansFor(t, "tt")
-	chip := NewChip(DefaultConfig(), 4, 0, g, pls)
+	chip := mustChip(t, DefaultConfig(), 4, 0, g, pls)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	fired := false
@@ -159,7 +159,7 @@ func TestChipRunParallelCtxCancelMidEpoch(t *testing.T) {
 func TestChipPanicSurfacesAsSimErrorSerial(t *testing.T) {
 	g := gen.PowerLawCluster(200, 4, 0.5, 47)
 	pls := plansFor(t, "tc")
-	chip := NewChip(DefaultConfig(), 2, 0, g, pls)
+	chip := mustChip(t, DefaultConfig(), 2, 0, g, pls)
 	tr := &panicTracer{armed: true}
 	chip.SetTracer(tr)
 	_, err := chip.RunCtx(context.Background())
@@ -181,7 +181,7 @@ func TestChipPanicSurfacesAsSimErrorSerial(t *testing.T) {
 func TestChipPanicSurfacesAsSimErrorParallel(t *testing.T) {
 	g := gen.PowerLawCluster(200, 4, 0.5, 53)
 	pls := plansFor(t, "tc")
-	chip := NewChip(DefaultConfig(), 4, 0, g, pls)
+	chip := mustChip(t, DefaultConfig(), 4, 0, g, pls)
 	chip.SetTracer(&panicTracer{armed: true})
 	_, err := chip.RunParallelCtx(context.Background(), accel.ParallelConfig{Window: 64, Workers: 4})
 	if err == nil {

@@ -24,6 +24,27 @@ func plansFor(t *testing.T, names ...string) []*plan.Plan {
 	return out
 }
 
+// mustChip builds a chip through the validating constructor, failing the
+// test on error. Only the panic-contract tests still call the deprecated
+// NewChip directly.
+func mustChip(tb testing.TB, cfg Config, numPEs int, sharedCacheBytes int64, g *graph.Graph, plans []*plan.Plan) *Chip {
+	tb.Helper()
+	chip, err := NewChipErr(cfg, numPEs, sharedCacheBytes, g, plans)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return chip
+}
+
+func mustFlexChip(tb testing.TB, cfg flexminer.Config, numPEs int, sharedCacheBytes int64, g *graph.Graph, plans []*plan.Plan) *flexminer.Chip {
+	tb.Helper()
+	chip, err := flexminer.NewChipErr(cfg, numPEs, sharedCacheBytes, g, plans)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return chip
+}
+
 var simGraphs = []struct {
 	name string
 	g    *graph.Graph
@@ -42,7 +63,7 @@ func TestChipCountsMatchSoftware(t *testing.T) {
 			pls := plansFor(t, name)
 			want := mine.Count(tc.g, pls[0])
 			for _, pes := range []int{1, 4} {
-				chip := NewChip(DefaultConfig(), pes, 0, tc.g, pls)
+				chip := mustChip(t, DefaultConfig(), pes, 0, tc.g, pls)
 				res := chip.Run()
 				if res.Count != want {
 					t.Errorf("%s/%s FINGERS %d PEs: count = %d, want %d",
@@ -61,7 +82,7 @@ func TestFlexMinerCountsMatchSoftware(t *testing.T) {
 		for _, name := range []string{"tc", "tt", "cyc"} {
 			pls := plansFor(t, name)
 			want := mine.Count(tc.g, pls[0])
-			chip := flexminer.NewChip(flexminer.DefaultConfig(), 4, 0, tc.g, pls)
+			chip := mustFlexChip(t, flexminer.DefaultConfig(), 4, 0, tc.g, pls)
 			res := chip.Run()
 			if res.Count != want {
 				t.Errorf("%s/%s FlexMiner: count = %d, want %d", tc.name, name, res.Count, want)
@@ -81,11 +102,11 @@ func TestMultiPatternCounts(t *testing.T) {
 	for _, c := range counts {
 		want += c
 	}
-	chip := NewChip(DefaultConfig(), 2, 0, g, mp.Plans)
+	chip := mustChip(t, DefaultConfig(), 2, 0, g, mp.Plans)
 	if res := chip.Run(); res.Count != want {
 		t.Errorf("3-motif on chip = %d, want %d", res.Count, want)
 	}
-	fchip := flexminer.NewChip(flexminer.DefaultConfig(), 2, 0, g, mp.Plans)
+	fchip := mustFlexChip(t, flexminer.DefaultConfig(), 2, 0, g, mp.Plans)
 	if res := fchip.Run(); res.Count != want {
 		t.Errorf("3-motif on FlexMiner = %d, want %d", res.Count, want)
 	}
@@ -98,8 +119,8 @@ func TestSinglePESpeedup(t *testing.T) {
 	g := gen.PowerLawCluster(500, 8, 0.6, 17)
 	for _, name := range []string{"tc", "4cl", "tt", "cyc", "dia"} {
 		pls := plansFor(t, name)
-		fm := flexminer.NewChip(flexminer.DefaultConfig(), 1, 0, g, pls).Run()
-		fi := NewChip(DefaultConfig(), 1, 0, g, pls).Run()
+		fm := mustFlexChip(t, flexminer.DefaultConfig(), 1, 0, g, pls).Run()
+		fi := mustChip(t, DefaultConfig(), 1, 0, g, pls).Run()
 		if fi.Count != fm.Count {
 			t.Fatalf("%s: counts diverge (%d vs %d)", name, fi.Count, fm.Count)
 		}
@@ -118,8 +139,8 @@ func TestPseudoDFSHelps(t *testing.T) {
 	pls := plansFor(t, "tc")
 	off := DefaultConfig()
 	off.PseudoDFS = false
-	resOff := NewChip(off, 1, 0, g, pls).Run()
-	resOn := NewChip(DefaultConfig(), 1, 0, g, pls).Run()
+	resOff := mustChip(t, off, 1, 0, g, pls).Run()
+	resOn := mustChip(t, DefaultConfig(), 1, 0, g, pls).Run()
 	if resOn.Count != resOff.Count {
 		t.Fatalf("pseudo-DFS changed the answer: %d vs %d", resOn.Count, resOff.Count)
 	}
@@ -131,7 +152,7 @@ func TestPseudoDFSHelps(t *testing.T) {
 func TestGroupSizeAdapts(t *testing.T) {
 	g := gen.PowerLawCluster(300, 5, 0.5, 31)
 	pls := plansFor(t, "tc")
-	chip := NewChip(DefaultConfig(), 1, 0, g, pls)
+	chip := mustChip(t, DefaultConfig(), 1, 0, g, pls)
 	chip.Run()
 	pe := chip.PEs[0]
 	if pe.groupSize() < 1 || pe.groupSize() > pe.cfg.MaxGroupSize {
@@ -140,13 +161,13 @@ func TestGroupSizeAdapts(t *testing.T) {
 	// Fixed group size must be honored.
 	cfg := DefaultConfig()
 	cfg.GroupSize = 3
-	pe2 := NewChip(cfg, 1, 0, g, pls).PEs[0]
+	pe2 := mustChip(t, cfg, 1, 0, g, pls).PEs[0]
 	if pe2.groupSize() != 3 {
 		t.Errorf("fixed group size = %d, want 3", pe2.groupSize())
 	}
 	// Disabled pseudo-DFS forces single-task groups.
 	cfg.PseudoDFS = false
-	pe3 := NewChip(cfg, 1, 0, g, pls).PEs[0]
+	pe3 := mustChip(t, cfg, 1, 0, g, pls).PEs[0]
 	if pe3.groupSize() != 1 {
 		t.Errorf("strict DFS group size = %d, want 1", pe3.groupSize())
 	}
@@ -155,7 +176,7 @@ func TestGroupSizeAdapts(t *testing.T) {
 func TestIUStatsSane(t *testing.T) {
 	g := gen.PowerLawCluster(400, 6, 0.6, 41)
 	pls := plansFor(t, "tt")
-	chip := NewChip(DefaultConfig(), 1, 0, g, pls)
+	chip := mustChip(t, DefaultConfig(), 1, 0, g, pls)
 	chip.Run()
 	st := chip.AggregateStats()
 	active, balance := st.ActiveRate(), st.BalanceRate()
@@ -196,8 +217,8 @@ func TestWithIUsIsoArea(t *testing.T) {
 func TestMorePEsFaster(t *testing.T) {
 	g := gen.PowerLawCluster(600, 6, 0.5, 3)
 	pls := plansFor(t, "tc")
-	one := NewChip(DefaultConfig(), 1, 0, g, pls).Run()
-	eight := NewChip(DefaultConfig(), 8, 0, g, pls).Run()
+	one := mustChip(t, DefaultConfig(), 1, 0, g, pls).Run()
+	eight := mustChip(t, DefaultConfig(), 8, 0, g, pls).Run()
 	if eight.Count != one.Count {
 		t.Fatalf("PE count changed the answer")
 	}
@@ -212,8 +233,8 @@ func TestMorePEsFaster(t *testing.T) {
 func TestMoreIUsFasterWithinPE(t *testing.T) {
 	g := gen.PowerLawCluster(400, 8, 0.5, 11)
 	pls := plansFor(t, "tt")
-	slow := NewChip(DefaultConfig().WithIUsUnlimited(1), 1, 0, g, pls).Run()
-	fast := NewChip(DefaultConfig(), 1, 0, g, pls).Run()
+	slow := mustChip(t, DefaultConfig().WithIUsUnlimited(1), 1, 0, g, pls).Run()
+	fast := mustChip(t, DefaultConfig(), 1, 0, g, pls).Run()
 	if fast.Count != slow.Count {
 		t.Fatalf("IU count changed the answer")
 	}
@@ -225,7 +246,7 @@ func TestMoreIUsFasterWithinPE(t *testing.T) {
 func TestEmptyGraphRuns(t *testing.T) {
 	g := graph.NewBuilder(10).Build()
 	pls := plansFor(t, "tc")
-	res := NewChip(DefaultConfig(), 2, 0, g, pls).Run()
+	res := mustChip(t, DefaultConfig(), 2, 0, g, pls).Run()
 	if res.Count != 0 {
 		t.Errorf("count on edgeless graph = %d", res.Count)
 	}

@@ -19,9 +19,9 @@ func TestParallelWindow1MatchesSerial(t *testing.T) {
 	for _, name := range []string{"tc", "tt", "cyc"} {
 		pls := plansFor(t, name)
 		for _, pes := range []int{1, 4, 7} {
-			serial := NewChip(DefaultConfig(), pes, 0, g, pls).Run()
+			serial := mustChip(t, DefaultConfig(), pes, 0, g, pls).Run()
 			for _, workers := range []int{1, 3, 8} {
-				par, err := NewChip(DefaultConfig(), pes, 0, g, pls).
+				par, err := mustChip(t, DefaultConfig(), pes, 0, g, pls).
 					RunParallel(accel.ParallelConfig{Window: 1, Workers: workers})
 				if err != nil {
 					t.Fatalf("%s pes=%d workers=%d: %v", name, pes, workers, err)
@@ -41,9 +41,9 @@ func TestParallelWindow1MatchesSerial(t *testing.T) {
 func TestParallelCountsBitIdenticalAtAllWindows(t *testing.T) {
 	g := gen.PowerLawCluster(300, 5, 0.6, 77)
 	pls := plansFor(t, "tt")
-	serial := NewChip(DefaultConfig(), 6, 0, g, pls).Run()
+	serial := mustChip(t, DefaultConfig(), 6, 0, g, pls).Run()
 	for _, win := range []mem.Cycles{1, 7, 64, 500, 4096, 1 << 20} {
-		par, err := NewChip(DefaultConfig(), 6, 0, g, pls).
+		par, err := mustChip(t, DefaultConfig(), 6, 0, g, pls).
 			RunParallel(accel.ParallelConfig{Window: win, Workers: 4})
 		if err != nil {
 			t.Fatal(err)
@@ -63,7 +63,7 @@ func TestParallelWorkerCountInvariance(t *testing.T) {
 	for _, win := range []mem.Cycles{16, accel.DefaultWindow} {
 		var want accel.Result
 		for i, workers := range []int{1, 2, 5, 16} {
-			got, err := NewChip(DefaultConfig(), 8, 0, g, pls).
+			got, err := mustChip(t, DefaultConfig(), 8, 0, g, pls).
 				RunParallel(accel.ParallelConfig{Window: win, Workers: workers})
 			if err != nil {
 				t.Fatal(err)
@@ -110,12 +110,12 @@ func TestParallelWindow1TraceMatchesSerial(t *testing.T) {
 	pls := plansFor(t, "tt")
 
 	serialTr := &recordingTracer{}
-	chipS := NewChip(DefaultConfig(), 4, 0, g, pls)
+	chipS := mustChip(t, DefaultConfig(), 4, 0, g, pls)
 	chipS.SetTracer(serialTr)
 	chipS.Run()
 
 	parTr := &recordingTracer{}
-	chipP := NewChip(DefaultConfig(), 4, 0, g, pls)
+	chipP := mustChip(t, DefaultConfig(), 4, 0, g, pls)
 	chipP.SetTracer(parTr)
 	if _, err := chipP.RunParallel(accel.ParallelConfig{Window: 1, Workers: 4}); err != nil {
 		t.Fatal(err)
@@ -137,8 +137,8 @@ func TestParallelWindow1TraceMatchesSerial(t *testing.T) {
 func TestParallelDefaultWindowDivergenceSmall(t *testing.T) {
 	g := gen.PowerLawCluster(400, 6, 0.5, 97)
 	pls := plansFor(t, "tt")
-	serial := NewChip(DefaultConfig(), 8, 0, g, pls).Run()
-	par, err := NewChip(DefaultConfig(), 8, 0, g, pls).RunParallel(accel.DefaultParallelConfig())
+	serial := mustChip(t, DefaultConfig(), 8, 0, g, pls).Run()
+	par, err := mustChip(t, DefaultConfig(), 8, 0, g, pls).RunParallel(accel.DefaultParallelConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +159,7 @@ func TestParallelDefaultWindowDivergenceSmall(t *testing.T) {
 func TestParallelRejectsDegenerateConfigs(t *testing.T) {
 	g := gen.PowerLawCluster(50, 3, 0.4, 5)
 	pls := plansFor(t, "tc")
-	chip := NewChip(DefaultConfig(), 2, 0, g, pls)
+	chip := mustChip(t, DefaultConfig(), 2, 0, g, pls)
 	for _, cfg := range []accel.ParallelConfig{
 		{Window: 0, Workers: 2},
 		{Window: -5, Workers: 2},
@@ -179,7 +179,7 @@ func TestParallelRejectsDegenerateConfigs(t *testing.T) {
 func TestCustomRootOrderOnBothEngines(t *testing.T) {
 	g := gen.PowerLawCluster(250, 4, 0.5, 41)
 	pls := plansFor(t, "tt")
-	base := NewChip(DefaultConfig(), 4, 0, g, pls).Run()
+	base := mustChip(t, DefaultConfig(), 4, 0, g, pls).Run()
 
 	order := make([]uint32, g.NumVertices())
 	for i := range order {

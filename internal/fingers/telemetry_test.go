@@ -13,7 +13,7 @@ import (
 func TestBreakdownSumsToMakespan(t *testing.T) {
 	g := gen.PowerLawCluster(400, 5, 0.6, 11)
 	pls := plansFor(t, "tt")
-	chip := NewChip(DefaultConfig(), 4, 0, g, pls)
+	chip := mustChip(t, DefaultConfig(), 4, 0, g, pls)
 	res := chip.Run()
 	if res.Cycles == 0 {
 		t.Fatal("empty run")
@@ -48,10 +48,10 @@ func TestTracerDoesNotPerturbTiming(t *testing.T) {
 	g := gen.PowerLawCluster(300, 5, 0.6, 17)
 	pls := plansFor(t, "tt")
 
-	plain := NewChip(DefaultConfig(), 3, 0, g, pls).Run()
+	plain := mustChip(t, DefaultConfig(), 3, 0, g, pls).Run()
 
 	var cnt telemetry.Counting
-	chip := NewChip(DefaultConfig(), 3, 0, g, pls)
+	chip := mustChip(t, DefaultConfig(), 3, 0, g, pls)
 	chip.SetTracer(&cnt)
 	traced := chip.Run()
 
@@ -74,14 +74,14 @@ func TestNilTracerRecordsNothing(t *testing.T) {
 	pls := plansFor(t, "tc")
 
 	var cnt telemetry.Counting
-	chip := NewChip(DefaultConfig(), 2, 0, g, pls)
+	chip := mustChip(t, DefaultConfig(), 2, 0, g, pls)
 	chip.SetTracer(&cnt)
 	chip.SetTracer(nil)
 	res := chip.Run()
 	if cnt != (telemetry.Counting{}) {
 		t.Errorf("nil tracer still recorded events: %+v", cnt)
 	}
-	want := NewChip(DefaultConfig(), 2, 0, g, pls).Run()
+	want := mustChip(t, DefaultConfig(), 2, 0, g, pls).Run()
 	if res != want {
 		t.Errorf("nil-tracer run differs from plain run:\n%+v\n%+v", res, want)
 	}
@@ -95,7 +95,7 @@ func TestChromeTraceHasEventsPerPE(t *testing.T) {
 	const numPEs = 3
 	chrome := telemetry.NewChrome()
 	chrome.StartProcess("FINGERS")
-	chip := NewChip(DefaultConfig(), numPEs, 0, g, pls)
+	chip := mustChip(t, DefaultConfig(), numPEs, 0, g, pls)
 	chip.SetTracer(chrome)
 	chip.Run()
 
@@ -117,7 +117,7 @@ func TestMultiTracerFansOut(t *testing.T) {
 	g := gen.PowerLawCluster(200, 4, 0.5, 29)
 	pls := plansFor(t, "tc")
 	var a, b telemetry.Counting
-	chip := NewChip(DefaultConfig(), 2, 0, g, pls)
+	chip := mustChip(t, DefaultConfig(), 2, 0, g, pls)
 	chip.SetTracer(telemetry.Multi{&a, &b})
 	chip.Run()
 	if a == (telemetry.Counting{}) || a != b {

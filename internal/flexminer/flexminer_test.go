@@ -3,6 +3,7 @@ package flexminer
 import (
 	"testing"
 
+	"fingers/internal/graph"
 	"fingers/internal/graph/gen"
 	"fingers/internal/mine"
 	"fingers/internal/pattern"
@@ -18,13 +19,25 @@ func compiled(t *testing.T, name string) []*plan.Plan {
 	return []*plan.Plan{plan.MustCompile(p, plan.Options{})}
 }
 
+// mustChip builds a chip through the validating constructor, failing the
+// test on error. Only the panic-contract test still calls the deprecated
+// NewChip directly.
+func mustChip(tb testing.TB, cfg Config, numPEs int, sharedCacheBytes int64, g *graph.Graph, plans []*plan.Plan) *Chip {
+	tb.Helper()
+	chip, err := NewChipErr(cfg, numPEs, sharedCacheBytes, g, plans)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return chip
+}
+
 func TestChipCountMatchesReference(t *testing.T) {
 	g := gen.PowerLawCluster(350, 5, 0.5, 99)
 	for _, name := range []string{"tc", "4cl", "tt", "cyc", "dia"} {
 		pls := compiled(t, name)
 		want := mine.Count(g, pls[0])
 		for _, pes := range []int{1, 3, 8} {
-			res := NewChip(DefaultConfig(), pes, 0, g, pls).Run()
+			res := mustChip(t, DefaultConfig(), pes, 0, g, pls).Run()
 			if res.Count != want {
 				t.Errorf("%s with %d PEs: count = %d, want %d", name, pes, res.Count, want)
 			}
@@ -35,7 +48,7 @@ func TestChipCountMatchesReference(t *testing.T) {
 func TestTimeAdvancesMonotonically(t *testing.T) {
 	g := gen.ErdosRenyi(100, 400, 7)
 	pls := compiled(t, "tc")
-	res := NewChip(DefaultConfig(), 2, 0, g, pls).Run()
+	res := mustChip(t, DefaultConfig(), 2, 0, g, pls).Run()
 	if res.Cycles <= 0 {
 		t.Errorf("cycles = %d", res.Cycles)
 	}
@@ -53,8 +66,8 @@ func TestRefetchPenalty(t *testing.T) {
 	big := DefaultConfig()
 	small := DefaultConfig()
 	small.PrivateCacheBytes = 16 // essentially no private cache
-	resBig := NewChip(big, 1, 0, g, pls).Run()
-	resSmall := NewChip(small, 1, 0, g, pls).Run()
+	resBig := mustChip(t, big, 1, 0, g, pls).Run()
+	resSmall := mustChip(t, small, 1, 0, g, pls).Run()
 	if resSmall.Count != resBig.Count {
 		t.Fatal("private cache size changed the answer")
 	}
@@ -67,8 +80,8 @@ func TestRefetchPenalty(t *testing.T) {
 func TestMorePEsScale(t *testing.T) {
 	g := gen.PowerLawCluster(500, 5, 0.5, 55)
 	pls := compiled(t, "tc")
-	one := NewChip(DefaultConfig(), 1, 0, g, pls).Run()
-	eight := NewChip(DefaultConfig(), 8, 0, g, pls).Run()
+	one := mustChip(t, DefaultConfig(), 1, 0, g, pls).Run()
+	eight := mustChip(t, DefaultConfig(), 8, 0, g, pls).Run()
 	if eight.Cycles >= one.Cycles {
 		t.Errorf("8 PEs (%d) not faster than 1 (%d)", eight.Cycles, one.Cycles)
 	}
@@ -77,7 +90,7 @@ func TestMorePEsScale(t *testing.T) {
 func TestSharedCacheStatsPopulated(t *testing.T) {
 	g := gen.PowerLawCluster(300, 5, 0.5, 77)
 	pls := compiled(t, "tc")
-	res := NewChip(DefaultConfig(), 2, 0, g, pls).Run()
+	res := mustChip(t, DefaultConfig(), 2, 0, g, pls).Run()
 	if res.SharedCache.LineAccesses == 0 {
 		t.Error("no shared-cache accesses recorded")
 	}

@@ -16,9 +16,9 @@ func TestFlexParallelWindow1MatchesSerial(t *testing.T) {
 	for _, name := range []string{"tc", "tt", "cyc"} {
 		pls := compiled(t, name)
 		for _, pes := range []int{1, 4, 7} {
-			serial := NewChip(DefaultConfig(), pes, 0, g, pls).Run()
+			serial := mustChip(t, DefaultConfig(), pes, 0, g, pls).Run()
 			for _, workers := range []int{1, 3, 8} {
-				par, err := NewChip(DefaultConfig(), pes, 0, g, pls).
+				par, err := mustChip(t, DefaultConfig(), pes, 0, g, pls).
 					RunParallel(accel.ParallelConfig{Window: 1, Workers: workers})
 				if err != nil {
 					t.Fatalf("%s pes=%d workers=%d: %v", name, pes, workers, err)
@@ -37,11 +37,11 @@ func TestFlexParallelWindow1MatchesSerial(t *testing.T) {
 func TestFlexParallelCountsAndWorkerInvariance(t *testing.T) {
 	g := gen.PowerLawCluster(300, 5, 0.6, 77)
 	pls := compiled(t, "tt")
-	serial := NewChip(DefaultConfig(), 6, 0, g, pls).Run()
+	serial := mustChip(t, DefaultConfig(), 6, 0, g, pls).Run()
 	for _, win := range []mem.Cycles{1, 64, accel.DefaultWindow, 1 << 20} {
 		var want accel.Result
 		for i, workers := range []int{1, 4} {
-			par, err := NewChip(DefaultConfig(), 6, 0, g, pls).
+			par, err := mustChip(t, DefaultConfig(), 6, 0, g, pls).
 				RunParallel(accel.ParallelConfig{Window: win, Workers: workers})
 			if err != nil {
 				t.Fatal(err)

@@ -13,7 +13,7 @@ import (
 func TestFlexBreakdownSumsToMakespan(t *testing.T) {
 	g := gen.PowerLawCluster(300, 5, 0.6, 31)
 	pls := compiled(t, "tt")
-	chip := NewChip(DefaultConfig(), 3, 0, g, pls)
+	chip := mustChip(t, DefaultConfig(), 3, 0, g, pls)
 	res := chip.Run()
 	var roll telemetry.Breakdown
 	for _, r := range chip.PERecords() {
@@ -41,9 +41,9 @@ func TestFlexBreakdownSumsToMakespan(t *testing.T) {
 func TestFlexTracerSeesEventsWithoutPerturbing(t *testing.T) {
 	g := gen.PowerLawCluster(300, 5, 0.6, 37)
 	pls := compiled(t, "tc")
-	plain := NewChip(DefaultConfig(), 2, 0, g, pls).Run()
+	plain := mustChip(t, DefaultConfig(), 2, 0, g, pls).Run()
 	var cnt telemetry.Counting
-	chip := NewChip(DefaultConfig(), 2, 0, g, pls)
+	chip := mustChip(t, DefaultConfig(), 2, 0, g, pls)
 	chip.SetTracer(&cnt)
 	traced := chip.Run()
 	if plain != traced {

@@ -4,6 +4,18 @@ import (
 	"testing"
 )
 
+// mustNew builds a pattern through the validating constructor; the
+// panic-contract and New/TryNew equivalence tests are the only remaining
+// callers of the deprecated New.
+func mustNew(t *testing.T, n int, edges [][2]int) Pattern {
+	t.Helper()
+	p, err := TryNew(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 func TestNewAndAccessors(t *testing.T) {
 	p := TailedTriangle()
 	if p.Size() != 4 || p.NumEdges() != 4 {
@@ -43,11 +55,11 @@ func TestIsConnected(t *testing.T) {
 	if !Triangle().IsConnected() {
 		t.Error("triangle not connected")
 	}
-	disconnected := New(4, [][2]int{{0, 1}, {2, 3}})
+	disconnected := mustNew(t, 4, [][2]int{{0, 1}, {2, 3}})
 	if disconnected.IsConnected() {
 		t.Error("disconnected pattern reported connected")
 	}
-	if !New(1, nil).IsConnected() {
+	if !mustNew(t, 1, nil).IsConnected() {
 		t.Error("single vertex should be connected")
 	}
 }
@@ -90,7 +102,7 @@ func TestAutomorphismsPreserveAdjacency(t *testing.T) {
 func TestIsomorphicTo(t *testing.T) {
 	// The same diamond with different labels.
 	d1 := Diamond()
-	d2 := New(4, [][2]int{{1, 0}, {1, 2}, {1, 3}, {0, 3}, {3, 2}})
+	d2 := mustNew(t, 4, [][2]int{{1, 0}, {1, 2}, {1, 3}, {0, 3}, {3, 2}})
 	if !d1.IsomorphicTo(d2) {
 		t.Error("relabeled diamond not isomorphic")
 	}
@@ -103,7 +115,7 @@ func TestIsomorphicTo(t *testing.T) {
 }
 
 func TestCanonicalCode(t *testing.T) {
-	d2 := New(4, [][2]int{{1, 0}, {1, 2}, {1, 3}, {0, 3}, {3, 2}})
+	d2 := mustNew(t, 4, [][2]int{{1, 0}, {1, 2}, {1, 3}, {0, 3}, {3, 2}})
 	if Diamond().CanonicalCode() != d2.CanonicalCode() {
 		t.Error("isomorphic patterns have different canonical codes")
 	}

@@ -1,0 +1,27 @@
+package plan
+
+import "fingers/internal/pattern"
+
+// ForBenchmark compiles the plan set of one benchmark mnemonic: a named
+// pattern (pattern.ByName) compiles to a single plan, and "3mc" expands
+// to the 3-motif multi-pattern plan. This is the one place a workload
+// name turns into plans — the experiment harness, the CLIs, and the
+// service daemon all resolve patterns through it.
+func ForBenchmark(name string) ([]*Plan, error) {
+	if name == "3mc" {
+		mp, err := Motif(3, Options{})
+		if err != nil {
+			return nil, err
+		}
+		return mp.Plans, nil
+	}
+	p, err := pattern.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := Compile(p, Options{})
+	if err != nil {
+		return nil, err
+	}
+	return []*Plan{pl}, nil
+}

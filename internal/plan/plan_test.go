@@ -8,6 +8,15 @@ import (
 	"fingers/internal/pattern"
 )
 
+func mustPattern(t *testing.T, n int, edges [][2]int) pattern.Pattern {
+	t.Helper()
+	p, err := pattern.TryNew(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 func compile(t *testing.T, p pattern.Pattern, opts Options) *Plan {
 	t.Helper()
 	pl, err := Compile(p, opts)
@@ -137,10 +146,10 @@ func TestForcedOrder(t *testing.T) {
 }
 
 func TestCompileRejectsBadPatterns(t *testing.T) {
-	if _, err := Compile(pattern.New(1, nil), Options{}); err == nil {
+	if _, err := Compile(mustPattern(t, 1, nil), Options{}); err == nil {
 		t.Error("single-vertex pattern accepted")
 	}
-	disconnected := pattern.New(4, [][2]int{{0, 1}, {2, 3}})
+	disconnected := mustPattern(t, 4, [][2]int{{0, 1}, {2, 3}})
 	if _, err := Compile(disconnected, Options{}); err == nil {
 		t.Error("disconnected pattern accepted")
 	}
@@ -187,7 +196,7 @@ func TestMustCompilePanics(t *testing.T) {
 			t.Error("MustCompile did not panic on bad pattern")
 		}
 	}()
-	MustCompile(pattern.New(4, [][2]int{{0, 1}, {2, 3}}), Options{})
+	MustCompile(mustPattern(t, 4, [][2]int{{0, 1}, {2, 3}}), Options{})
 }
 
 func TestMotifMulti(t *testing.T) {

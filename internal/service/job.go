@@ -1,0 +1,498 @@
+// Job lifecycle: a bounded admission queue feeding a fixed worker pool.
+// Submit validates the spec and resolves its graph name up front (so a
+// bad request never occupies a queue slot), the workers run jobs through
+// the Simulate façade with per-job cancellation and deadlines, and every
+// finished job — complete or partial — produces one fingers.run/v1
+// record that is stored on the job and appended to the run log.
+
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fingers"
+	"fingers/internal/accel"
+	"fingers/internal/exp"
+	"fingers/internal/telemetry"
+)
+
+// Sentinel admission errors, mapped by the HTTP layer to 503 and 429.
+var (
+	// ErrDraining rejects submissions after Drain has begun.
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+	// ErrQueueFull rejects submissions when the admission queue is at
+	// capacity; the client should back off and retry.
+	ErrQueueFull = errors.New("service: job queue is full")
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	// StateQueued means the job is admitted but no worker has taken it.
+	StateQueued State = "queued"
+	// StateRunning means a worker is simulating the job.
+	StateRunning State = "running"
+	// StateDone means the simulation completed; the record is full.
+	StateDone State = "done"
+	// StateCanceled means the job was canceled (by request or drain);
+	// a job canceled mid-run carries a partial record.
+	StateCanceled State = "canceled"
+	// StateDeadline means the per-job deadline expired mid-run; the job
+	// carries a partial record covering the simulated prefix.
+	StateDeadline State = "deadline_exceeded"
+	// StateFailed means the run errored for a non-cancellation reason
+	// (a load failure, an invalid configuration, a recovered panic).
+	StateFailed State = "failed"
+)
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateCanceled, StateDeadline, StateFailed:
+		return true
+	}
+	return false
+}
+
+// Job is one admitted simulation request. All mutable fields are
+// guarded by mu; Done is closed when the job reaches a terminal state.
+type Job struct {
+	// ID is the manager-assigned identifier ("job-000001", ...).
+	ID string
+	// Spec is the validated request, with the graph name canonicalized
+	// and the timeout defaulted/clamped at admission.
+	Spec fingers.JobSpec
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu          sync.Mutex
+	state       State
+	err         error
+	record      *telemetry.RunRecord
+	gi          telemetry.GraphInfo
+	giOK        bool
+	progress    accel.Progress
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// JobStatus is the JSON view of a job returned by the status endpoints.
+type JobStatus struct {
+	ID    string          `json:"id"`
+	State State           `json:"state"`
+	Spec  fingers.JobSpec `json:"spec"`
+	// Error is the failure or cancellation message of a terminal job.
+	Error string `json:"error,omitempty"`
+	// Live progress of a running job: scheduler steps executed, the
+	// frontmost simulated cycle, and PEs still active.
+	Steps  int64 `json:"steps,omitempty"`
+	Cycles int64 `json:"cycles,omitempty"`
+	Active int   `json:"active_pes,omitempty"`
+	// Record is the run record of a terminal job (Partial set when the
+	// run was cut short); absent while queued or running.
+	Record      *telemetry.RunRecord `json:"record,omitempty"`
+	SubmittedAt string               `json:"submitted_at,omitempty"`
+	StartedAt   string               `json:"started_at,omitempty"`
+	FinishedAt  string               `json:"finished_at,omitempty"`
+}
+
+// Status snapshots the job for serialization.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.ID,
+		State:       j.state,
+		Spec:        j.Spec,
+		Steps:       j.progress.Steps,
+		Cycles:      int64(j.progress.Now),
+		Active:      j.progress.Active,
+		Record:      j.record,
+		SubmittedAt: rfc3339(j.submittedAt),
+		StartedAt:   rfc3339(j.startedAt),
+		FinishedAt:  rfc3339(j.finishedAt),
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// State returns the job's current lifecycle phase.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+func rfc3339(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+// Config shapes a Manager. Zero fields take the documented defaults.
+type Config struct {
+	// Concurrency is the worker-pool width: how many jobs simulate at
+	// once. Default 2.
+	Concurrency int
+	// QueueDepth bounds the admission queue (jobs admitted but not yet
+	// running); a full queue rejects with ErrQueueFull. Default 16.
+	QueueDepth int
+	// DefaultTimeout is applied to jobs that set no deadline of their
+	// own. Zero leaves them unbounded.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps per-job deadlines. Zero means no clamp.
+	MaxTimeout time.Duration
+	// ProgressEvery is the scheduler-step interval between live progress
+	// snapshots. Default 65536 steps.
+	ProgressEvery int64
+	// Meta is the session-wide provenance stamp merged into every record
+	// (Source, GitRev, host shape, default RunTag).
+	Meta telemetry.Meta
+	// Log, when non-nil, receives every terminal record (including
+	// partial records from canceled and expired jobs).
+	Log *telemetry.RunLog
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.ProgressEvery <= 0 {
+		c.ProgressEvery = 65536
+	}
+	return c
+}
+
+// Manager owns the job table, the admission queue, and the worker pool.
+type Manager struct {
+	cfg        Config
+	reg        *Registry
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	queue      chan *Job
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for stable listings
+	seq      int64
+	draining bool
+
+	// simulate is the run entry point, overridable in tests to inject
+	// blocking or failing runs without a real chip. ctx is the per-job
+	// context (canceled by Cancel, Drain, or process teardown); the
+	// default implementation threads it through WithContext.
+	simulate func(ctx context.Context, arch fingers.Arch, g *fingers.Graph, plans []*fingers.Plan, opts ...fingers.SimOption) (fingers.SimReport, error)
+}
+
+// NewManager starts a manager over the registry with cfg.Concurrency
+// workers. Call Drain to stop it.
+func NewManager(reg *Registry, cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		reg:        reg,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		jobs:       map[string]*Job{},
+		simulate: func(ctx context.Context, arch fingers.Arch, g *fingers.Graph, plans []*fingers.Plan, opts ...fingers.SimOption) (fingers.SimReport, error) {
+			return fingers.Simulate(arch, g, plans, append(opts, fingers.WithContext(ctx))...)
+		},
+	}
+	for i := 0; i < cfg.Concurrency; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Registry returns the graph registry the manager serves from.
+func (m *Manager) Registry() *Registry { return m.reg }
+
+// Submit validates and admits one job. The spec's graph name is
+// canonicalized against the registry (unknown names return the
+// *datasets.NotFoundError), the timeout is defaulted and clamped, and
+// the job is placed on the admission queue. ErrDraining and ErrQueueFull
+// report the two admission failures.
+func (m *Manager) Submit(spec fingers.JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	canon, err := m.reg.Resolve(spec.Graph)
+	if err != nil {
+		return nil, err
+	}
+	spec.Graph = canon
+	if spec.TimeoutMS == 0 && m.cfg.DefaultTimeout > 0 {
+		spec.TimeoutMS = m.cfg.DefaultTimeout.Milliseconds()
+	}
+	if m.cfg.MaxTimeout > 0 && spec.Timeout() > m.cfg.MaxTimeout {
+		spec.TimeoutMS = m.cfg.MaxTimeout.Milliseconds()
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, ErrDraining
+	}
+	m.seq++
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j := &Job{
+		ID:          fmt.Sprintf("job-%06d", m.seq),
+		Spec:        spec,
+		ctx:         ctx,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		state:       StateQueued,
+		submittedAt: time.Now(),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		cancel()
+		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, m.cfg.QueueDepth)
+	}
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	return j, nil
+}
+
+// Get returns the job with the given ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List returns every job's status in submission order.
+func (m *Manager) List() []JobStatus {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	return out
+}
+
+// Cancel stops the job: a queued job is finalized without running, a
+// running job stops within one cancellation quantum and flushes its
+// partial record. Canceling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) (*Job, bool) {
+	j, ok := m.Get(id)
+	if !ok {
+		return nil, false
+	}
+	j.cancel()
+	return j, true
+}
+
+// Drain stops admission, lets running and queued jobs proceed for up to
+// grace, then cancels everything still in flight (which makes each job
+// flush its partial record) and waits for the workers to exit. It is
+// idempotent; the first call wins.
+func (m *Manager) Drain(grace time.Duration) {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.draining = true
+	close(m.queue)
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	if grace > 0 {
+		select {
+		case <-done:
+			m.baseCancel()
+			return
+		case <-time.After(grace):
+		}
+	}
+	m.baseCancel()
+	<-done
+}
+
+// Draining reports whether Drain has begun.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// worker consumes the admission queue until Drain closes it.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.run(j)
+	}
+}
+
+// run executes one dequeued job under its per-job context (canceled by
+// Cancel, Drain, or its own deadline via WithTimeout inside Simulate).
+func (m *Manager) run(j *Job) {
+	defer j.cancel()
+	if j.ctx.Err() != nil {
+		// Canceled while queued: finalize without running.
+		m.finish(j, fingers.SimReport{}, context.Cause(j.ctx))
+		return
+	}
+
+	j.mu.Lock()
+	j.state = StateRunning
+	j.startedAt = time.Now()
+	j.mu.Unlock()
+
+	entry, err := m.reg.Get(j.Spec.Graph)
+	if err != nil {
+		m.finish(j, fingers.SimReport{}, err)
+		return
+	}
+	j.mu.Lock()
+	j.gi, j.giOK = entry.Info, true
+	j.mu.Unlock()
+
+	arch, err := j.Spec.ArchValue()
+	if err != nil {
+		m.finish(j, fingers.SimReport{}, err)
+		return
+	}
+	plans, err := j.Spec.Plans()
+	if err != nil {
+		m.finish(j, fingers.SimReport{}, err)
+		return
+	}
+	opts, err := j.Spec.ToOptions()
+	if err != nil {
+		m.finish(j, fingers.SimReport{}, err)
+		return
+	}
+	opts = append(opts,
+		fingers.WithProgress(m.cfg.ProgressEvery, func(p fingers.SimProgress) {
+			j.mu.Lock()
+			j.progress = p
+			j.mu.Unlock()
+		}),
+	)
+	rep, err := m.simulate(j.ctx, arch, entry.Graph, plans, opts...)
+	m.finish(j, rep, err)
+}
+
+// finish classifies the run outcome, builds the job's record, appends it
+// to the run log, and closes Done.
+func (m *Manager) finish(j *Job, rep fingers.SimReport, runErr error) {
+	state := StateDone
+	switch {
+	case runErr == nil:
+		state = StateDone
+	case errors.Is(runErr, context.DeadlineExceeded):
+		state = StateDeadline
+	case errors.Is(runErr, context.Canceled):
+		state = StateCanceled
+	default:
+		state = StateFailed
+	}
+
+	j.mu.Lock()
+	j.state = state
+	j.err = runErr
+	j.finishedAt = time.Now()
+	var rec *telemetry.RunRecord
+	// A failed run with no simulated prefix (load error, bad config)
+	// gets no record; everything else — done, canceled, expired — does.
+	if runErr == nil || rep.Partial {
+		r := m.buildRecord(j, rep)
+		rec = &r
+		j.record = rec
+	}
+	j.mu.Unlock()
+	close(j.done)
+
+	if rec != nil && m.cfg.Log != nil {
+		_ = m.cfg.Log.Write(*rec)
+	}
+}
+
+// buildRecord assembles the job's fingers.run/v1 record. Callers hold
+// j.mu.
+func (m *Manager) buildRecord(j *Job, rep fingers.SimReport) telemetry.RunRecord {
+	spec := j.Spec
+	pes := spec.PEs
+	if pes == 0 {
+		pes = 1
+	}
+	arch, _ := spec.ArchValue()
+	rec := exp.NewRunRecordInfo(arch.String(), "service", j.gi, spec.Pattern,
+		pes, spec.AcceleratorConfig().NumIUs, spec.CacheBytes(), rep.Result, nil)
+	rec.Partial = rep.Partial
+	if rep.IU.TotalCycles > 0 {
+		rec.IUActiveRate = rep.IU.ActiveRate()
+		rec.IUBalanceRate = rep.IU.BalanceRate()
+	}
+	rec.Meta = telemetry.Meta{
+		StartedAt: rfc3339(j.startedAt),
+		WallNS:    j.finishedAt.Sub(j.startedAt).Nanoseconds(),
+		RunTag:    spec.RunTag,
+		JobID:     j.ID,
+	}
+	m.cfg.Meta.Fill(&rec.Meta)
+	return rec
+}
+
+// PartialRecord builds a live fingers.run/v1 snapshot of a running job
+// for the streaming endpoint: Partial is set, Cycles is the frontmost
+// simulated clock, and the counts cover nothing yet (they are only
+// known at completion). The lenient readers ingest these unchanged and
+// the trend tooling excludes partial records from regression math.
+func (m *Manager) PartialRecord(j *Job) telemetry.RunRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	spec := j.Spec
+	pes := spec.PEs
+	if pes == 0 {
+		pes = 1
+	}
+	arch, _ := spec.ArchValue()
+	res := accel.Result{Cycles: j.progress.Now}
+	rec := exp.NewRunRecordInfo(arch.String(), "service", j.gi, spec.Pattern,
+		pes, spec.AcceleratorConfig().NumIUs, spec.CacheBytes(), res, nil)
+	rec.Partial = true
+	rec.Meta = telemetry.Meta{
+		StartedAt: rfc3339(j.startedAt),
+		RunTag:    spec.RunTag,
+		JobID:     j.ID,
+	}
+	m.cfg.Meta.Fill(&rec.Meta)
+	return rec
+}

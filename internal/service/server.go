@@ -1,0 +1,209 @@
+// The HTTP+JSON surface of the daemon. Routes (Go 1.22 method
+// patterns):
+//
+//	GET    /healthz              liveness and drain state
+//	GET    /v1/graphs            registry listing (never forces a load)
+//	POST   /v1/jobs              submit a fingers.JobSpec, 202 + status
+//	GET    /v1/jobs              all jobs, submission order
+//	GET    /v1/jobs/{id}         one job's status (record when terminal)
+//	DELETE /v1/jobs/{id}         cancel (idempotent)
+//	GET    /v1/jobs/{id}/stream  fingers.run/v1 JSONL: periodic partial
+//	                             records while running, the final record
+//	                             on completion
+//
+// Errors are JSON bodies {"error": ...}; an unknown graph name carries
+// the valid names and did-you-mean hint from *datasets.NotFoundError.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	"fingers"
+	"fingers/internal/datasets"
+	"fingers/internal/telemetry"
+)
+
+// maxSpecBytes bounds a POST /v1/jobs body; a JobSpec is tiny.
+const maxSpecBytes = 1 << 20
+
+// Server exposes a Manager over HTTP.
+type Server struct {
+	m *Manager
+	// streamInterval is the cadence of partial records on the stream
+	// endpoint; default 500 ms.
+	streamInterval time.Duration
+}
+
+// NewServer wraps the manager. streamInterval <= 0 takes the 500 ms
+// default.
+func NewServer(m *Manager, streamInterval time.Duration) *Server {
+	if streamInterval <= 0 {
+		streamInterval = 500 * time.Millisecond
+	}
+	return &Server{m: m, streamInterval: streamInterval}
+}
+
+// Handler returns the daemon's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	return mux
+}
+
+// errorBody is the JSON error envelope. Known and Suggestion are filled
+// for unknown-graph 404s from the structured datasets error.
+type errorBody struct {
+	Error      string   `json:"error"`
+	Known      []string `json:"known,omitempty"`
+	Suggestion string   `json:"suggestion,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	body := errorBody{Error: err.Error()}
+	var nf *datasets.NotFoundError
+	if errors.As(err, &nf) {
+		body.Known = nf.Known
+		body.Suggestion = nf.Suggestion
+	}
+	writeJSON(w, code, body)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.m.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   status,
+		"draining": s.m.Draining(),
+	})
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": s.m.Registry().List()})
+}
+
+// handleSubmit admits one job: 202 with the queued status on success;
+// 400 for a malformed body or invalid spec, 404 for an unknown graph,
+// 429 when the queue is full, 503 while draining.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := fingers.DecodeJobSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.m.Submit(spec)
+	if err != nil {
+		var nf *datasets.NotFoundError
+		switch {
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.As(err, &nf):
+			writeError(w, http.StatusNotFound, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.m.List()})
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.m.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("service: unknown job "+id))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	s.m.Cancel(j.ID)
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// handleStream serves the job as a fingers.run/v1 JSONL stream
+// (application/x-ndjson, chunked): one partial record per interval
+// while the job is queued or running, then the terminal record. The
+// stream ends when the job finishes or the client disconnects; a
+// disconnect does not disturb the job. fingerstat's lenient reader
+// ingests the stream file with zero skips.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	tick := time.NewTicker(s.streamInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-j.Done():
+			// The terminal record (absent only when the job failed
+			// before simulating; then the stream ends with the last
+			// partial snapshot).
+			if st := j.Status(); st.Record != nil {
+				_ = telemetry.WriteRecord(w, *st.Record)
+			}
+			flush()
+			return
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+			if j.State() == StateRunning {
+				_ = telemetry.WriteRecord(w, s.m.PartialRecord(j))
+				flush()
+			}
+		}
+	}
+}

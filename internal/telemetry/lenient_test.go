@@ -181,3 +181,34 @@ func FuzzReadRecordsLenient(f *testing.F) {
 		_ = recs
 	})
 }
+
+// TestMetaSourceAndJobID checks the service-provenance fields fill from
+// the session stamp like every other meta field and that per-record
+// values win.
+func TestMetaSourceAndJobID(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewRunLog(&buf)
+	log.SetMeta(Meta{Source: "fingersd", RunTag: "svc"})
+
+	rec := fixedRecords()[0]
+	rec.JobID = "job-000042"
+	if err := log.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	other := fixedRecords()[1]
+	other.Source = "fingersim" // per-record source wins over the stamp
+	if err := log.Write(other); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Source != "fingersd" || recs[0].JobID != "job-000042" {
+		t.Errorf("record 0 meta %+v, want stamped source and its own job id", recs[0].Meta)
+	}
+	if recs[1].Source != "fingersim" || recs[1].JobID != "" {
+		t.Errorf("record 1 meta %+v, want its own source and no job id", recs[1].Meta)
+	}
+}

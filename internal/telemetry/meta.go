@@ -34,6 +34,14 @@ type Meta struct {
 	// RunTag groups records from one logical session (a sweep, a CI
 	// run) into a batch the trend viewer can slice on.
 	RunTag string `json:"run_tag,omitempty"`
+	// Source names the producing program ("fingersim", "fingersd",
+	// ...), distinguishing daemon-served runs from batch CLI runs in a
+	// mixed log directory.
+	Source string `json:"source,omitempty"`
+	// JobID is the service job identifier of a daemon-served run, tying
+	// every streamed and logged record back to its POST /v1/jobs
+	// lifecycle. Empty for batch CLI runs.
+	JobID string `json:"job_id,omitempty"`
 }
 
 // HostMeta captures the producing host's provenance: start time (now,
@@ -70,6 +78,12 @@ func (m Meta) Fill(dst *Meta) {
 	}
 	if dst.RunTag == "" {
 		dst.RunTag = m.RunTag
+	}
+	if dst.Source == "" {
+		dst.Source = m.Source
+	}
+	if dst.JobID == "" {
+		dst.JobID = m.JobID
 	}
 }
 

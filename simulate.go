@@ -38,16 +38,18 @@ func (a Arch) String() string {
 
 // simConfig collects the functional options of one Simulate call.
 type simConfig struct {
-	pes        int
-	cacheBytes int64
-	tracer     Tracer
-	stats      bool
-	fiCfg      AcceleratorConfig
-	fmCfg      BaselineConfig
-	par        *ParallelConfig
-	ctx        context.Context
-	timeout    time.Duration
-	deadline   time.Time
+	pes           int
+	cacheBytes    int64
+	tracer        Tracer
+	stats         bool
+	fiCfg         AcceleratorConfig
+	fmCfg         BaselineConfig
+	par           *ParallelConfig
+	ctx           context.Context
+	timeout       time.Duration
+	deadline      time.Time
+	progressEvery int64
+	progressFn    func(SimProgress)
 }
 
 // SimOption configures a Simulate call; the constructors below are the
@@ -107,6 +109,23 @@ func WithDeadline(d time.Time) SimOption {
 	return func(c *simConfig) { c.deadline = d }
 }
 
+// SimProgress is a live snapshot of a running simulation handed to the
+// WithProgress callback: scheduling steps executed, the frontmost
+// simulated clock, and the number of PEs still active.
+type SimProgress = accel.Progress
+
+// WithProgress invokes fn from the simulation loop every `every`
+// scheduler steps (serial engine) or epoch barriers (parallel engine),
+// for live status lines and streaming observers. The callback runs on
+// the simulation goroutine: keep it cheap and do not retain the
+// snapshot. every <= 0 or a nil fn disables reporting.
+func WithProgress(every int64, fn func(SimProgress)) SimOption {
+	return func(c *simConfig) {
+		c.progressEvery = every
+		c.progressFn = fn
+	}
+}
+
 // WithTimeout bounds the run to the given wall-clock duration, as
 // WithContext with a timeout context (the two compose: whichever fires
 // first stops the run). A zero duration means no timeout; a negative
@@ -147,8 +166,8 @@ type SimReport struct {
 // accelerator models.
 type simChip interface {
 	SetTracer(telemetry.Tracer)
-	RunCtx(context.Context) (accel.Result, error)
-	RunParallelCtx(context.Context, accel.ParallelConfig) (accel.Result, error)
+	RunCtxWithProgress(context.Context, int64, func(accel.Progress)) (accel.Result, error)
+	RunParallelCtxWithProgress(context.Context, accel.ParallelConfig, int64, func(accel.Progress)) (accel.Result, error)
 	PERecords() []telemetry.PERecord
 	RootsTotal() int
 	RootsDispatched() int
@@ -240,11 +259,15 @@ func Simulate(arch Arch, g *Graph, plans []*Plan, opts ...SimOption) (rep SimRep
 	}
 	chip.SetTracer(cfg.tracer)
 
+	every, fn := cfg.progressEvery, cfg.progressFn
+	if every <= 0 || fn == nil {
+		every, fn = 0, nil
+	}
 	var runErr error
 	if cfg.par != nil {
-		rep.Result, runErr = chip.RunParallelCtx(ctx, *cfg.par)
+		rep.Result, runErr = chip.RunParallelCtxWithProgress(ctx, *cfg.par, every, fn)
 	} else {
-		rep.Result, runErr = chip.RunCtx(ctx)
+		rep.Result, runErr = chip.RunCtxWithProgress(ctx, every, fn)
 	}
 	rep.RootsTotal = chip.RootsTotal()
 	rep.RootsDone = chip.RootsDispatched()
