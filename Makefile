@@ -29,7 +29,7 @@ bench:
 		./internal/mine/ | tee BENCH_softmine.txt
 	$(GO) test -run '^$$' -bench BenchmarkSoftMine -benchmem -count 1 -json \
 		./internal/mine/ > BENCH_softmine.json
-	$(GO) run ./cmd/simbench -o BENCH_sim.json
+	$(GO) run ./cmd/simbench -shards 4 -o BENCH_sim.json
 
 # profile captures CPU and heap profiles of one quick-grid cell
 # (As/tt on an 8-PE FINGERS chip — long enough to dominate startup,

@@ -18,6 +18,7 @@
 //	-workers N      worker pool width for independent cells (0 = all cores)
 //	-sim-workers N  run each chip on the parallel engine with N host threads
 //	-sim-window Δ   parallel engine epoch width in simulated cycles
+//	-sim-shards N   partition roots across N independent engine instances
 //	-cpuprofile F   write a CPU profile to F
 //	-memprofile F   write a heap profile to F on exit
 //
@@ -63,6 +64,7 @@ func realMain() int {
 	runTag := flag.String("run-tag", "", "tag stamped into -json records so trend tooling can group this sweep")
 	simWorkers := flag.Int("sim-workers", 0, "run each simulated chip on the parallel engine with this many host threads (0 = serial event loop)")
 	simWindow := flag.Int64("sim-window", int64(accel.DefaultWindow), "parallel engine epoch window Δ in simulated cycles")
+	simShards := flag.Int("sim-shards", 0, "partition roots across this many independent engine instances (0/1 = unsharded)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile here")
 	memProfile := flag.String("memprofile", "", "write a heap profile here on exit")
 	flag.Parse()
@@ -76,6 +78,9 @@ func realMain() int {
 	spec := fingers.JobSpec{CacheKB: *cacheKB, SimWorkers: *simWorkers}
 	if *simWorkers > 0 {
 		spec.SimWindow = *simWindow
+	}
+	if *simShards > 1 {
+		spec.SimShards = *simShards
 	}
 	pcfg, err := spec.ParallelSim()
 	if err != nil {

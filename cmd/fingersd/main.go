@@ -49,6 +49,7 @@ func realMain() int {
 	queueDepth := flag.Int("queue", 16, "admission queue depth (full queue returns 429)")
 	defaultTimeout := flag.Duration("default-timeout", 0, "deadline applied to jobs that set none (0 = unbounded)")
 	maxTimeout := flag.Duration("max-timeout", 0, "clamp on per-job deadlines (0 = no clamp)")
+	maxShards := flag.Int("max-shards", 0, "clamp on per-job sim_shards requests (0 = no clamp)")
 	jsonOut := flag.String("json", "", "append one JSONL run record per finished job here")
 	runTag := flag.String("run-tag", "", "default run tag stamped into records (a job's own tag wins)")
 	preload := flag.String("preload", "", "comma-separated graphs to load at startup (\"all\" = every registered graph)")
@@ -92,6 +93,7 @@ func realMain() int {
 		QueueDepth:     *queueDepth,
 		DefaultTimeout: *defaultTimeout,
 		MaxTimeout:     *maxTimeout,
+		MaxShards:      *maxShards,
 		ProgressEvery:  *progressEvery,
 		Meta:           meta,
 		Log:            runLog,

@@ -67,6 +67,7 @@ func realMain() int {
 	progressEvery := flag.Int64("progress", 0, "print a progress line to stderr every N scheduler steps (0 = off)")
 	simWorkers := flag.Int("sim-workers", 0, "run the chip on the parallel engine with this many host threads (0 = serial event loop)")
 	simWindow := flag.Int64("sim-window", int64(accel.DefaultWindow), "parallel engine epoch window Δ in simulated cycles (results depend only on this; 1 = cycle-exact)")
+	simShards := flag.Int("sim-shards", 0, "partition roots across this many independent engine instances on separate OS threads (0/1 = unsharded; clamped to -pes)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile here")
 	memProfile := flag.String("memprofile", "", "write a heap profile here on exit")
 	flag.Parse()
@@ -95,6 +96,9 @@ func realMain() int {
 	}
 	if *simWorkers > 0 {
 		base.SimWindow = *simWindow
+	}
+	if *simShards > 1 {
+		base.SimShards = *simShards
 	}
 
 	// SIGINT/SIGTERM cancels the in-flight simulation; the partial
@@ -243,6 +247,9 @@ func runArch(ctx context.Context, spec fingers.JobSpec, g *fingers.Graph, plans 
 		rec.Partial = rep.Partial
 		rec.StartedAt = start.UTC().Format(time.RFC3339Nano)
 		rec.WallNS = wall.Nanoseconds()
+		if spec.SimShards > 1 {
+			rec.SimShards = rep.Shards
+		}
 		if arch == fingers.ArchFingers {
 			rec.IUActiveRate = rep.IU.ActiveRate()
 			rec.IUBalanceRate = rep.IU.BalanceRate()

@@ -137,14 +137,42 @@ func TestExpectedRegressions(t *testing.T) {
 	}
 }
 
+// TestShardColumnsFromMixedCorpus pins the v3 ingest path through the
+// committed corpus: the wv/triangle series mixes v1, v2, and v3
+// reports, and only its newest (v3) point carries the shard columns.
+func TestShardColumnsFromMixedCorpus(t *testing.T) {
+	m := buildModel(t)
+	for _, b := range m.Bench {
+		if b.Graph != "wv" {
+			continue
+		}
+		n := len(b.Points)
+		if n < 2 {
+			t.Fatalf("wv series has %d points", n)
+		}
+		last := b.Points[n-1]
+		if last.Shards != 4 || last.ShardSpeedup != 2.946 {
+			t.Errorf("v3 point shard columns: shards=%d speedup=%v, want 4/2.946", last.Shards, last.ShardSpeedup)
+		}
+		for _, p := range b.Points[:n-1] {
+			if p.Shards != 0 || p.ShardSpeedup != 0 {
+				t.Errorf("pre-v3 point %s carries shard columns: %+v", p.File, p)
+			}
+		}
+		return
+	}
+	t.Fatal("wv series missing from corpus")
+}
+
 // TestCorpusAccounting pins what the scanner ingested and skipped: two
-// run logs, three bench reports, one foreign JSON file, one foreign
-// JSONL line, and one truncated JSONL tail.
+// run logs, four bench reports (one each of schema v1/v3, two v2), one
+// foreign JSON file, one foreign JSONL line, and one truncated JSONL
+// tail.
 func TestCorpusAccounting(t *testing.T) {
 	m := buildModel(t)
 	c := m.Corpus
-	if c.RunFiles != 2 || c.BenchFiles != 3 {
-		t.Errorf("files = %d run / %d bench, want 2 / 3", c.RunFiles, c.BenchFiles)
+	if c.RunFiles != 2 || c.BenchFiles != 4 {
+		t.Errorf("files = %d run / %d bench, want 2 / 4", c.RunFiles, c.BenchFiles)
 	}
 	if c.Records != 11 {
 		t.Errorf("records = %d, want 11", c.Records)

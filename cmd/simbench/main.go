@@ -38,6 +38,7 @@ import (
 	"sort"
 	"time"
 
+	"fingers"
 	"fingers/internal/accel"
 	"fingers/internal/datasets"
 	"fingers/internal/exp"
@@ -76,13 +77,16 @@ func measure(f func()) measured {
 }
 
 // measureCell runs one (graph, pattern) cell once: reps timed
-// repetitions per engine, keeping the best time of each.
-func measureCell(g *graph.Graph, plans []*plan.Plan, pes, reps int, pcfg, w1cfg accel.ParallelConfig) (simreport.Cell, error) {
+// repetitions per engine, keeping the best time of each. shards > 1
+// additionally measures the sharded mode (shards independent chips on
+// separate OS threads, serial event loop inside each).
+func measureCell(g *graph.Graph, plans []*plan.Plan, pes, reps, shards int, pcfg, w1cfg accel.ParallelConfig) (simreport.Cell, error) {
 	var cell simreport.Cell
 	var serial, par accel.Result
 	cell.SerialWallNS = int64(math.MaxInt64)
 	cell.ParallelWallNS = int64(math.MaxInt64)
 	cell.Workers1WallNS = int64(math.MaxInt64)
+	cell.ShardedWallNS = int64(math.MaxInt64)
 	for r := 0; r < reps; r++ {
 		chip, err := fingerspe.NewChipErr(fingerspe.DefaultConfig(), pes, 0, g, plans)
 		if err != nil {
@@ -121,6 +125,31 @@ func measureCell(g *graph.Graph, plans []*plan.Plan, pes, reps int, pcfg, w1cfg 
 			cell.Workers1WallNS = ns
 		}
 	}
+	if shards > 1 {
+		for r := 0; r < reps; r++ {
+			var rep fingers.SimReport
+			var err error
+			m := measure(func() {
+				rep, err = fingers.Simulate(fingers.ArchFingers, g, plans,
+					fingers.WithPEs(pes), fingers.WithShards(shards))
+			})
+			if err != nil {
+				return cell, err
+			}
+			if m.ns < cell.ShardedWallNS {
+				cell.ShardedWallNS = m.ns
+				cell.ShardWallsNS = rep.ShardWallNS
+				cell.ShardedAllocs = m.allocs
+			}
+			cell.ShardedCountsOK = rep.Result.Count == serial.Count && rep.Result.Tasks == serial.Tasks
+			if !cell.ShardedCountsOK {
+				return cell, fmt.Errorf("sharded counts diverge from serial (%d != %d)",
+					rep.Result.Count, serial.Count)
+			}
+		}
+	} else {
+		cell.ShardedWallNS = 0
+	}
 	cell.SimCycles = serial.Cycles
 	cell.ParallelCycles = par.Cycles
 	cell.CountsIdentical = serial.Count == par.Count && serial.Tasks == par.Tasks
@@ -148,6 +177,12 @@ func medianCell(samples []simreport.Cell) simreport.Cell {
 	cell.ParallelWallNS = p.ParallelWallNS
 	cell.ParAllocs, cell.ParAllocBytes, cell.ParGCPauseNS = p.ParAllocs, p.ParAllocBytes, p.ParGCPauseNS
 	cell.Workers1WallNS = pick(func(c simreport.Cell) int64 { return c.Workers1WallNS }).Workers1WallNS
+	if cell.ShardedWallNS > 0 {
+		sh := pick(func(c simreport.Cell) int64 { return c.ShardedWallNS })
+		cell.ShardedWallNS = sh.ShardedWallNS
+		cell.ShardWallsNS = sh.ShardWallsNS
+		cell.ShardedAllocs = sh.ShardedAllocs
+	}
 	return cell
 }
 
@@ -158,12 +193,17 @@ func finishCell(cell *simreport.Cell) {
 	cell.Workers1Factor = float64(cell.SerialWallNS) / float64(cell.Workers1WallNS)
 	cell.SerialCyclesSec = float64(cell.SimCycles) / (float64(cell.SerialWallNS) / 1e9)
 	cell.ParCyclesSec = float64(cell.ParallelCycles) / (float64(cell.ParallelWallNS) / 1e9)
+	if cell.ShardedWallNS > 0 {
+		cell.ShardedSpeedup = float64(cell.SerialWallNS) / float64(cell.ShardedWallNS)
+	}
 }
 
 func main() {
 	pes := flag.Int("pes", 8, "simulated chip PE count")
 	workers := flag.Int("sim-workers", runtime.GOMAXPROCS(0), "parallel engine host threads")
 	window := flag.Int64("sim-window", int64(accel.DefaultWindow), "parallel engine epoch window Δ (simulated cycles)")
+	shards := flag.Int("shards", 0, "also measure the sharded mode with this many independent engine instances (0 = off; clamped to -pes)")
+	minShardSpeed := flag.Float64("min-shard-speedup", 0, "fail when the sharded speedup geomean is at or below this (0 = no gate); the CI multi-core scaling guard")
 	reps := flag.Int("reps", 3, "timed repetitions per measurement (best-of)")
 	runs := flag.Int("runs", 1, "independent measurements per cell; the report carries their median")
 	runTag := flag.String("run-tag", "", "batch label recorded in the report header (groups runs in the trend viewer)")
@@ -182,6 +222,14 @@ func main() {
 	w1cfg := pcfg
 	w1cfg.Workers = 1
 
+	effShards := *shards
+	if effShards > *pes {
+		effShards = *pes // mirrors the façade's own clamp
+	}
+	if effShards == 1 {
+		effShards = 0
+	}
+
 	meta := telemetry.HostMeta()
 	meta.RunTag = *runTag
 	started := time.Now()
@@ -192,11 +240,19 @@ func main() {
 		Workers: *workers,
 		Window:  pcfg.Window,
 		Runs:    *runs,
+		Shards:  effShards,
 		Note: "wall-clock speedup requires free host cores (workers > 1 on a multi-core host); " +
 			"simulated results are deterministic in the window on any host",
 	}
+	if meta.HostCores == 1 || meta.GoMaxProcs == 1 {
+		rep.Warning = fmt.Sprintf(
+			"single-core measurement (host_cores=%d, gomaxprocs=%d): every wall-clock speedup below is an artifact of time slicing and says nothing about the engine; rerun on a multi-core host for a scaling verdict",
+			meta.HostCores, meta.GoMaxProcs)
+		fmt.Fprintf(os.Stderr, "simbench: WARNING: %s\n", rep.Warning)
+	}
 
 	logSpeed, logW1, logCPS, logDiv, nDiv := 0.0, 0.0, 0.0, 0.0, 0
+	logShard := 0.0
 	for _, d := range datasets.Small() {
 		g := d.Graph()
 		for _, pat := range []string{"tc", "tt", "cyc"} {
@@ -206,7 +262,7 @@ func main() {
 			}
 			samples := make([]simreport.Cell, *runs)
 			for i := range samples {
-				samples[i], err = measureCell(g, plans, *pes, *reps, pcfg, w1cfg)
+				samples[i], err = measureCell(g, plans, *pes, *reps, effShards, pcfg, w1cfg)
 				if err != nil {
 					fatal(err)
 				}
@@ -222,6 +278,9 @@ func main() {
 			logSpeed += math.Log(cell.Speedup)
 			logW1 += math.Log(cell.Workers1Factor)
 			logCPS += math.Log(cell.SerialCyclesSec)
+			if cell.ShardedSpeedup > 0 {
+				logShard += math.Log(cell.ShardedSpeedup)
+			}
 			if cell.DivergencePct > rep.MaxDivPct {
 				rep.MaxDivPct = cell.DivergencePct
 			}
@@ -232,9 +291,13 @@ func main() {
 				nDiv++
 			}
 
-			fmt.Printf("%-3s %-4s serial %8.1fms  parallel %8.1fms  speedup %5.2fx  w1 %5.2fx  div %.3f%%  allocs %d  counts-ok %v\n",
+			shardCol := ""
+			if cell.ShardedSpeedup > 0 {
+				shardCol = fmt.Sprintf("  shard %5.2fx", cell.ShardedSpeedup)
+			}
+			fmt.Printf("%-3s %-4s serial %8.1fms  parallel %8.1fms  speedup %5.2fx  w1 %5.2fx%s  div %.3f%%  allocs %d  counts-ok %v\n",
 				d.Name, pat, float64(cell.SerialWallNS)/1e6, float64(cell.ParallelWallNS)/1e6,
-				cell.Speedup, cell.Workers1Factor, cell.DivergencePct, cell.SerialAllocs, cell.CountsIdentical)
+				cell.Speedup, cell.Workers1Factor, shardCol, cell.DivergencePct, cell.SerialAllocs, cell.CountsIdentical)
 
 			if !cell.CountsIdentical {
 				fatal(fmt.Errorf("%s/%s: parallel counts diverge from serial", d.Name, pat))
@@ -248,10 +311,16 @@ func main() {
 	if nDiv > 0 {
 		rep.GeomeanDivPc = math.Exp(logDiv / float64(nDiv))
 	}
+	if effShards > 1 {
+		rep.GeomeanShardSpeed = math.Exp(logShard / n)
+	}
 	rep.WallNS = time.Since(started).Nanoseconds()
 
 	fmt.Printf("geomean speedup %.2fx, workers=1 factor %.2fx, serial %.0f cycles/sec (host cores %d, workers %d, runs %d), geomean divergence %.3f%%, max %.3f%%\n",
 		rep.GeomeanSpeed, rep.GeomeanW1, rep.GeomeanSerCPS, rep.HostCores, rep.Workers, rep.Runs, rep.GeomeanDivPc, rep.MaxDivPct)
+	if effShards > 1 {
+		fmt.Printf("geomean sharded speedup %.2fx (%d shards over %d PEs)\n", rep.GeomeanShardSpeed, effShards, *pes)
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -271,6 +340,15 @@ func main() {
 	if *baseline != "" {
 		if err := checkRegression(*baseline, rep, *maxRegress); err != nil {
 			fatal(err)
+		}
+	}
+	if *minShardSpeed > 0 {
+		if effShards <= 1 {
+			fatal(fmt.Errorf("-min-shard-speedup needs -shards > 1"))
+		}
+		if rep.GeomeanShardSpeed <= *minShardSpeed {
+			fatal(fmt.Errorf("sharded speedup geomean %.2fx is at or below the %.2fx gate (%d shards, host cores %d)",
+				rep.GeomeanShardSpeed, *minShardSpeed, effShards, rep.HostCores))
 		}
 	}
 }

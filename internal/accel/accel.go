@@ -28,11 +28,22 @@ import (
 type RootScheduler struct {
 	next  int
 	n     int
+	base  int
 	order []uint32
 }
 
 // NewRootScheduler schedules roots 0..n-1 in ID order.
 func NewRootScheduler(n int) *RootScheduler { return &RootScheduler{n: n} }
+
+// NewRootSchedulerRange schedules roots lo..hi-1 in ID order — the
+// contiguous root slice one shard of a partitioned run owns. A range
+// with hi <= lo is empty.
+func NewRootSchedulerRange(lo, hi int) *RootScheduler {
+	if hi < lo {
+		hi = lo
+	}
+	return &RootScheduler{n: hi - lo, base: lo}
+}
 
 // Total returns the number of roots the scheduler was built with; zero
 // for a nil or zero-value scheduler.
@@ -57,7 +68,7 @@ func (r *RootScheduler) Next() (v uint32, ok bool) {
 	if r.order != nil {
 		v = r.order[r.next]
 	} else {
-		v = uint32(r.next)
+		v = uint32(r.base + r.next)
 	}
 	r.next++
 	return v, true

@@ -1,7 +1,6 @@
 package accel
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"runtime"
@@ -235,10 +234,14 @@ type commitItem struct {
 	blk   *specBlock
 }
 
+// commitHeap is a concrete-typed binary min-heap in (start, pe, seq)
+// order. It deliberately does not implement container/heap: that
+// interface boxes every popped item into an interface{}, and the commit
+// phase pops one item per committed block — the single largest
+// allocation source of the parallel path before this replacement.
 type commitHeap []commitItem
 
-func (h commitHeap) Len() int { return len(h) }
-func (h commitHeap) Less(i, j int) bool {
+func (h commitHeap) less(i, j int) bool {
 	if h[i].start != h[j].start {
 		return h[i].start < h[j].start
 	}
@@ -247,14 +250,60 @@ func (h commitHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h commitHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *commitHeap) Push(x interface{}) { *h = append(*h, x.(commitItem)) }
-func (h *commitHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+// init establishes heap order over an arbitrarily filled slice.
+func (h commitHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+// push appends it and sifts it up. Zero-allocation once the backing
+// array has grown to the epoch's block count (retained across epochs).
+func (h *commitHeap) push(it commitItem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum item.
+func (h *commitHeap) pop() commitItem {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = commitItem{} // drop the *specBlock reference for GC
+	*h = s[:n]
+	(*h).down(0)
+	return top
+}
+
+// down restores heap order below index i.
+func (h commitHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // parEngine is the bounded-lag epoch engine's run state.
@@ -681,13 +730,13 @@ func (e *parEngine) runEpoch(selected []int) error {
 			h = append(h, commitItem{start: blk.start, pe: blk.pe, seq: blk.seq, blk: blk})
 		}
 	}
-	heap.Init(&h)
+	h.init()
 	invalidated := e.invalidated
 	contSeq := maxStepsPerEpoch
 	e.firstCommitter, e.mixed = -1, false
 	e.viewDirty = true // live state may have moved since the last commit phase
-	for h.Len() > 0 {
-		it := heap.Pop(&h).(commitItem)
+	for len(h) > 0 {
+		it := h.pop()
 		i := it.pe
 		e.curPE = i
 		if it.blk != nil {
@@ -718,7 +767,7 @@ func (e *parEngine) runEpoch(selected []int) error {
 				e.pes[i].SpecRewind(blk.snap)
 				e.ensureLive(i)
 				contSeq++
-				heap.Push(&h, commitItem{start: e.pes[i].Time(), pe: i, seq: contSeq})
+				h.push(commitItem{start: e.pes[i].Time(), pe: i, seq: contSeq})
 			}
 			e.recycle(blk)
 			continue
@@ -744,7 +793,7 @@ func (e *parEngine) runEpoch(selected []int) error {
 			continue
 		}
 		contSeq++
-		heap.Push(&h, commitItem{start: pe.Time(), pe: i, seq: contSeq})
+		h.push(commitItem{start: pe.Time(), pe: i, seq: contSeq})
 	}
 	e.curPE = simerr.NoPE
 	e.h = h // keep the (drained) heap's grown backing for the next epoch

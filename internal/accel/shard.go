@@ -1,0 +1,59 @@
+package accel
+
+// PartitionRootsWeighted splits roots 0..n-1 into len(shares) contiguous
+// ranges [lo, hi) whose cumulative weight is proportional to each
+// share — the degree-aware contiguous batching of the fork-processing-
+// patterns literature: every shard streams one disjoint CSR region
+// instead of interleaving cache lines with its siblings. weight(i) is
+// the cost estimate of root i (degree-derived in practice; it must be
+// non-negative). Shares are integer capacities, typically each shard's
+// PE count. The union of the ranges is exactly [0, n); a range may be
+// empty when its share is zero or the weight mass runs out. The split
+// is a pure function of its inputs, so a partitioned run remains
+// deterministic.
+func PartitionRootsWeighted(n int, weight func(int) int64, shares []int) [][2]int {
+	parts := make([][2]int, len(shares))
+	if len(shares) == 0 {
+		return parts
+	}
+	var total int64
+	for i := 0; i < n; i++ {
+		total += weight(i)
+	}
+	share := func(s int) int64 {
+		if shares[s] > 0 {
+			return int64(shares[s])
+		}
+		return 0
+	}
+	var shareSum int64
+	for s := range shares {
+		shareSum += share(s)
+	}
+	if shareSum == 0 {
+		// Degenerate shares: fall back to an even split by weight.
+		share = func(int) int64 { return 1 }
+		shareSum = int64(len(shares))
+	}
+	lo, cum, cumShare := 0, int64(0), int64(0)
+	for s := range shares {
+		if s == len(shares)-1 {
+			parts[s] = [2]int{lo, n}
+			break
+		}
+		cumShare += share(s)
+		// The shard ends where the cumulative weight first reaches its
+		// proportional target. Weights are bounded by total edge counts
+		// (well under 2^40) and shareSum by the PE count, so the product
+		// cannot overflow int64.
+		target := total * cumShare / shareSum
+		hi := lo
+		for hi < n && cum < target {
+			cum += weight(hi)
+			hi++
+		}
+		parts[s] = [2]int{lo, hi}
+		lo = hi
+	}
+	return parts
+}

@@ -1,0 +1,78 @@
+package accel
+
+import "testing"
+
+func TestPartitionRootsWeightedCoversRange(t *testing.T) {
+	weight := func(i int) int64 { return int64(i%7) + 1 }
+	for _, tc := range []struct {
+		n      int
+		shares []int
+	}{
+		{100, []int{1, 1, 1, 1}},
+		{100, []int{3, 1}},
+		{5, []int{2, 2, 2, 2}}, // more shards than roots
+		{0, []int{1, 1}},       // no roots
+		{100, []int{0, 0}},     // degenerate shares fall back to even
+		{1, []int{4}},
+	} {
+		parts := PartitionRootsWeighted(tc.n, weight, tc.shares)
+		if len(parts) != len(tc.shares) {
+			t.Fatalf("n=%d shares=%v: %d parts", tc.n, tc.shares, len(parts))
+		}
+		lo := 0
+		for s, p := range parts {
+			if p[0] != lo {
+				t.Errorf("n=%d shares=%v: part %d starts at %d, want %d", tc.n, tc.shares, s, p[0], lo)
+			}
+			if p[1] < p[0] {
+				t.Errorf("n=%d shares=%v: part %d inverted %v", tc.n, tc.shares, s, p)
+			}
+			lo = p[1]
+		}
+		if lo != tc.n {
+			t.Errorf("n=%d shares=%v: union ends at %d", tc.n, tc.shares, lo)
+		}
+	}
+}
+
+func TestPartitionRootsWeightedProportional(t *testing.T) {
+	// Uniform weights, equal shares: the split must be (near-)even.
+	parts := PartitionRootsWeighted(1000, func(int) int64 { return 1 }, []int{1, 1, 1, 1})
+	for s, p := range parts {
+		if size := p[1] - p[0]; size < 240 || size > 260 {
+			t.Errorf("part %d has %d roots, want ~250", s, size)
+		}
+	}
+	// One heavy head root: the first shard should take little else.
+	parts = PartitionRootsWeighted(100, func(i int) int64 {
+		if i == 0 {
+			return 1000
+		}
+		return 1
+	}, []int{1, 1})
+	if parts[0][1]-parts[0][0] > 10 {
+		t.Errorf("head shard took %v; heavy root should satisfy most of its share", parts[0])
+	}
+}
+
+func TestNewRootSchedulerRange(t *testing.T) {
+	r := NewRootSchedulerRange(10, 14)
+	if r.Total() != 4 || r.Remaining() != 4 {
+		t.Fatalf("total=%d remaining=%d, want 4/4", r.Total(), r.Remaining())
+	}
+	for want := uint32(10); want < 14; want++ {
+		v, ok := r.Next()
+		if !ok || v != want {
+			t.Fatalf("Next = %d,%v, want %d,true", v, ok, want)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("exhausted range still yields roots")
+	}
+	if e := NewRootSchedulerRange(5, 5); e.Total() != 0 {
+		t.Error("empty range has non-zero total")
+	}
+	if e := NewRootSchedulerRange(7, 3); e.Total() != 0 {
+		t.Error("inverted range has non-zero total")
+	}
+}

@@ -1,0 +1,35 @@
+package fingers
+
+import (
+	"testing"
+
+	"fingers/internal/accel"
+	"fingers/internal/graph/gen"
+	"fingers/internal/plan"
+)
+
+// BenchmarkChip8PEParallel measures the bounded-lag engine on the same
+// workload shape the simbench quick grid uses, for allocation tracking:
+// the parallel path's allocs/op must stay within a small factor of the
+// serial loop's (see BENCH_sim.json allocs columns).
+func BenchmarkChip8PEParallel(b *testing.B) {
+	g := gen.PowerLawCluster(2000, 6, 0.5, 1)
+	pls := []*plan.Plan{mustPlan(b, "tt")}
+	pcfg := accel.ParallelConfig{Window: accel.DefaultWindow, Workers: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := mustChip(b, DefaultConfig(), 8, 0, g, pls).RunParallel(pcfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChip8PESerial is the serial baseline of the same workload.
+func BenchmarkChip8PESerial(b *testing.B) {
+	g := gen.PowerLawCluster(2000, 6, 0.5, 1)
+	pls := []*plan.Plan{mustPlan(b, "tt")}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mustChip(b, DefaultConfig(), 8, 0, g, pls).Run()
+	}
+}

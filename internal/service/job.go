@@ -156,6 +156,10 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout clamps per-job deadlines. Zero means no clamp.
 	MaxTimeout time.Duration
+	// MaxShards clamps per-job sim_shards requests, bounding how many
+	// OS threads one job may fan out across (on top of the façade's own
+	// clamp to the PE count). Zero means no clamp.
+	MaxShards int
 	// ProgressEvery is the scheduler-step interval between live progress
 	// snapshots. Default 65536 steps.
 	ProgressEvery int64
@@ -247,6 +251,9 @@ func (m *Manager) Submit(spec fingers.JobSpec) (*Job, error) {
 	}
 	if m.cfg.MaxTimeout > 0 && spec.Timeout() > m.cfg.MaxTimeout {
 		spec.TimeoutMS = m.cfg.MaxTimeout.Milliseconds()
+	}
+	if m.cfg.MaxShards > 0 && spec.SimShards > m.cfg.MaxShards {
+		spec.SimShards = m.cfg.MaxShards
 	}
 
 	m.mu.Lock()
@@ -466,6 +473,11 @@ func (m *Manager) buildRecord(j *Job, rep fingers.SimReport) telemetry.RunRecord
 		RunTag:    spec.RunTag,
 		JobID:     j.ID,
 	}
+	if spec.SimShards > 1 {
+		// The effective count after the façade's PE clamp, not the
+		// requested one, so the record says what actually ran.
+		rec.Meta.SimShards = rep.Shards
+	}
 	m.cfg.Meta.Fill(&rec.Meta)
 	return rec
 }
@@ -492,6 +504,7 @@ func (m *Manager) PartialRecord(j *Job) telemetry.RunRecord {
 		StartedAt: rfc3339(j.startedAt),
 		RunTag:    spec.RunTag,
 		JobID:     j.ID,
+		SimShards: spec.SimShards,
 	}
 	m.cfg.Meta.Fill(&rec.Meta)
 	return rec

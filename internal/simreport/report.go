@@ -17,10 +17,13 @@ import (
 	"fingers/internal/telemetry"
 )
 
-// Schema is the current report schema tag. The provenance header and
-// Runs field are additive, so v2 stands; readers accept any
-// "fingers/simbench/" prefix.
-const Schema = "fingers/simbench/v2"
+// Schema is the current report schema tag: v3 adds the sharded-mode
+// columns (shards, per-shard wall times, sharded speedup) and the
+// single-core warning annotation. All v3 fields are omitempty, so a v3
+// report without sharding is byte-compatible with v2 and the trend-v1
+// readers ignore the extras; readers accept any "fingers/simbench/"
+// prefix.
+const Schema = "fingers/simbench/v3"
 
 // SchemaPrefix matches every vintage of simbench report.
 const SchemaPrefix = "fingers/simbench/"
@@ -50,6 +53,15 @@ type Cell struct {
 	ParAllocs        uint64 `json:"parallel_allocs"`
 	ParAllocBytes    uint64 `json:"parallel_alloc_bytes"`
 	ParGCPauseNS     uint64 `json:"parallel_gc_pause_ns"`
+
+	// Sharded-mode columns (v3), present only when the run was measured
+	// with -shards > 1. ShardWallsNS is each shard's own wall time in
+	// shard order — the spread is the root-partition balance signal.
+	ShardedWallNS   int64   `json:"sharded_wall_ns,omitempty"`
+	ShardWallsNS    []int64 `json:"shard_walls_ns,omitempty"`
+	ShardedSpeedup  float64 `json:"sharded_speedup,omitempty"`
+	ShardedCountsOK bool    `json:"sharded_counts_identical,omitempty"`
+	ShardedAllocs   uint64  `json:"sharded_allocs,omitempty"`
 }
 
 // Report is the BENCH_sim.json schema. The embedded telemetry.Meta
@@ -64,14 +76,24 @@ type Report struct {
 	Window  mem.Cycles `json:"window"`
 	// Runs is the number of measured repetitions each cell is the
 	// median of (1 = single-shot, the pre-header behaviour).
-	Runs          int     `json:"runs,omitempty"`
+	Runs int `json:"runs,omitempty"`
+	// Shards is the effective shard count of the sharded measurements
+	// (v3); zero when the run was not sharded.
+	Shards        int     `json:"shards,omitempty"`
 	Cells         []Cell  `json:"cells"`
 	GeomeanSpeed  float64 `json:"geomean_speedup"`
 	GeomeanW1     float64 `json:"geomean_workers1_factor"`
 	GeomeanSerCPS float64 `json:"geomean_serial_cycles_sec"`
 	GeomeanDivPc  float64 `json:"geomean_divergence_pct"`
 	MaxDivPct     float64 `json:"max_divergence_pct"`
-	Note          string  `json:"note"`
+	// GeomeanShardSpeed is the sharded/serial wall-clock speedup geomean
+	// (v3); zero when the run was not sharded.
+	GeomeanShardSpeed float64 `json:"geomean_shard_speedup,omitempty"`
+	Note              string  `json:"note"`
+	// Warning flags a measurement that cannot support an engine verdict
+	// — today, a single-core host (host_cores or GOMAXPROCS of 1), where
+	// every wall-clock speedup is an artifact of time slicing.
+	Warning string `json:"warning,omitempty"`
 }
 
 // SerialGeomeanCPS returns the serial cycles/sec geomean, recomputing

@@ -31,6 +31,10 @@ type Meta struct {
 	HostCores int `json:"host_cores,omitempty"`
 	// GoMaxProcs is the scheduler width the run executed under.
 	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	// SimShards is the effective shard count of a sharded run — the
+	// number of independent engine instances the root set was
+	// partitioned across after clamping. Zero for unsharded runs.
+	SimShards int `json:"sim_shards,omitempty"`
 	// RunTag groups records from one logical session (a sweep, a CI
 	// run) into a batch the trend viewer can slice on.
 	RunTag string `json:"run_tag,omitempty"`
@@ -75,6 +79,9 @@ func (m Meta) Fill(dst *Meta) {
 	}
 	if dst.GoMaxProcs == 0 {
 		dst.GoMaxProcs = m.GoMaxProcs
+	}
+	if dst.SimShards == 0 {
+		dst.SimShards = m.SimShards
 	}
 	if dst.RunTag == "" {
 		dst.RunTag = m.RunTag

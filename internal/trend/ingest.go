@@ -218,6 +218,8 @@ func (c *Corpus) AddBenchFile(path, rel string) {
 			Workers1:      cell.Workers1Factor,
 			DivergencePct: cell.DivergencePct,
 			SerialAllocs:  cell.SerialAllocs,
+			Shards:        rep.Shards,
+			ShardSpeedup:  cell.ShardedSpeedup,
 			File:          rel,
 		})
 	}

@@ -82,6 +82,10 @@ type BenchSummary struct {
 	LatestSpeedup   float64 `json:"latest_speedup"`
 	LatestWorkers1  float64 `json:"latest_workers1_factor"`
 	LatestDivPct    float64 `json:"latest_divergence_pct"`
+	// Sharded-mode columns of the newest point (simbench v3); zero when
+	// the latest report was not sharded.
+	Shards             int     `json:"shards,omitempty"`
+	LatestShardSpeedup float64 `json:"latest_shard_speedup,omitempty"`
 
 	Regression *Regression `json:"regression,omitempty"`
 }
@@ -180,18 +184,20 @@ func (m *Model) Summary(generatedAt string) Summary {
 		last := b.Points[n-1]
 		roll := b.Roll[n-1]
 		s.Bench = append(s.Bench, BenchSummary{
-			Graph:           b.Graph,
-			Pattern:         b.Pattern,
-			Points:          n,
-			First:           fmtTime(b.Points[0].At),
-			Last:            fmtTime(last.At),
-			LatestSerialCPS: round6(last.SerialCPS),
-			MeanSerialCPS:   round6(roll.MeanCPS),
-			SigmaSerialCPS:  round6(roll.SigmaCPS),
-			LatestSpeedup:   round6(last.Speedup),
-			LatestWorkers1:  round6(last.Workers1),
-			LatestDivPct:    round6(last.DivergencePct),
-			Regression:      roundRegression(b.Flag),
+			Graph:              b.Graph,
+			Pattern:            b.Pattern,
+			Points:             n,
+			First:              fmtTime(b.Points[0].At),
+			Last:               fmtTime(last.At),
+			LatestSerialCPS:    round6(last.SerialCPS),
+			MeanSerialCPS:      round6(roll.MeanCPS),
+			SigmaSerialCPS:     round6(roll.SigmaCPS),
+			LatestSpeedup:      round6(last.Speedup),
+			LatestWorkers1:     round6(last.Workers1),
+			LatestDivPct:       round6(last.DivergencePct),
+			Shards:             last.Shards,
+			LatestShardSpeedup: round6(last.ShardSpeedup),
+			Regression:         roundRegression(b.Flag),
 		})
 	}
 	return s

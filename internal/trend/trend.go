@@ -114,6 +114,12 @@ type BenchPoint struct {
 	DivergencePct float64 `json:"divergence_pct"`
 	SerialAllocs  uint64  `json:"serial_allocs"`
 
+	// Sharded-mode columns, present only on simbench v3 cells measured
+	// with -shards > 1; zero on every earlier vintage, so mixed
+	// directories of v1/v2/v3 reports ingest side by side.
+	Shards       int     `json:"shards,omitempty"`
+	ShardSpeedup float64 `json:"sharded_speedup,omitempty"`
+
 	File string `json:"file"`
 }
 

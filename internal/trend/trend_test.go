@@ -149,6 +149,50 @@ func TestBenchIngestLegacyMTimeFallback(t *testing.T) {
 	}
 }
 
+// TestBenchIngestMixedVintage scans a directory holding one v2 and one
+// v3 report for the same cell: both must ingest skip-free into a single
+// time-ordered series, with the sharded columns populated only on the
+// v3 point.
+func TestBenchIngestMixedVintage(t *testing.T) {
+	dir := t.TempDir()
+	v2 := `{"schema":"fingers/simbench/v2","started_at":"2026-08-01T09:00:00Z","cells":[
+	  {"graph":"As","pattern":"tc","serial_cycles_sec":5e6,"speedup":0.55,"workers1_factor":0.6,"divergence_pct":0.02}]}`
+	v3 := `{"schema":"fingers/simbench/v3","started_at":"2026-08-02T09:00:00Z","shards":4,"cells":[
+	  {"graph":"As","pattern":"tc","serial_cycles_sec":5.1e6,"speedup":0.56,"workers1_factor":0.61,"divergence_pct":0.02,
+	   "sharded_wall_ns":70000000,"shard_walls_ns":[70000000,65000000,68000000,61000000],
+	   "sharded_speedup":2.9,"sharded_counts_identical":true,"sharded_allocs":1500}]}`
+	for name, body := range map[string]string{"v2.json": v2, "v3.json": v3} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := Scan(dir, ScanOptions{MTime: fixedMTime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Skips) != 0 {
+		t.Fatalf("mixed-vintage corpus produced skips: %+v", c.Skips)
+	}
+	if c.BenchFiles != 2 || len(c.Bench) != 2 {
+		t.Fatalf("bench files=%d cells=%d, want 2/2", c.BenchFiles, len(c.Bench))
+	}
+	old, cur := c.Bench[0], c.Bench[1]
+	if old.Shards != 0 || old.ShardSpeedup != 0 {
+		t.Errorf("v2 point carries shard columns: %+v", old)
+	}
+	if cur.Shards != 4 || cur.ShardSpeedup != 2.9 {
+		t.Errorf("v3 shard columns lost: shards=%d speedup=%v", cur.Shards, cur.ShardSpeedup)
+	}
+	m := Build(c, Options{})
+	if len(m.Bench) != 1 || len(m.Bench[0].Points) != 2 {
+		t.Fatalf("mixed vintages did not merge into one series: %+v", m.Bench)
+	}
+	sum := m.Summary("")
+	if b := sum.Bench[0]; b.Shards != 4 || b.LatestShardSpeedup != 2.9 {
+		t.Errorf("summary shard columns: %+v", b)
+	}
+}
+
 // TestRollingAndRegression drives the rolling window and the σ-guarded
 // flag end to end: a stable series with one big final slowdown flags;
 // the same slowdown inside a noisy baseline does not.

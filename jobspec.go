@@ -59,6 +59,12 @@ type JobSpec struct {
 	// cycles; 0 means the tuned default. Results depend only on the
 	// window, never on SimWorkers.
 	SimWindow int64 `json:"sim_window,omitempty"`
+	// SimShards, when > 1, partitions root vertices across this many
+	// independent engine instances run on separate OS threads and merged
+	// deterministically (see WithShards). Embedding counts are identical
+	// at every shard count; cycle totals model an N-chip fleet. Clamped
+	// to the PE count, and by a serving daemon to its configured maximum.
+	SimShards int `json:"sim_shards,omitempty"`
 	// TimeoutMS is the per-job deadline in milliseconds of wall time;
 	// an expired job stops within one cancellation quantum and reports
 	// its partial results. 0 means no deadline.
@@ -168,6 +174,9 @@ func (s JobSpec) Validate() error {
 	if s.SimWindow < 0 {
 		return fmt.Errorf("fingers: JobSpec: sim_window must be >= 0, got %d", s.SimWindow)
 	}
+	if s.SimShards < 0 {
+		return fmt.Errorf("fingers: JobSpec: sim_shards must be >= 0, got %d", s.SimShards)
+	}
 	if _, err := s.ParallelSim(); err != nil {
 		return err
 	}
@@ -229,6 +238,9 @@ func (s JobSpec) ToOptions() ([]SimOption, error) {
 		return nil, err
 	} else if pcfg != nil {
 		opts = append(opts, WithParallelSim(*pcfg))
+	}
+	if s.SimShards > 1 {
+		opts = append(opts, WithShards(s.SimShards))
 	}
 	if s.TimeoutMS > 0 {
 		opts = append(opts, WithTimeout(s.Timeout()))

@@ -52,6 +52,7 @@ func TestJobSpecValidate(t *testing.T) {
 		"negative window":        {Arch: "fingers", Graph: "Mi", Pattern: "tc", SimWindow: -5},
 		"window without workers": {Arch: "fingers", Graph: "Mi", Pattern: "tc", SimWindow: 64},
 		"negative timeout":       {Arch: "fingers", Graph: "Mi", Pattern: "tc", TimeoutMS: -1},
+		"negative shards":        {Arch: "fingers", Graph: "Mi", Pattern: "tc", SimShards: -1},
 	} {
 		if err := bad.Validate(); err == nil {
 			t.Errorf("%s: Validate accepted %+v", name, bad)
@@ -150,7 +151,7 @@ func TestJobSpecJSONRoundTrip(t *testing.T) {
 	in := JobSpec{
 		Arch: "fingers", Graph: "Lj", Pattern: "4cl", PEs: 20, IUs: 48,
 		IsoArea: &f, CacheKB: 1024, SimWorkers: 4, SimWindow: 128,
-		TimeoutMS: 5000, Stats: true, RunTag: "sweep-1",
+		SimShards: 4, TimeoutMS: 5000, Stats: true, RunTag: "sweep-1",
 	}
 	data, err := json.Marshal(in)
 	if err != nil {
@@ -163,6 +164,7 @@ func TestJobSpecJSONRoundTrip(t *testing.T) {
 	if out.Arch != in.Arch || out.Graph != in.Graph || out.Pattern != in.Pattern ||
 		out.PEs != in.PEs || out.IUs != in.IUs || out.CacheKB != in.CacheKB ||
 		out.SimWorkers != in.SimWorkers || out.SimWindow != in.SimWindow ||
+		out.SimShards != in.SimShards ||
 		out.TimeoutMS != in.TimeoutMS || out.Stats != in.Stats || out.RunTag != in.RunTag {
 		t.Errorf("round trip mismatch: %+v != %+v", out, in)
 	}

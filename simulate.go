@@ -45,6 +45,7 @@ type simConfig struct {
 	fiCfg         AcceleratorConfig
 	fmCfg         BaselineConfig
 	par           *ParallelConfig
+	shards        int
 	ctx           context.Context
 	timeout       time.Duration
 	deadline      time.Time
@@ -160,6 +161,13 @@ type SimReport struct {
 	// IU holds the intersect-unit active/balance rates; the zero value
 	// unless WithStats was given on ArchFingers.
 	IU IUStats
+	// Shards is the effective shard count the run was partitioned into
+	// after clamping (1 for unsharded runs). See WithShards.
+	Shards int
+	// ShardWallNS records each shard's host wall-clock time in
+	// nanoseconds, in shard order; nil on unsharded runs. The spread is
+	// the sharded mode's load-balance signal.
+	ShardWallNS []int64
 }
 
 // simChip is the chip surface Simulate drives, satisfied by both
@@ -215,6 +223,9 @@ func Simulate(arch Arch, g *Graph, plans []*Plan, opts ...SimOption) (rep SimRep
 			return rep, fmt.Errorf("fingers: Simulate: %w", err)
 		}
 	}
+	if cfg.shards < 0 {
+		return rep, fmt.Errorf("fingers: Simulate: number of shards must be >= 0, got %d", cfg.shards)
+	}
 	ctx := cfg.ctx
 	if ctx == nil {
 		ctx = context.Background()
@@ -238,6 +249,16 @@ func Simulate(arch Arch, g *Graph, plans []*Plan, opts ...SimOption) (rep SimRep
 			err = simerr.FromPanic("facade", simerr.NoPE, 0, simerr.NoRoot, r)
 		}
 	}()
+
+	if shards := cfg.shards; shards > 1 {
+		if shards > cfg.pes {
+			shards = cfg.pes // every shard keeps at least one PE
+		}
+		if shards > 1 {
+			return runSharded(ctx, arch, g, plans, cfg, shards)
+		}
+	}
+	rep.Shards = 1
 
 	var chip simChip
 	var fiChip *fingerspe.Chip
