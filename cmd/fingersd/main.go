@@ -19,8 +19,18 @@
 //
 // SIGINT/SIGTERM drains gracefully: admission stops (503), running and
 // queued jobs get -drain-timeout to finish, anything still in flight is
-// then canceled so its partial record is flushed to -json, and the
+// then interrupted so its partial record is flushed to -json, and the
 // process exits 0.
+//
+// With -journal-dir the daemon is crash-safe: every job lifecycle
+// transition is appended (fsync'd) to a write-ahead journal before it
+// is acknowledged, and a restart against the same directory replays the
+// journal — finished jobs come back as queryable history, jobs that
+// were queued or running when the process died are re-enqueued in their
+// original order and run to completion. Transient failures retry with
+// exponential backoff under -max-attempts; -client-rate,
+// -max-queued-per-client, and -shed-latency arm per-client admission
+// control.
 package main
 
 import (
@@ -35,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"fingers/internal/journal"
 	"fingers/internal/service"
 	"fingers/internal/telemetry"
 )
@@ -55,7 +66,16 @@ func realMain() int {
 	preload := flag.String("preload", "", "comma-separated graphs to load at startup (\"all\" = every registered graph)")
 	streamInterval := flag.Duration("stream-interval", 500*time.Millisecond, "cadence of partial records on /stream")
 	progressEvery := flag.Int64("progress-every", 65536, "scheduler steps between live progress snapshots")
-	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight jobs on shutdown before they are canceled")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight jobs on shutdown before they are interrupted")
+	journalDir := flag.String("journal-dir", "", "write-ahead journal directory; restarts replay it and resume unfinished jobs")
+	maxAttempts := flag.Int("max-attempts", 3, "server-wide per-job attempt budget for transient failures (1 disables retries)")
+	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "base backoff before a retry (doubles per attempt, capped by -retry-max)")
+	retryMax := flag.Duration("retry-max", 5*time.Second, "cap on the retry backoff")
+	clientRate := flag.Float64("client-rate", 0, "per-client submissions/second admitted (0 = unlimited)")
+	clientBurst := flag.Int("client-burst", 0, "per-client token-bucket burst (0 = max(rate, 1))")
+	maxQueuedPerClient := flag.Int("max-queued-per-client", 0, "bound on one client's queued jobs (0 = unbounded)")
+	shedLatency := flag.Duration("shed-latency", 0, "queue-latency threshold to shed low-priority jobs (normal sheds at 2x; 0 = never)")
+	inject := flag.String("inject", "", "fault-injection schedule for chaos testing, e.g. simulate:panic@2,journal:error@5")
 	flag.Parse()
 
 	reg := service.NewRegistry()
@@ -88,16 +108,54 @@ func realMain() int {
 		runLog.SetMeta(meta)
 	}
 
+	var injector *service.FaultInjector
+	if *inject != "" {
+		points, err := service.ParseFaultSpec(*inject)
+		if err != nil {
+			return fail(err)
+		}
+		injector = service.NewFaultInjector(points...)
+		fmt.Fprintf(os.Stderr, "fingersd: fault injection armed: %s\n", *inject)
+	}
+
+	var wal *journal.Journal
+	if *journalDir != "" {
+		opt := journal.Options{}
+		if injector != nil {
+			opt.BeforeAppend = injector.JournalHook()
+		}
+		var err error
+		wal, err = journal.Open(*journalDir, opt)
+		if err != nil {
+			return fail(err)
+		}
+		defer wal.Close()
+		if skips := wal.Skips(); len(skips) > 0 {
+			fmt.Fprintf(os.Stderr, "fingersd: journal replay skipped %d damaged lines\n", len(skips))
+		}
+	}
+
 	mgr := service.NewManager(reg, service.Config{
-		Concurrency:    *concurrency,
-		QueueDepth:     *queueDepth,
-		DefaultTimeout: *defaultTimeout,
-		MaxTimeout:     *maxTimeout,
-		MaxShards:      *maxShards,
-		ProgressEvery:  *progressEvery,
-		Meta:           meta,
-		Log:            runLog,
+		Concurrency:        *concurrency,
+		QueueDepth:         *queueDepth,
+		DefaultTimeout:     *defaultTimeout,
+		MaxTimeout:         *maxTimeout,
+		MaxShards:          *maxShards,
+		ProgressEvery:      *progressEvery,
+		Meta:               meta,
+		Log:                runLog,
+		Journal:            wal,
+		Retry:              service.RetryPolicy{MaxAttempts: *maxAttempts, BaseDelay: *retryBase, MaxDelay: *retryMax},
+		ClientRate:         *clientRate,
+		ClientBurst:        *clientBurst,
+		MaxQueuedPerClient: *maxQueuedPerClient,
+		ShedLatency:        *shedLatency,
+		FaultInjector:      injector,
 	})
+	if rs := mgr.Recovery(); rs.Enabled && (rs.Requeued > 0 || rs.RestoredTerminal > 0) {
+		fmt.Fprintf(os.Stderr, "fingersd: journal replay: %d finished jobs restored, %d requeued (%d interrupted mid-run)\n",
+			rs.RestoredTerminal, rs.Requeued, rs.Interrupted)
+	}
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: service.NewServer(mgr, *streamInterval).Handler(),

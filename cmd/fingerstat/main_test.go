@@ -164,18 +164,19 @@ func TestShardColumnsFromMixedCorpus(t *testing.T) {
 	t.Fatal("wv series missing from corpus")
 }
 
-// TestCorpusAccounting pins what the scanner ingested and skipped: two
-// run logs, four bench reports (one each of schema v1/v3, two v2), one
-// foreign JSON file, one foreign JSONL line, and one truncated JSONL
-// tail.
+// TestCorpusAccounting pins what the scanner ingested and skipped:
+// three run logs (legacy v1, v2, and a daemon-served v3 with retry and
+// crash-recovery provenance), four bench reports (one each of schema
+// v1/v3, two v2), one foreign JSON file, one foreign JSONL line, and
+// one truncated JSONL tail.
 func TestCorpusAccounting(t *testing.T) {
 	m := buildModel(t)
 	c := m.Corpus
-	if c.RunFiles != 2 || c.BenchFiles != 4 {
-		t.Errorf("files = %d run / %d bench, want 2 / 4", c.RunFiles, c.BenchFiles)
+	if c.RunFiles != 3 || c.BenchFiles != 4 {
+		t.Errorf("files = %d run / %d bench, want 3 / 4", c.RunFiles, c.BenchFiles)
 	}
-	if c.Records != 11 {
-		t.Errorf("records = %d, want 11", c.Records)
+	if c.Records != 14 {
+		t.Errorf("records = %d, want 14", c.Records)
 	}
 	if len(c.Skips) != 3 {
 		t.Fatalf("skips = %d (%v), want 3", len(c.Skips), c.Skips)
@@ -195,6 +196,43 @@ func TestCorpusAccounting(t *testing.T) {
 		t.Errorf("skip classification incomplete: foreignLine=%v tornTail=%v foreignFile=%v (%v)",
 			foreignLine, tornTail, foreignFile, c.Skips)
 	}
+}
+
+// TestDaemonProvenanceCarried pins the daemon-served v3 ingest path:
+// attempt, client_id, and recovered_from_crash survive into trend
+// points, and the series summary counts retried and recovered runs.
+func TestDaemonProvenanceCarried(t *testing.T) {
+	m := buildModel(t)
+	var s *trend.Series
+	for _, sr := range m.Series {
+		if sr.Key.Arch == "fingers" && sr.Key.Graph == "wv" && sr.Key.Pattern == "triangle" {
+			s = sr
+		}
+	}
+	if s == nil {
+		t.Fatal("daemon-served series missing")
+	}
+	if len(s.Points) != 3 {
+		t.Fatalf("daemon series has %d points, want 3", len(s.Points))
+	}
+	if s.Flag != nil {
+		t.Errorf("stable daemon series flagged: %+v", s.Flag)
+	}
+	p := s.Points[1]
+	if p.Attempt != 2 || !p.Recovered || p.ClientID != "ci" {
+		t.Errorf("retried point provenance lost: %+v", p)
+	}
+	sum := m.Summary("")
+	for _, ss := range sum.Series {
+		if ss.Arch == "fingers" && ss.Graph == "wv" && ss.Pattern == "triangle" {
+			if ss.Retried != 1 || ss.Recovered != 1 || ss.Partial != 1 {
+				t.Errorf("summary counters retried=%d recovered=%d partial=%d, want 1/1/1",
+					ss.Retried, ss.Recovered, ss.Partial)
+			}
+			return
+		}
+	}
+	t.Fatal("daemon series missing from summary")
 }
 
 // TestSituationFilters exercises the viewer's slicing flags.

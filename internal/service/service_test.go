@@ -370,8 +370,9 @@ func TestStreamClientDisconnect(t *testing.T) {
 }
 
 // TestDrainFlushesPartials starts a long job, drains with a tiny grace,
-// and checks the job was canceled with its partial record written to
-// the run log, and that post-drain submissions bounce with 503.
+// and checks the job was interrupted (not canceled — the daemon
+// stopped, the client didn't) with its partial record written to the
+// run log, and that post-drain submissions bounce with 503.
 func TestDrainFlushesPartials(t *testing.T) {
 	var logBuf bytes.Buffer
 	log := telemetry.NewRunLog(&logBuf)
@@ -387,11 +388,14 @@ func TestDrainFlushesPartials(t *testing.T) {
 
 	j, _ := m.Get(st.ID)
 	got := j.Status()
-	if got.State != StateCanceled {
-		t.Fatalf("state %s, want canceled", got.State)
+	if got.State != StateInterrupted {
+		t.Fatalf("state %s, want interrupted", got.State)
 	}
 	if got.Record == nil || !got.Record.Partial {
 		t.Fatal("drained job should carry a partial record")
+	}
+	if got.Record.Meta.JobState != string(StateInterrupted) {
+		t.Errorf("record job_state %q, want interrupted", got.Record.Meta.JobState)
 	}
 	recs, skipped, err := telemetry.ReadRecordsLenient(bytes.NewReader(logBuf.Bytes()))
 	if err != nil || len(skipped) != 0 {

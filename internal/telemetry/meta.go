@@ -46,6 +46,21 @@ type Meta struct {
 	// every streamed and logged record back to its POST /v1/jobs
 	// lifecycle. Empty for batch CLI runs.
 	JobID string `json:"job_id,omitempty"`
+	// JobState is the terminal lifecycle state that produced the record
+	// ("done", "canceled", "deadline_exceeded", "interrupted", ...).
+	// Empty for batch CLI runs and for records predating the field.
+	JobState string `json:"job_state,omitempty"`
+	// Attempt is the 1-based attempt number of a daemon-served run;
+	// values above 1 mean the job retried after a transient failure.
+	// Zero for batch CLI runs.
+	Attempt int `json:"attempt,omitempty"`
+	// ClientID attributes a daemon-served run to the submitting client
+	// (the X-Client-ID header, or the remote address). Empty for batch
+	// CLI runs and anonymous submissions.
+	ClientID string `json:"client_id,omitempty"`
+	// RecoveredFromCrash marks a run whose job lost in-flight work to a
+	// daemon crash or drain and was re-enqueued by journal replay.
+	RecoveredFromCrash bool `json:"recovered_from_crash,omitempty"`
 }
 
 // HostMeta captures the producing host's provenance: start time (now,
@@ -91,6 +106,18 @@ func (m Meta) Fill(dst *Meta) {
 	}
 	if dst.JobID == "" {
 		dst.JobID = m.JobID
+	}
+	if dst.JobState == "" {
+		dst.JobState = m.JobState
+	}
+	if dst.Attempt == 0 {
+		dst.Attempt = m.Attempt
+	}
+	if dst.ClientID == "" {
+		dst.ClientID = m.ClientID
+	}
+	if !dst.RecoveredFromCrash {
+		dst.RecoveredFromCrash = m.RecoveredFromCrash
 	}
 }
 

@@ -153,6 +153,9 @@ func (c *Corpus) AddRunLog(path, rel string) error {
 			Tag:       rec.RunTag,
 			GitRev:    rec.GitRev,
 			Partial:   rec.Partial,
+			Attempt:   rec.Attempt,
+			ClientID:  rec.ClientID,
+			Recovered: rec.RecoveredFromCrash,
 			PEs:       rec.PEs,
 			Cycles:    int64(rec.Cycles),
 			Count:     rec.Count,

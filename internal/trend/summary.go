@@ -45,8 +45,13 @@ type SeriesSummary struct {
 	Key
 	Points  int    `json:"points"`
 	Partial int    `json:"partial,omitempty"`
-	First   string `json:"first,omitempty"`
-	Last    string `json:"last,omitempty"`
+	// Retried counts points whose run took more than one attempt;
+	// Recovered counts points whose job was resurrected by journal
+	// replay after a daemon crash or drain. Both zero for batch logs.
+	Retried   int    `json:"retried,omitempty"`
+	Recovered int    `json:"recovered,omitempty"`
+	First     string `json:"first,omitempty"`
+	Last      string `json:"last,omitempty"`
 
 	LatestCycles int64   `json:"latest_cycles"`
 	MeanCycles   float64 `json:"mean_cycles"`
@@ -172,6 +177,12 @@ func (m *Model) Summary(generatedAt string) Summary {
 		for _, p := range sr.Points {
 			if p.Partial {
 				ss.Partial++
+			}
+			if p.Attempt > 1 {
+				ss.Retried++
+			}
+			if p.Recovered {
+				ss.Recovered++
 			}
 		}
 		if n > 1 && sr.Roll[n-2].MeanCycles > 0 {

@@ -82,6 +82,14 @@ type Point struct {
 	Tag       string    `json:"tag,omitempty"`
 	GitRev    string    `json:"git_rev,omitempty"`
 	Partial   bool      `json:"partial,omitempty"`
+	// Daemon provenance, present only on fingersd-served records:
+	// Attempt > 1 marks a run that retried past a transient failure,
+	// Recovered one whose job was re-enqueued by journal replay after a
+	// crash or drain, ClientID the submitting client. All zero on batch
+	// CLI records of any vintage.
+	Attempt   int    `json:"attempt,omitempty"`
+	ClientID  string `json:"client_id,omitempty"`
+	Recovered bool   `json:"recovered,omitempty"`
 
 	PEs          int           `json:"pes,omitempty"`
 	Cycles       int64         `json:"cycles"`

@@ -75,6 +75,15 @@ type JobSpec struct {
 	// RunTag groups this job's run records with others from the same
 	// logical session for the trend tooling.
 	RunTag string `json:"run_tag,omitempty"`
+	// MaxAttempts budgets how many times a serving daemon may run this
+	// job (first run included) when attempts fail transiently or hit
+	// the deadline. 0 means the daemon's default; 1 disables retries
+	// for this job. The daemon clamps it to its own server-wide cap.
+	MaxAttempts int `json:"max_attempts,omitempty"`
+	// Priority hints the daemon's load shedder: "low", "normal" (or
+	// empty), "high". Under queue pressure, low-priority jobs are shed
+	// first and high-priority jobs last. Ignored outside the daemon.
+	Priority string `json:"priority,omitempty"`
 }
 
 // ParseArch resolves an architecture name: "fingers"/"FINGERS" and
@@ -182,6 +191,14 @@ func (s JobSpec) Validate() error {
 	}
 	if s.TimeoutMS < 0 {
 		return fmt.Errorf("fingers: JobSpec: timeout_ms must be >= 0, got %d", s.TimeoutMS)
+	}
+	if s.MaxAttempts < 0 {
+		return fmt.Errorf("fingers: JobSpec: max_attempts must be >= 0, got %d", s.MaxAttempts)
+	}
+	switch s.Priority {
+	case "", "low", "normal", "high":
+	default:
+		return fmt.Errorf("fingers: JobSpec: priority must be low, normal, or high, got %q", s.Priority)
 	}
 	return nil
 }
