@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke trend profile clean
+.PHONY: all build test race vet bench bench-smoke bench-gate trend profile clean
 
 all: vet build test
 
@@ -43,6 +43,16 @@ profile:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# bench-gate guards the soft-miner hot path: it re-measures
+# BenchmarkSoftMine with the same protocol that produced the committed
+# BENCH_softmine.txt baseline (5 repetitions, medians per cell) and
+# fails when the ns/op geomean regresses more than 10%. Regenerate the
+# baseline with `make bench` after an intentional performance change.
+bench-gate:
+	$(GO) test -run '^$$' -bench BenchmarkSoftMine -benchmem -count 5 \
+		./internal/mine/ > BENCH_softmine_new.txt
+	$(GO) run ./cmd/benchgate -old BENCH_softmine.txt -new BENCH_softmine_new.txt
+
 # trend renders the observability report over every artifact in the
 # checkout — the committed BENCH_sim.json plus any *.jsonl run logs the
 # CLIs have appended (fingersim/experiments/mine -json, simbench -o) —
@@ -52,5 +62,5 @@ trend:
 	$(GO) run ./cmd/fingerstat -dir . -html TREND.html -json TREND.json
 
 clean:
-	rm -f BENCH_softmine.txt BENCH_softmine.json BENCH_sim.json \
-		TREND.html TREND.json
+	rm -f BENCH_softmine.txt BENCH_softmine.json BENCH_softmine_new.txt \
+		BENCH_sim.json TREND.html TREND.json

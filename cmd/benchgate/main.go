@@ -1,0 +1,170 @@
+// Command benchgate is a benchstat-style regression gate: it parses two
+// go-test benchmark outputs (the committed baseline and a fresh run),
+// takes the per-benchmark median of the chosen metric across -count
+// repetitions, and fails when the geometric mean of the new/old ratios
+// regresses past the threshold.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkSoftMine -count 5 ./internal/mine/ > new.txt
+//	benchgate -old BENCH_softmine.txt -new new.txt [-max-regress-pct 10] [-metric ns/op]
+//
+// Medians absorb the odd noisy repetition; the geomean gate means one
+// slightly slow cell cannot fail the build on its own, while a broad
+// slowdown — or a big one in any single cell — does. Benchmarks present
+// in only one file are listed but excluded from the geomean, so adding
+// or retiring a benchmark never breaks the gate.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// parseBench collects every value of the metric per benchmark name from
+// go-test -bench text output. The trailing -N GOMAXPROCS suffix is
+// stripped so outputs from hosts with different core counts compare.
+func parseBench(r io.Reader, metric string) (map[string][]float64, error) {
+	out := map[string][]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := trimProcsSuffix(fields[0])
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != metric {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad %s value %q", name, metric, fields[i])
+			}
+			out[name] = append(out[name], v)
+		}
+	}
+	return out, sc.Err()
+}
+
+// trimProcsSuffix strips the "-8" style GOMAXPROCS tail go test appends
+// to benchmark names.
+func trimProcsSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func median(vals []float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func parseFile(path, metric string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := parseBench(f, metric)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s: no %q benchmark samples found", path, metric)
+	}
+	return m, nil
+}
+
+// gate compares the two sample sets and returns the shared-benchmark
+// geomean of new/old medians plus a rendered per-benchmark table.
+func gate(old, cur map[string][]float64, metric string) (geomean float64, table string, shared int) {
+	names := make([]string, 0, len(old))
+	for n := range old {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	logSum := 0.0
+	for _, n := range names {
+		o := median(old[n])
+		vals, ok := cur[n]
+		if !ok {
+			fmt.Fprintf(&sb, "%-55s %12.0f  (missing from new run; skipped)\n", n, o)
+			continue
+		}
+		c := median(vals)
+		ratio := c / o
+		logSum += math.Log(ratio)
+		shared++
+		fmt.Fprintf(&sb, "%-55s %12.0f -> %12.0f  %6.3fx %s\n", n, o, c, ratio, metric)
+	}
+	extra := make([]string, 0)
+	for n := range cur {
+		if _, ok := old[n]; !ok {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	for _, n := range extra {
+		fmt.Fprintf(&sb, "%-55s (new benchmark; not gated)\n", n)
+	}
+	if shared == 0 {
+		return 0, sb.String(), 0
+	}
+	return math.Exp(logSum / float64(shared)), sb.String(), shared
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline go-test -bench output (required)")
+	newPath := flag.String("new", "", "fresh go-test -bench output (required)")
+	metric := flag.String("metric", "ns/op", "benchmark metric to gate on")
+	maxRegress := flag.Float64("max-regress-pct", 10, "fail when the shared-benchmark geomean regresses more than this percent")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
+		os.Exit(2)
+	}
+	old, err := parseFile(*oldPath, *metric)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := parseFile(*newPath, *metric)
+	if err != nil {
+		fatal(err)
+	}
+	gm, table, shared := gate(old, cur, *metric)
+	fmt.Print(table)
+	if shared == 0 {
+		fatal(fmt.Errorf("no benchmarks shared between %s and %s", *oldPath, *newPath))
+	}
+	fmt.Printf("geomean %s ratio %.3fx over %d shared benchmark(s) (limit %.2fx)\n",
+		*metric, gm, shared, 1+*maxRegress/100)
+	if gm > 1+*maxRegress/100 {
+		fatal(fmt.Errorf("geomean %s regressed %.1f%% (limit %.1f%%)",
+			*metric, (gm-1)*100, *maxRegress))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleOld = `goos: linux
+goarch: amd64
+pkg: fingers/internal/mine
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSoftMine/Lj/tc/serial-8     	       5	 100000000 ns/op	  539296 B/op	      26 allocs/op
+BenchmarkSoftMine/Lj/tc/serial-8     	       5	 120000000 ns/op	  539296 B/op	      26 allocs/op
+BenchmarkSoftMine/Lj/tc/serial-8     	       5	 110000000 ns/op	  539296 B/op	      26 allocs/op
+BenchmarkSoftMine/Lj/tc/parallel-8   	       5	  50000000 ns/op	     960 B/op	      18 allocs/op
+BenchmarkSoftMine/retired-8          	       5	  10000000 ns/op
+PASS
+ok  	fingers/internal/mine	10.1s
+`
+
+const sampleNew = `BenchmarkSoftMine/Lj/tc/serial-16    	       5	 110000000 ns/op	  539296 B/op	      26 allocs/op
+BenchmarkSoftMine/Lj/tc/parallel-16  	       5	  55000000 ns/op	     960 B/op	      18 allocs/op
+BenchmarkSoftMine/brandnew-16        	       5	  99000000 ns/op
+`
+
+func TestParseBenchMedians(t *testing.T) {
+	m, err := parseBench(strings.NewReader(sampleOld), "ns/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(m), m)
+	}
+	vals := m["BenchmarkSoftMine/Lj/tc/serial"]
+	if len(vals) != 3 {
+		t.Fatalf("serial samples = %v, want 3 (procs suffix must merge)", vals)
+	}
+	if med := median(vals); med != 110000000 {
+		t.Errorf("median = %v, want 110000000", med)
+	}
+	if med := median([]float64{4, 1}); med != 2.5 {
+		t.Errorf("even-count median = %v, want 2.5", med)
+	}
+}
+
+func TestParseBenchOtherMetric(t *testing.T) {
+	m, err := parseBench(strings.NewReader(sampleOld), "B/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := median(m["BenchmarkSoftMine/Lj/tc/parallel"]); got != 960 {
+		t.Errorf("B/op median = %v, want 960", got)
+	}
+}
+
+func TestGateGeomeanAndSkips(t *testing.T) {
+	old, err := parseBench(strings.NewReader(sampleOld), "ns/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := parseBench(strings.NewReader(sampleNew), "ns/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, table, shared := gate(old, cur, "ns/op")
+	if shared != 2 {
+		t.Fatalf("shared = %d, want 2 (retired and brandnew excluded)", shared)
+	}
+	// serial 110->110 = 1.0x, parallel 50->55 = 1.1x; geomean = sqrt(1.1).
+	if want := math.Sqrt(1.1); math.Abs(gm-want) > 1e-9 {
+		t.Errorf("geomean = %v, want %v", gm, want)
+	}
+	if !strings.Contains(table, "missing from new run") {
+		t.Errorf("retired benchmark not flagged:\n%s", table)
+	}
+	if !strings.Contains(table, "brandnew") || !strings.Contains(table, "not gated") {
+		t.Errorf("new benchmark not listed:\n%s", table)
+	}
+}
+
+func TestTrimProcsSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkX-8":         "BenchmarkX",
+		"BenchmarkX/sub-16":    "BenchmarkX/sub",
+		"BenchmarkX/with-dash": "BenchmarkX/with-dash",
+		"BenchmarkX":           "BenchmarkX",
+	} {
+		if got := trimProcsSuffix(in); got != want {
+			t.Errorf("trimProcsSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

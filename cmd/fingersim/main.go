@@ -55,7 +55,7 @@ func main() {
 func realMain() int {
 	graphArg := flag.String("graph", "Mi", "dataset mnemonic (As/Mi/Yo/Pa/Lj/Or) or edge-list path")
 	patternArg := flag.String("pattern", "tc", "benchmark pattern (tc/4cl/5cl/tt/cyc/dia/3mc or any named pattern)")
-	arch := flag.String("arch", "both", "fingers, flexminer, or both")
+	arch := flag.String("arch", "both", "fingers, flexminer, sisa, both, or all")
 	pes := flag.Int("pes", 1, "number of PEs")
 	ius := flag.Int("ius", 24, "IUs per FINGERS PE")
 	isoArea := flag.Bool("iso-area", true, "shrink segment length as IUs grow (#IUs × s_l const)")
@@ -76,12 +76,14 @@ func realMain() int {
 	// daemon client would submit as two jobs.
 	var archNames []string
 	switch *arch {
-	case "fingers", "flexminer":
+	case "fingers", "flexminer", "sisa":
 		archNames = []string{*arch}
 	case "both":
 		archNames = []string{"fingers", "flexminer"}
+	case "all":
+		archNames = []string{"fingers", "flexminer", "sisa"}
 	default:
-		return fail(fmt.Errorf("unknown -arch %q (valid values: fingers, flexminer, both)", *arch))
+		return fail(fmt.Errorf("unknown -arch %q (valid values: fingers, flexminer, sisa, both, all)", *arch))
 	}
 	base := fingers.JobSpec{
 		Graph:      *graphArg,
@@ -233,6 +235,8 @@ func runArch(ctx context.Context, spec fingers.JobSpec, g *fingers.Graph, plans 
 			100*rep.IU.ActiveRate(), 100*rep.IU.BalanceRate())
 	case fingers.ArchFlexMiner:
 		fmt.Printf("FlexMiner %2d PEs: %s%s\n", specPEs(spec), rep.Result, partialMark(runErr))
+	case fingers.ArchSISA:
+		fmt.Printf("SISA      %2d PEs: %s%s\n", specPEs(spec), rep.Result, partialMark(runErr))
 	}
 	fmt.Printf("          breakdown: %s\n", rep.Result.Breakdown)
 	fmt.Printf("          roots dispatched: %d/%d\n", rep.RootsDone, rep.RootsTotal)

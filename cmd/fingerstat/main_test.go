@@ -143,12 +143,12 @@ func TestExpectedRegressions(t *testing.T) {
 func TestShardColumnsFromMixedCorpus(t *testing.T) {
 	m := buildModel(t)
 	for _, b := range m.Bench {
-		if b.Graph != "wv" {
+		if b.Graph != "wv" || b.Pattern != "triangle" {
 			continue
 		}
 		n := len(b.Points)
 		if n < 2 {
-			t.Fatalf("wv series has %d points", n)
+			t.Fatalf("wv/triangle series has %d points", n)
 		}
 		last := b.Points[n-1]
 		if last.Shards != 4 || last.ShardSpeedup != 2.946 {
@@ -164,16 +164,53 @@ func TestShardColumnsFromMixedCorpus(t *testing.T) {
 	t.Fatal("wv series missing from corpus")
 }
 
+// TestHybridColumnsFromCorpus pins the v4 ingest path through the
+// committed corpus: the wv/clique4 cell comes from a lone v4 report
+// whose representation-mix columns must survive into the trend point
+// and the summary, while the pre-v4 wv/triangle series carries none.
+func TestHybridColumnsFromCorpus(t *testing.T) {
+	m := buildModel(t)
+	var seen bool
+	for _, b := range m.Bench {
+		last := b.Points[len(b.Points)-1]
+		switch {
+		case b.Graph == "wv" && b.Pattern == "clique4":
+			seen = true
+			if last.DenseRows != 18 || last.BitmapRows != 421 || last.HybridBytes != 74496 {
+				t.Errorf("v4 representation-mix columns lost: %+v", last)
+			}
+		case b.Graph == "wv":
+			if last.DenseRows != 0 || last.HybridBytes != 0 {
+				t.Errorf("pre-v4 series %s/%s carries representation-mix columns: %+v",
+					b.Graph, b.Pattern, last)
+			}
+		}
+	}
+	if !seen {
+		t.Fatal("wv/clique4 v4 series missing from corpus")
+	}
+	sum := m.Summary("")
+	for _, b := range sum.Bench {
+		if b.Graph == "wv" && b.Pattern == "clique4" {
+			if b.DenseRows != 18 || b.BitmapRows != 421 || b.HybridBytes != 74496 {
+				t.Errorf("summary representation-mix columns: %+v", b)
+			}
+			return
+		}
+	}
+	t.Fatal("wv/clique4 missing from summary")
+}
+
 // TestCorpusAccounting pins what the scanner ingested and skipped:
 // three run logs (legacy v1, v2, and a daemon-served v3 with retry and
-// crash-recovery provenance), four bench reports (one each of schema
-// v1/v3, two v2), one foreign JSON file, one foreign JSONL line, and
+// crash-recovery provenance), five bench reports (one each of schema
+// v1/v3/v4, two v2), one foreign JSON file, one foreign JSONL line, and
 // one truncated JSONL tail.
 func TestCorpusAccounting(t *testing.T) {
 	m := buildModel(t)
 	c := m.Corpus
-	if c.RunFiles != 3 || c.BenchFiles != 4 {
-		t.Errorf("files = %d run / %d bench, want 3 / 4", c.RunFiles, c.BenchFiles)
+	if c.RunFiles != 3 || c.BenchFiles != 5 {
+		t.Errorf("files = %d run / %d bench, want 3 / 5", c.RunFiles, c.BenchFiles)
 	}
 	if c.Records != 14 {
 		t.Errorf("records = %d, want 14", c.Records)

@@ -273,6 +273,13 @@ func main() {
 			cell := medianCell(samples)
 			cell.Graph, cell.Pattern = d.Name, pat
 			finishCell(&cell)
+			// Representation-mix columns (v4): how the adaptive hybrid
+			// view classified this graph, and what the non-array tiers
+			// cost fully materialized.
+			fp := g.Hybrid().Footprint()
+			cell.DenseRows = fp.DenseRows
+			cell.BitmapRows = fp.BitmapRows
+			cell.HybridBytes = fp.HybridBytes()
 			rep.Cells = append(rep.Cells, cell)
 
 			logSpeed += math.Log(cell.Speedup)
@@ -295,9 +302,10 @@ func main() {
 			if cell.ShardedSpeedup > 0 {
 				shardCol = fmt.Sprintf("  shard %5.2fx", cell.ShardedSpeedup)
 			}
-			fmt.Printf("%-3s %-4s serial %8.1fms  parallel %8.1fms  speedup %5.2fx  w1 %5.2fx%s  div %.3f%%  allocs %d  counts-ok %v\n",
+			fmt.Printf("%-3s %-4s serial %8.1fms  parallel %8.1fms  speedup %5.2fx  w1 %5.2fx%s  div %.3f%%  allocs %d  counts-ok %v  dense %d  bm %d  hyb %.1fKB\n",
 				d.Name, pat, float64(cell.SerialWallNS)/1e6, float64(cell.ParallelWallNS)/1e6,
-				cell.Speedup, cell.Workers1Factor, shardCol, cell.DivergencePct, cell.SerialAllocs, cell.CountsIdentical)
+				cell.Speedup, cell.Workers1Factor, shardCol, cell.DivergencePct, cell.SerialAllocs, cell.CountsIdentical,
+				cell.DenseRows, cell.BitmapRows, float64(cell.HybridBytes)/1024)
 
 			if !cell.CountsIdentical {
 				fatal(fmt.Errorf("%s/%s: parallel counts diverge from serial", d.Name, pat))

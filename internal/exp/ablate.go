@@ -180,6 +180,45 @@ func AblateRootOrder(opts Options) *AblationResult {
 	return res
 }
 
+// AblateHybridStorage compares the set-operation substrate on one
+// workload: the list-centric FlexMiner baseline, the SISA-style
+// set-centric model running over the graph's adaptive hybrid storage
+// view (ArchSISA), and the FINGERS segment-parallel design — the
+// hybrid-storage-versus-segments question. Counts are identical across
+// all three; only the timing model changes.
+func AblateHybridStorage(opts Options) *AblationResult {
+	d, pat := ablationWorkload(opts)
+	g := d.Graph()
+	plans, err := PlansFor(pat)
+	if err != nil {
+		panic(err)
+	}
+	points := []struct {
+		label string
+		run   func() mem.Cycles
+	}{
+		{"list-centric", func() mem.Cycles { return RunFlexMiner(1, opts.cacheBytes(), g, plans).Cycles }},
+		{"set-centric (SISA)", func() mem.Cycles { return RunSISA(1, opts.cacheBytes(), g, plans).Cycles }},
+		{"segments (FINGERS)", func() mem.Cycles {
+			return RunFingers(fingers.DefaultConfig(), 1, opts.cacheBytes(), g, plans).Cycles
+		}},
+	}
+	res := &AblationResult{Name: "hybrid set storage", Graph: d.Name, Pattern: pat}
+	var base mem.Cycles
+	for i, p := range points {
+		cy := p.run()
+		if i == 0 {
+			base = cy
+		}
+		res.Points = append(res.Points, AblationPoint{
+			Label:   p.label,
+			Cycles:  cy,
+			Speedup: float64(base) / float64(cy),
+		})
+	}
+	return res
+}
+
 // Ablations runs every design-choice sweep.
 func Ablations(opts Options) []*AblationResult {
 	return []*AblationResult{
@@ -188,5 +227,6 @@ func Ablations(opts Options) []*AblationResult {
 		AblateDividers(opts),
 		AblateSegmentGeometry(opts),
 		AblateRootOrder(opts),
+		AblateHybridStorage(opts),
 	}
 }

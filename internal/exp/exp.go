@@ -114,6 +114,20 @@ func RunFlexMiner(pes int, cacheBytes int64, g *graph.Graph, plans []*plan.Plan)
 	return newFlexChip(pes, cacheBytes, g, plans).Run()
 }
 
+// RunSISA simulates the set-centric FlexMiner variant (ArchSISA) on one
+// benchmark cell: same PE organization, but neighbor lists move in their
+// hybrid storage representation and stored-row set ops cost one probe
+// per short-side element.
+func RunSISA(pes int, cacheBytes int64, g *graph.Graph, plans []*plan.Plan) accel.Result {
+	cfg := flexminer.DefaultConfig()
+	cfg.SetCentric = true
+	chip, err := flexminer.NewChipErr(cfg, pes, cacheBytes, g, plans)
+	if err != nil {
+		panic(fmt.Sprintf("exp: chip construction: %v", err))
+	}
+	return chip.Run()
+}
+
 // newFingersChip constructs a FINGERS chip through the validating
 // constructor. The experiment tables only run vetted configurations, so
 // a construction failure is a repo defect and panics, matching
@@ -139,12 +153,16 @@ func newFlexChip(pes int, cacheBytes int64, g *graph.Graph, plans []*plan.Plan) 
 // run for the JSONL run log. ius is 0 for architectures without IUs.
 func NewRunRecord(arch, experiment, graphName, patternName string, pes, ius int, cacheBytes int64, g *graph.Graph, res accel.Result, perPE []telemetry.PERecord) telemetry.RunRecord {
 	st := graph.ComputeStats(g)
+	fp := g.Hybrid().Footprint()
 	gi := telemetry.GraphInfo{
-		Name:      graphName,
-		Vertices:  st.Vertices,
-		Edges:     st.Edges,
-		AvgDegree: st.AvgDegree,
-		MaxDegree: st.MaxDegree,
+		Name:        graphName,
+		Vertices:    st.Vertices,
+		Edges:       st.Edges,
+		AvgDegree:   st.AvgDegree,
+		MaxDegree:   st.MaxDegree,
+		DenseRows:   fp.DenseRows,
+		BitmapRows:  fp.BitmapRows,
+		HybridBytes: fp.HybridBytes(),
 	}
 	return NewRunRecordInfo(arch, experiment, gi, patternName, pes, ius, cacheBytes, res, perPE)
 }

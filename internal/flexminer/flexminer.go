@@ -32,6 +32,15 @@ type Config struct {
 	PrivateCacheBytes int64
 	// TaskOverheadCycles is the fixed scheduling cost per task.
 	TaskOverheadCycles mem.Cycles
+	// SetCentric switches the PE cost model to the SISA-style
+	// set-centric design point (ArchSISA): neighbor lists move in their
+	// hybrid storage representation — dense hub row, compressed bitmap,
+	// or raw array, whichever the graph's adaptive view chose — so
+	// fetch traffic shrinks to graph.HybridAdj.RowBytes, and a set
+	// operation whose long side has a stored row costs one probe cycle
+	// per short-side element instead of the full two-sided merge.
+	// Counts are unaffected; only timing changes.
+	SetCentric bool
 }
 
 // DefaultConfig matches the paper's FlexMiner setup.
@@ -52,6 +61,7 @@ type workItem struct {
 type PE struct {
 	cfg     Config
 	g       *graph.Graph
+	adj     *graph.HybridAdj // non-nil only under Config.SetCentric
 	engines []*mine.Engine
 	roots   *accel.RootScheduler
 	shared  accel.MemPort
@@ -112,6 +122,9 @@ type stagedRoot struct {
 // several for multi-pattern) against the shared cache.
 func NewPE(cfg Config, g *graph.Graph, plans []*plan.Plan, roots *accel.RootScheduler, shared accel.MemPort) *PE {
 	pe := &PE{cfg: cfg, g: g, roots: roots, shared: shared}
+	if cfg.SetCentric {
+		pe.adj = g.Hybrid() // shared cached view: PEs never duplicate rows
+	}
 	for _, pl := range plans {
 		pe.engines = append(pe.engines, mine.NewEngine(g, pl))
 	}
@@ -348,7 +361,7 @@ func (pe *PE) charge(info mine.TaskInfo) {
 			continue
 		}
 		t0 := pe.now
-		pe.now = pe.shared.Access(pe.now, pe.g.NeighborAddr(v), pe.g.NeighborBytes(v))
+		pe.now = pe.shared.Access(pe.now, pe.g.NeighborAddr(v), pe.rowBytes(v))
 		pe.bd.MemStall += pe.now - t0
 	}
 	// Serial set operations on the single merge unit. Sequential updates
@@ -363,9 +376,9 @@ func (pe *PE) charge(info mine.TaskInfo) {
 				break
 			}
 		}
-		if usedBefore && pe.g.NeighborBytes(op.LongVertex) > pe.cfg.PrivateCacheBytes {
+		if usedBefore && pe.rowBytes(op.LongVertex) > pe.cfg.PrivateCacheBytes {
 			t0 := pe.now
-			pe.now = pe.shared.Access(pe.now, pe.g.NeighborAddr(op.LongVertex), pe.g.NeighborBytes(op.LongVertex))
+			pe.now = pe.shared.Access(pe.now, pe.g.NeighborAddr(op.LongVertex), pe.rowBytes(op.LongVertex))
 			pe.bd.MemStall += pe.now - t0
 		}
 		// A candidate set spilled beyond the private cache is read back
@@ -379,12 +392,27 @@ func (pe *PE) charge(info mine.TaskInfo) {
 			pe.trc.SetOpIssue(pe.id, pe.now, op.Kind.String(), len(op.Long), len(op.Short), 1)
 		}
 		merge := mem.Cycles(len(op.Short) + len(op.Long))
+		if pe.adj != nil && pe.adj.HasStoredRow(op.LongVertex) {
+			// Set-centric: the long side is a stored row, so the op is
+			// one membership probe per short-side element.
+			merge = mem.Cycles(len(op.Short))
+		}
 		pe.now += merge
 		pe.bd.Compute += merge
 	}
 	if pe.trc != nil {
 		pe.trc.TaskGroupEnd(pe.id, pe.now)
 	}
+}
+
+// rowBytes returns the fetch size of v's neighbor list: its hybrid
+// storage representation under the set-centric model, the raw CSR list
+// otherwise.
+func (pe *PE) rowBytes(v uint32) int64 {
+	if pe.adj != nil {
+		return pe.adj.RowBytes(v)
+	}
+	return pe.g.NeighborBytes(v)
 }
 
 // spillAddr places candidate-set spill traffic in an address region

@@ -22,6 +22,9 @@ type Graph struct {
 
 	hubOnce sync.Once
 	hubIdx  *HubIndex // lazily built by Hubs
+
+	hybridOnce sync.Once
+	hybridAdj  *HybridAdj // lazily built by Hybrid
 }
 
 // Edge is one undirected edge between two vertex IDs.

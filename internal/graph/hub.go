@@ -71,7 +71,25 @@ func (g *Graph) Hubs() *HubIndex {
 func (h *HubIndex) Threshold() int { return h.threshold }
 
 // NumHubs returns the number of indexed vertices.
-func (h *HubIndex) NumHubs() int { return len(h.rows) }
+func (h *HubIndex) NumHubs() int {
+	if h == nil {
+		return 0
+	}
+	return len(h.rows)
+}
+
+// MemoryBytes returns the RAM the index's rows occupy, the dense-tier
+// share of a hybrid view's footprint.
+func (h *HubIndex) MemoryBytes() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for _, row := range h.rows {
+		n += int64(8 * len(row))
+	}
+	return n
+}
 
 // Row returns v's membership bitset, or nil when v is not a hub. The
 // returned slice is shared and must not be modified.

@@ -32,6 +32,7 @@ type Counter struct {
 	pl    *plan.Plan
 	sched [][]step
 	hub   *graph.HubIndex
+	adj   *graph.HybridAdj
 	k     int
 
 	verts  []uint32
@@ -46,44 +47,99 @@ type frame struct {
 	// storage. Reading sets[st.src] before the step writes its targets
 	// yields the parent's value (each slot is written once per level).
 	sets [][]uint32
+	// alias[j] is the vertex whose raw neighbor list sets[j] aliases
+	// (an OpInit step with no postponed ancestors), or -1 once any
+	// kernel has rewritten the slot. It lets the leaf fast path
+	// recognize N(u) op N(v) shapes and count them entirely on stored
+	// rows — the pure-popcount path of the hybrid storage tentpole.
+	alias []int64
 	// bufs[i] is step i's reusable result buffer; capacity only grows.
 	bufs [][]uint32
 }
 
 // KernelStats counts kernel-dispatch decisions, split between
-// materializing operations and leaf counting.
+// materializing operations and leaf counting. BmProbe/CountBmProbe are
+// array×bitmap container probes; CountBmWord is the word-parallel
+// popcount leaf path over two stored rows.
 type KernelStats struct {
-	Merge, Gallop, Bits                uint64
-	CountMerge, CountGallop, CountBits uint64
+	Merge, Gallop, Bits, BmProbe                    uint64
+	CountMerge, CountGallop, CountBits, CountBmProbe uint64
+	CountBmWord                                      uint64
 }
 
 // Total returns the number of dispatched operations.
 func (s KernelStats) Total() uint64 {
-	return s.Merge + s.Gallop + s.Bits + s.CountMerge + s.CountGallop + s.CountBits
+	return s.Merge + s.Gallop + s.Bits + s.BmProbe +
+		s.CountMerge + s.CountGallop + s.CountBits + s.CountBmProbe +
+		s.CountBmWord
 }
 
 // NewCounter returns a reusable adaptive miner for the plan on g, using
-// the graph's default hub index (built and cached on first use).
+// the graph's cached adaptive hybrid view: dense rows for hubs,
+// compressed bitmaps where the density heuristic approves, CSR arrays
+// otherwise.
 func NewCounter(g *graph.Graph, pl *plan.Plan) *Counter {
+	return NewCounterPolicy(g, pl, graph.StorageAdaptive)
+}
+
+// NewCounterPolicy returns a Counter under an explicit storage policy.
+// StorageAdaptive shares the graph's cached hybrid view (so parallel
+// workers never duplicate rows); the forced policies build a private
+// view and exist for differential tests and ablations.
+func NewCounterPolicy(g *graph.Graph, pl *plan.Plan, policy graph.StoragePolicy) *Counter {
 	c := &Counter{
 		g:     g,
 		pl:    pl,
 		sched: buildSchedule(pl),
-		hub:   g.Hubs(),
 		k:     pl.K(),
+	}
+	switch policy {
+	case graph.StorageArray:
+		// Pure merge/gallop: no dense rows, no bitmaps.
+	case graph.StorageAdaptive:
+		c.adj = g.Hybrid()
+		c.hub = c.adj.Hub()
+	default:
+		c.adj = graph.NewHybridAdj(g, policy, 0)
+		c.hub = c.adj.Hub()
 	}
 	c.verts = make([]uint32, c.k)
 	c.frames = make([]frame, c.k-1)
 	for level := range c.frames {
 		c.frames[level].sets = make([][]uint32, c.k)
+		c.frames[level].alias = make([]int64, c.k)
 		c.frames[level].bufs = make([][]uint32, len(c.sched[level]))
 	}
 	return c
 }
 
 // SetHubIndex overrides the hub index, primarily so tests can force the
-// bitvector kernels on small graphs; nil disables them.
-func (c *Counter) SetHubIndex(h *graph.HubIndex) { c.hub = h }
+// dense bitvector kernels on small graphs; nil disables them. The
+// override also detaches the hybrid bitmap tier, so dispatch never
+// touches compressed bitmaps.
+func (c *Counter) SetHubIndex(h *graph.HubIndex) {
+	c.hub = h
+	c.adj = nil
+}
+
+// SetHybrid overrides the storage view (and with it the hub index),
+// letting tests and ablations share one forced-policy view across
+// counters; nil detaches both tiers.
+func (c *Counter) SetHybrid(adj *graph.HybridAdj) {
+	c.adj = adj
+	c.hub = adj.Hub()
+}
+
+// rows resolves v's stored representations through the cheapest check
+// available: the hybrid view's O(1) tier array when one is attached
+// (the serving default — no per-dispatch map hash for array-tier
+// vertices), or the hub override installed by SetHubIndex.
+func (c *Counter) rows(v uint32) ([]uint64, *setops.Bitmap) {
+	if c.adj != nil {
+		return c.adj.Rows(v)
+	}
+	return c.hub.Row(v), nil
+}
 
 // Stats returns the kernel-dispatch counters accumulated so far.
 func (c *Counter) Stats() KernelStats { return c.stats }
@@ -100,9 +156,11 @@ func (c *Counter) descend(level int, v uint32) uint64 {
 	if level == 0 {
 		for i := range f.sets {
 			f.sets[i] = nil
+			f.alias[i] = -1
 		}
 	} else {
 		copy(f.sets, c.frames[level-1].sets)
+		copy(f.alias, c.frames[level-1].alias)
 	}
 	nv := c.g.Neighbors(v)
 	steps := c.sched[level]
@@ -136,11 +194,13 @@ func (c *Counter) applySteps(f *frame, steps []step, nv []uint32, v uint32) {
 	for si := range steps {
 		st := &steps[si]
 		var result []uint32
+		aliasVert := int64(-1)
 		if st.op == plan.OpInit {
 			if len(st.pending) == 0 {
 				// No postponed ancestors: the slot aliases the (read-only)
 				// neighbor list, costing nothing.
 				result = nv
+				aliasVert = int64(v)
 			} else {
 				buf := f.bufs[si][:0]
 				anc := c.verts[st.pending[0]]
@@ -159,18 +219,24 @@ func (c *Counter) applySteps(f *frame, steps []step, nv []uint32, v uint32) {
 		}
 		for _, t := range st.targets {
 			f.sets[t] = result
+			f.alias[t] = aliasVert
 		}
 	}
 }
 
-// updateInto computes op(src, N(v)) into dst with adaptive dispatch.
+// updateInto computes op(src, N(v)) into dst with format-aware
+// dispatch: dense row, then compressed bitmap row, then the size-skew
+// choice between galloping and merge on the raw arrays.
 func (c *Counter) updateInto(op plan.OpKind, dst, src, nv []uint32, v uint32) []uint32 {
-	row := c.hub.Row(v)
+	row, bm := c.rows(v)
 	if op == plan.OpIntersect {
 		switch {
 		case row != nil:
 			c.stats.Bits++
 			return setops.IntersectBitsInto(dst, src, row)
+		case bm != nil:
+			c.stats.BmProbe++
+			return setops.IntersectArrayBitmapInto(dst, src, bm)
 		case skewed(src, nv):
 			c.stats.Gallop++
 			return setops.IntersectGallopingInto(dst, src, nv)
@@ -183,6 +249,9 @@ func (c *Counter) updateInto(op plan.OpKind, dst, src, nv []uint32, v uint32) []
 	case row != nil:
 		c.stats.Bits++
 		return setops.SubtractBitsInto(dst, src, row)
+	case bm != nil:
+		c.stats.BmProbe++
+		return setops.SubtractArrayBitmapInto(dst, src, bm)
 	case len(nv) >= setops.GallopSkewThreshold*len(src):
 		c.stats.Gallop++
 		return setops.SubtractGallopingInto(dst, src, nv)
@@ -195,9 +264,14 @@ func (c *Counter) updateInto(op plan.OpKind, dst, src, nv []uint32, v uint32) []
 // subtractNeighborsInto computes a − N(anc) into dst (the postponed
 // anti-subtraction of §2.1, candidate side first).
 func (c *Counter) subtractNeighborsInto(dst, a []uint32, anc uint32) []uint32 {
-	if row := c.hub.Row(anc); row != nil {
+	row, bm := c.rows(anc)
+	if row != nil {
 		c.stats.Bits++
 		return setops.SubtractBitsInto(dst, a, row)
+	}
+	if bm != nil {
+		c.stats.BmProbe++
+		return setops.SubtractArrayBitmapInto(dst, a, bm)
 	}
 	ancN := c.g.Neighbors(anc)
 	if len(ancN) >= setops.GallopSkewThreshold*len(a) {
@@ -210,9 +284,14 @@ func (c *Counter) subtractNeighborsInto(dst, a []uint32, anc uint32) []uint32 {
 
 // subtractNeighborsInPlace compacts a to a − N(anc) in place.
 func (c *Counter) subtractNeighborsInPlace(a []uint32, anc uint32) []uint32 {
-	if row := c.hub.Row(anc); row != nil {
+	row, bm := c.rows(anc)
+	if row != nil {
 		c.stats.Bits++
 		return setops.SubtractBitsInPlace(a, row)
+	}
+	if bm != nil {
+		c.stats.BmProbe++
+		return setops.SubtractArrayBitmapInPlace(a, bm)
 	}
 	ancN := c.g.Neighbors(anc)
 	if len(ancN) >= setops.GallopSkewThreshold*len(a) {
@@ -235,9 +314,17 @@ func skewed(a, b []uint32) bool {
 // materializing the result.
 func (c *Counter) leafCountUpdate(st *step, f *frame, nv []uint32, v uint32) uint64 {
 	src := f.sets[st.src]
+	// Pure-popcount path: when the source slot still aliases N(u) and
+	// both u and v keep stored rows (dense or bitmap), the whole leaf
+	// count happens on container words — no array is even read.
+	if au := f.alias[st.src]; au >= 0 {
+		if cnt, ok := c.leafCountRows(st.op, uint32(au), v); ok {
+			return cnt
+		}
+	}
 	a, b := c.window(c.k-1, src)
 	win := src[a:b]
-	row := c.hub.Row(v)
+	row, bm := c.rows(v)
 	used := c.verts[:c.k-1]
 	var cnt int
 	if st.op == plan.OpIntersect {
@@ -245,6 +332,9 @@ func (c *Counter) leafCountUpdate(st *step, f *frame, nv []uint32, v uint32) uin
 		case row != nil:
 			c.stats.CountBits++
 			cnt = setops.IntersectCountBits(win, row)
+		case bm != nil:
+			c.stats.CountBmProbe++
+			cnt = setops.IntersectArrayBitmapCount(win, bm)
 		case skewed(win, nv):
 			c.stats.CountGallop++
 			cnt = setops.IntersectCountGalloping(win, nv)
@@ -253,7 +343,7 @@ func (c *Counter) leafCountUpdate(st *step, f *frame, nv []uint32, v uint32) uin
 			cnt = setops.IntersectCount(win, nv)
 		}
 		for _, u := range used {
-			if setops.Contains(win, u) && c.leafMember(nv, row, u) {
+			if setops.Contains(win, u) && c.leafMember(nv, row, bm, u) {
 				cnt--
 			}
 		}
@@ -262,6 +352,9 @@ func (c *Counter) leafCountUpdate(st *step, f *frame, nv []uint32, v uint32) uin
 		case row != nil:
 			c.stats.CountBits++
 			cnt = len(win) - setops.IntersectCountBits(win, row)
+		case bm != nil:
+			c.stats.CountBmProbe++
+			cnt = len(win) - setops.IntersectArrayBitmapCount(win, bm)
 		case skewed(win, nv):
 			c.stats.CountGallop++
 			cnt = len(win) - setops.IntersectCountGalloping(win, nv)
@@ -270,7 +363,7 @@ func (c *Counter) leafCountUpdate(st *step, f *frame, nv []uint32, v uint32) uin
 			cnt = len(win) - setops.IntersectCount(win, nv)
 		}
 		for _, u := range used {
-			if setops.Contains(win, u) && !c.leafMember(nv, row, u) {
+			if setops.Contains(win, u) && !c.leafMember(nv, row, bm, u) {
 				cnt--
 			}
 		}
@@ -278,10 +371,76 @@ func (c *Counter) leafCountUpdate(st *step, f *frame, nv []uint32, v uint32) uin
 	return uint64(cnt)
 }
 
-// leafMember reports u ∈ N(v) through the hub row when available.
-func (c *Counter) leafMember(nv []uint32, row []uint64, u uint32) bool {
+// leafCountRows counts op(N(u), N(v)) within the leaf window entirely
+// on stored rows, returning ok=false when either vertex lacks one. The
+// set algebra is identical to the array path: the bounded kernels count
+// the same open interval the window() slicing selects, and the
+// used-vertex exclusion applies the same membership tests.
+func (c *Counter) leafCountRows(op plan.OpKind, u, v uint32) (uint64, bool) {
+	uDense, uBm := c.rows(u)
+	if uDense == nil && uBm == nil {
+		return 0, false
+	}
+	vDense, vBm := c.rows(v)
+	if vDense == nil && vBm == nil {
+		return 0, false
+	}
+	lo, hi, hasLo, hasHi := c.windowBounds(c.k - 1)
+	var inter int
+	switch {
+	case uBm != nil && vBm != nil:
+		c.stats.CountBmWord++
+		inter = setops.IntersectBitmapsCountBounded(uBm, vBm, lo, hi, hasLo, hasHi)
+	case uBm != nil:
+		c.stats.CountBmWord++
+		inter = setops.IntersectBitmapBitsCountBounded(uBm, vDense, lo, hi, hasLo, hasHi)
+	case vBm != nil:
+		c.stats.CountBmWord++
+		inter = setops.IntersectBitmapBitsCountBounded(vBm, uDense, lo, hi, hasLo, hasHi)
+	default:
+		// Two dense rows: still the bitvector kernel family, word-parallel.
+		c.stats.CountBits++
+		inter = setops.IntersectBitsCountBounded(uDense, vDense, lo, hi, hasLo, hasHi)
+	}
+	cnt := inter
+	if op != plan.OpIntersect {
+		var total int
+		if uBm != nil {
+			total = uBm.CountBounded(lo, hi, hasLo, hasHi)
+		} else {
+			total = setops.CountBitsBounded(uDense, lo, hi, hasLo, hasHi)
+		}
+		cnt = total - inter
+	}
+	for _, w := range c.verts[:c.k-1] {
+		if hasLo && w <= lo {
+			continue
+		}
+		if hasHi && w >= hi {
+			continue
+		}
+		if !uBm.Contains(w) && !setops.BitsContain(uDense, w) {
+			continue
+		}
+		inV := vBm.Contains(w) || setops.BitsContain(vDense, w)
+		if op == plan.OpIntersect {
+			if inV {
+				cnt--
+			}
+		} else if !inV {
+			cnt--
+		}
+	}
+	return uint64(cnt), true
+}
+
+// leafMember reports u ∈ N(v) through the stored row when available.
+func (c *Counter) leafMember(nv []uint32, row []uint64, bm *setops.Bitmap, u uint32) bool {
 	if row != nil {
 		return setops.BitsContain(row, u)
+	}
+	if bm != nil {
+		return bm.Contains(u)
 	}
 	return setops.Contains(nv, u)
 }
@@ -299,11 +458,10 @@ func (c *Counter) leafCountSet(set []uint32) uint64 {
 	return uint64(cnt)
 }
 
-// window returns the index range of set surviving the symmetry-breaking
-// restrictions of the given level, mirroring Engine.window.
-func (c *Counter) window(level int, set []uint32) (a, b int) {
-	var lo, hi uint32
-	var hasLo, hasHi bool
+// windowBounds resolves the symmetry-breaking restrictions of the given
+// level to the open interval (lo, hi): candidates must be strictly
+// greater than lo when hasLo and strictly less than hi when hasHi.
+func (c *Counter) windowBounds(level int) (lo, hi uint32, hasLo, hasHi bool) {
 	for _, r := range c.pl.Levels[level].Restrictions {
 		bound := c.verts[r.Earlier]
 		if r.Greater {
@@ -316,6 +474,13 @@ func (c *Counter) window(level int, set []uint32) (a, b int) {
 			}
 		}
 	}
+	return lo, hi, hasLo, hasHi
+}
+
+// window returns the index range of set surviving the symmetry-breaking
+// restrictions of the given level, mirroring Engine.window.
+func (c *Counter) window(level int, set []uint32) (a, b int) {
+	lo, hi, hasLo, hasHi := c.windowBounds(level)
 	a, b = 0, len(set)
 	if hasLo {
 		a = setops.UpperBound(set, lo)

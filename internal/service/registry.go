@@ -151,17 +151,25 @@ func (r *Registry) Get(name string) (*GraphEntry, error) {
 			return
 		}
 		st := graph.ComputeStats(g)
+		// Warming the hybrid view here (alongside the hub index) also
+		// fixes the representation mix the service reports: tier
+		// assignment is a pure function of the CSR, so the footprint is
+		// exact before any row materializes.
+		fp := g.Hybrid().Footprint()
 		e.ge.Store(&GraphEntry{
 			Name:  e.name,
 			Graph: g,
 			Stats: st,
 			Hubs:  g.Hubs(),
 			Info: telemetry.GraphInfo{
-				Name:      e.name,
-				Vertices:  st.Vertices,
-				Edges:     st.Edges,
-				AvgDegree: st.AvgDegree,
-				MaxDegree: st.MaxDegree,
+				Name:        e.name,
+				Vertices:    st.Vertices,
+				Edges:       st.Edges,
+				AvgDegree:   st.AvgDegree,
+				MaxDegree:   st.MaxDegree,
+				DenseRows:   fp.DenseRows,
+				BitmapRows:  fp.BitmapRows,
+				HybridBytes: fp.HybridBytes(),
 			},
 		})
 	})
@@ -193,6 +201,12 @@ type GraphSummary struct {
 	Edges     int64   `json:"edges,omitempty"`
 	AvgDegree float64 `json:"avg_degree,omitempty"`
 	MaxDegree int     `json:"max_degree,omitempty"`
+	// Hybrid-storage representation mix and its fully materialized
+	// memory footprint, fixed at load time (tier assignment is a pure
+	// function of the CSR).
+	DenseRows   int   `json:"dense_rows,omitempty"`
+	BitmapRows  int   `json:"bitmap_rows,omitempty"`
+	HybridBytes int64 `json:"hybrid_bytes,omitempty"`
 }
 
 // List summarizes every registered graph without loading any.
@@ -209,6 +223,9 @@ func (r *Registry) List() []GraphSummary {
 			s.Edges = ge.Stats.Edges
 			s.AvgDegree = ge.Stats.AvgDegree
 			s.MaxDegree = ge.Stats.MaxDegree
+			s.DenseRows = ge.Info.DenseRows
+			s.BitmapRows = ge.Info.BitmapRows
+			s.HybridBytes = ge.Info.HybridBytes
 		}
 		out = append(out, s)
 	}

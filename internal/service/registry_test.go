@@ -132,6 +132,40 @@ func TestRegistryListNonForcing(t *testing.T) {
 	}
 }
 
+// TestRegistryFootprintColumns loads a dense graph and checks the
+// hybrid representation mix flows from the load-time footprint into
+// both the shared run-record Info and the /v1/graphs listing row.
+func TestRegistryFootprintColumns(t *testing.T) {
+	r := NewRegistry()
+	g := gen.ErdosRenyi(512, 40000, 7)
+	r.Add("dense", func() (*graph.Graph, error) { return g, nil })
+	ge, err := r.Get("dense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := g.Hybrid().Footprint()
+	if fp.DenseRows+fp.BitmapRows == 0 {
+		t.Fatal("dense fixture stores no rows; pick a denser graph")
+	}
+	if ge.Info.DenseRows != fp.DenseRows || ge.Info.BitmapRows != fp.BitmapRows ||
+		ge.Info.HybridBytes != fp.HybridBytes() {
+		t.Errorf("Info mix = {%d %d %d}, want {%d %d %d}",
+			ge.Info.DenseRows, ge.Info.BitmapRows, ge.Info.HybridBytes,
+			fp.DenseRows, fp.BitmapRows, fp.HybridBytes())
+	}
+	for _, s := range r.List() {
+		if s.Name != "dense" {
+			continue
+		}
+		if s.DenseRows != fp.DenseRows || s.BitmapRows != fp.BitmapRows ||
+			s.HybridBytes != fp.HybridBytes() {
+			t.Errorf("List mix = {%d %d %d}, want {%d %d %d}",
+				s.DenseRows, s.BitmapRows, s.HybridBytes,
+				fp.DenseRows, fp.BitmapRows, fp.HybridBytes())
+		}
+	}
+}
+
 func TestRegistryBuildError(t *testing.T) {
 	r := NewRegistry()
 	r.Add("bad", func() (*graph.Graph, error) { return nil, errors.New("boom") })

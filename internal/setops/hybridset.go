@@ -1,0 +1,187 @@
+package setops
+
+// HybridSet is one set under the adaptive storage scheme: exactly one
+// of the two representations is populated. The zero value is the empty
+// array-format set. Construction via MakeHybrid applies the
+// ChooseFormat density heuristic; ArraySet/BitmapSet force a format
+// (the forced storage policies of graph.HybridAdj and the differential
+// tests).
+//
+// The dispatcher functions below route every operand-format pair to
+// the cheapest kernel in the matrix:
+//
+//	           array operand            bitmap operand
+//	array ×    merge / gallop           container probe (AB)
+//	bitmap ×   container probe (BA)     word-parallel AND/ANDNOT/OR
+//
+// Into variants decode results to the package's native sorted []uint32
+// interchange format (appending to caller-owned dst, per the aliasing
+// contract); Count variants never materialize.
+type HybridSet struct {
+	arr []uint32
+	bm  *Bitmap
+}
+
+// MakeHybrid stores the strictly increasing slice s in the format the
+// density heuristic picks. The array format aliases s; the bitmap
+// format copies it into fresh container storage.
+func MakeHybrid(s []uint32) HybridSet {
+	if len(s) == 0 {
+		return HybridSet{}
+	}
+	span := s[len(s)-1] - s[0] + 1
+	if ChooseFormat(len(s), span) == FormatBitmap {
+		return HybridSet{bm: NewBitmapFromSorted(s)}
+	}
+	return HybridSet{arr: s}
+}
+
+// ArraySet wraps s (aliased, not copied) as an array-format set.
+func ArraySet(s []uint32) HybridSet { return HybridSet{arr: s} }
+
+// BitmapSet wraps b as a bitmap-format set; a nil b is the empty set.
+func BitmapSet(b *Bitmap) HybridSet {
+	if b == nil {
+		return HybridSet{}
+	}
+	return HybridSet{bm: b}
+}
+
+// Format reports the set's physical representation.
+func (h HybridSet) Format() Format {
+	if h.bm != nil {
+		return FormatBitmap
+	}
+	return FormatArray
+}
+
+// Card returns the cardinality.
+func (h HybridSet) Card() int {
+	if h.bm != nil {
+		return h.bm.Card()
+	}
+	return len(h.arr)
+}
+
+// Bytes returns the set's in-memory footprint: 4 bytes per element for
+// arrays, 12 per stored container for bitmaps.
+func (h HybridSet) Bytes() int64 {
+	if h.bm != nil {
+		return h.bm.Bytes()
+	}
+	return int64(4 * len(h.arr))
+}
+
+// Contains reports membership of v.
+func (h HybridSet) Contains(v uint32) bool {
+	if h.bm != nil {
+		return h.bm.Contains(v)
+	}
+	return Contains(h.arr, v)
+}
+
+// AppendTo appends the set's elements to dst in increasing order.
+func (h HybridSet) AppendTo(dst []uint32) []uint32 {
+	if h.bm != nil {
+		return h.bm.AppendTo(dst)
+	}
+	return append(dst, h.arr...)
+}
+
+// IntersectHybridInto appends a ∩ b to dst, sorted.
+func IntersectHybridInto(dst []uint32, a, b HybridSet) []uint32 {
+	switch {
+	case a.bm == nil && b.bm == nil:
+		return IntersectGallopingInto(dst, a.arr, b.arr)
+	case a.bm == nil:
+		return IntersectArrayBitmapInto(dst, a.arr, b.bm)
+	case b.bm == nil:
+		return IntersectArrayBitmapInto(dst, b.arr, a.bm)
+	default:
+		return IntersectBitmapsInto(dst, a.bm, b.bm)
+	}
+}
+
+// IntersectHybridCount returns |a ∩ b| without materializing.
+func IntersectHybridCount(a, b HybridSet) int {
+	switch {
+	case a.bm == nil && b.bm == nil:
+		return IntersectCountGalloping(a.arr, b.arr)
+	case a.bm == nil:
+		return IntersectArrayBitmapCount(a.arr, b.bm)
+	case b.bm == nil:
+		return IntersectArrayBitmapCount(b.arr, a.bm)
+	default:
+		return IntersectBitmapsCount(a.bm, b.bm)
+	}
+}
+
+// SubtractHybridInto appends a − b to dst, sorted.
+func SubtractHybridInto(dst []uint32, a, b HybridSet) []uint32 {
+	switch {
+	case a.bm == nil && b.bm == nil:
+		return SubtractGallopingInto(dst, a.arr, b.arr)
+	case a.bm == nil:
+		return SubtractArrayBitmapInto(dst, a.arr, b.bm)
+	case b.bm == nil:
+		return SubtractBitmapArrayInto(dst, a.bm, b.arr)
+	default:
+		return SubtractBitmapsInto(dst, a.bm, b.bm)
+	}
+}
+
+// SubtractHybridCount returns |a − b| without materializing.
+func SubtractHybridCount(a, b HybridSet) int {
+	switch {
+	case a.bm == nil && b.bm == nil:
+		return len(a.arr) - IntersectCountGalloping(a.arr, b.arr)
+	case a.bm == nil:
+		return SubtractArrayBitmapCount(a.arr, b.bm)
+	case b.bm == nil:
+		return SubtractBitmapArrayCount(a.bm, b.arr)
+	default:
+		return SubtractBitmapsCount(a.bm, b.bm)
+	}
+}
+
+// UnionHybridInto appends a ∪ b to dst, sorted.
+func UnionHybridInto(dst []uint32, a, b HybridSet) []uint32 {
+	switch {
+	case a.bm == nil && b.bm == nil:
+		return UnionInto(dst, a.arr, b.arr)
+	case a.bm == nil:
+		return UnionArrayBitmapInto(dst, a.arr, b.bm)
+	case b.bm == nil:
+		return UnionArrayBitmapInto(dst, b.arr, a.bm)
+	default:
+		return UnionBitmapsInto(dst, a.bm, b.bm)
+	}
+}
+
+// UnionHybridCount returns |a ∪ b| without materializing.
+func UnionHybridCount(a, b HybridSet) int {
+	switch {
+	case a.bm == nil && b.bm == nil:
+		return UnionCount(a.arr, b.arr)
+	case a.bm == nil:
+		return UnionArrayBitmapCount(a.arr, b.bm)
+	case b.bm == nil:
+		return UnionArrayBitmapCount(b.arr, a.bm)
+	default:
+		return UnionBitmapsCount(a.bm, b.bm)
+	}
+}
+
+// ApplyHybridInto evaluates op on (s, n) like ApplyInto, format-aware.
+func ApplyHybridInto(op Op, dst []uint32, s, n HybridSet) []uint32 {
+	switch op {
+	case OpIntersect:
+		return IntersectHybridInto(dst, s, n)
+	case OpSubtract:
+		return SubtractHybridInto(dst, s, n)
+	case OpAntiSubtract:
+		return SubtractHybridInto(dst, n, s)
+	default:
+		panic("setops: unknown op")
+	}
+}

@@ -19,11 +19,13 @@ import (
 
 // Schema is the current report schema tag: v3 adds the sharded-mode
 // columns (shards, per-shard wall times, sharded speedup) and the
-// single-core warning annotation. All v3 fields are omitempty, so a v3
-// report without sharding is byte-compatible with v2 and the trend-v1
-// readers ignore the extras; readers accept any "fingers/simbench/"
-// prefix.
-const Schema = "fingers/simbench/v3"
+// single-core warning annotation; v4 adds the representation-mix
+// columns (per-cell dense rows, bitmap rows, and hybrid storage bytes
+// of the graph's adaptive set-storage view). All v3/v4 fields are
+// omitempty, so a v4 report without them is byte-compatible with v2 and
+// older readers ignore the extras; readers accept any
+// "fingers/simbench/" prefix.
+const Schema = "fingers/simbench/v4"
 
 // SchemaPrefix matches every vintage of simbench report.
 const SchemaPrefix = "fingers/simbench/"
@@ -62,6 +64,15 @@ type Cell struct {
 	ShardedSpeedup  float64 `json:"sharded_speedup,omitempty"`
 	ShardedCountsOK bool    `json:"sharded_counts_identical,omitempty"`
 	ShardedAllocs   uint64  `json:"sharded_allocs,omitempty"`
+
+	// Representation-mix columns (v4): how the graph's adaptive hybrid
+	// set-storage view classified this cell's graph. DenseRows is the
+	// hub tier, BitmapRows the compressed-bitmap tier, and HybridBytes
+	// the total non-array storage when fully materialized
+	// (graph.Footprint.HybridBytes). Zero/absent in pre-v4 reports.
+	DenseRows   int   `json:"dense_rows,omitempty"`
+	BitmapRows  int   `json:"bitmap_rows,omitempty"`
+	HybridBytes int64 `json:"hybrid_bytes,omitempty"`
 }
 
 // Report is the BENCH_sim.json schema. The embedded telemetry.Meta

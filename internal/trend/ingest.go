@@ -223,6 +223,9 @@ func (c *Corpus) AddBenchFile(path, rel string) {
 			SerialAllocs:  cell.SerialAllocs,
 			Shards:        rep.Shards,
 			ShardSpeedup:  cell.ShardedSpeedup,
+			DenseRows:     cell.DenseRows,
+			BitmapRows:    cell.BitmapRows,
+			HybridBytes:   cell.HybridBytes,
 			File:          rel,
 		})
 	}

@@ -91,6 +91,11 @@ type BenchSummary struct {
 	// the latest report was not sharded.
 	Shards             int     `json:"shards,omitempty"`
 	LatestShardSpeedup float64 `json:"latest_shard_speedup,omitempty"`
+	// Representation-mix columns of the newest point (simbench v4);
+	// zero when the latest report predates them.
+	DenseRows   int   `json:"dense_rows,omitempty"`
+	BitmapRows  int   `json:"bitmap_rows,omitempty"`
+	HybridBytes int64 `json:"hybrid_bytes,omitempty"`
 
 	Regression *Regression `json:"regression,omitempty"`
 }
@@ -208,6 +213,9 @@ func (m *Model) Summary(generatedAt string) Summary {
 			LatestDivPct:       round6(last.DivergencePct),
 			Shards:             last.Shards,
 			LatestShardSpeedup: round6(last.ShardSpeedup),
+			DenseRows:          last.DenseRows,
+			BitmapRows:         last.BitmapRows,
+			HybridBytes:        last.HybridBytes,
 			Regression:         roundRegression(b.Flag),
 		})
 	}

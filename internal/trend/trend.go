@@ -128,6 +128,13 @@ type BenchPoint struct {
 	Shards       int     `json:"shards,omitempty"`
 	ShardSpeedup float64 `json:"sharded_speedup,omitempty"`
 
+	// Representation-mix columns (simbench v4): the adaptive hybrid
+	// set-storage view's classification of the cell's graph. Zero on
+	// every earlier vintage, same mixed-directory contract as above.
+	DenseRows   int   `json:"dense_rows,omitempty"`
+	BitmapRows  int   `json:"bitmap_rows,omitempty"`
+	HybridBytes int64 `json:"hybrid_bytes,omitempty"`
+
 	File string `json:"file"`
 }
 

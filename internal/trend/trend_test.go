@@ -149,10 +149,10 @@ func TestBenchIngestLegacyMTimeFallback(t *testing.T) {
 	}
 }
 
-// TestBenchIngestMixedVintage scans a directory holding one v2 and one
-// v3 report for the same cell: both must ingest skip-free into a single
-// time-ordered series, with the sharded columns populated only on the
-// v3 point.
+// TestBenchIngestMixedVintage scans a directory holding v2, v3, and v4
+// reports for the same cell: all must ingest skip-free into a single
+// time-ordered series, with the sharded columns populated only from v3
+// on and the representation-mix columns only on the v4 point.
 func TestBenchIngestMixedVintage(t *testing.T) {
 	dir := t.TempDir()
 	v2 := `{"schema":"fingers/simbench/v2","started_at":"2026-08-01T09:00:00Z","cells":[
@@ -161,7 +161,10 @@ func TestBenchIngestMixedVintage(t *testing.T) {
 	  {"graph":"As","pattern":"tc","serial_cycles_sec":5.1e6,"speedup":0.56,"workers1_factor":0.61,"divergence_pct":0.02,
 	   "sharded_wall_ns":70000000,"shard_walls_ns":[70000000,65000000,68000000,61000000],
 	   "sharded_speedup":2.9,"sharded_counts_identical":true,"sharded_allocs":1500}]}`
-	for name, body := range map[string]string{"v2.json": v2, "v3.json": v3} {
+	v4 := `{"schema":"fingers/simbench/v4","started_at":"2026-08-03T09:00:00Z","cells":[
+	  {"graph":"As","pattern":"tc","serial_cycles_sec":5.2e6,"speedup":0.57,"workers1_factor":0.62,"divergence_pct":0.02,
+	   "dense_rows":12,"bitmap_rows":340,"hybrid_bytes":51200}]}`
+	for name, body := range map[string]string{"v2.json": v2, "v3.json": v3, "v4.json": v4} {
 		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
 			t.Fatal(err)
 		}
@@ -173,23 +176,32 @@ func TestBenchIngestMixedVintage(t *testing.T) {
 	if len(c.Skips) != 0 {
 		t.Fatalf("mixed-vintage corpus produced skips: %+v", c.Skips)
 	}
-	if c.BenchFiles != 2 || len(c.Bench) != 2 {
-		t.Fatalf("bench files=%d cells=%d, want 2/2", c.BenchFiles, len(c.Bench))
+	if c.BenchFiles != 3 || len(c.Bench) != 3 {
+		t.Fatalf("bench files=%d cells=%d, want 3/3", c.BenchFiles, len(c.Bench))
 	}
-	old, cur := c.Bench[0], c.Bench[1]
+	old, cur, mix := c.Bench[0], c.Bench[1], c.Bench[2]
 	if old.Shards != 0 || old.ShardSpeedup != 0 {
 		t.Errorf("v2 point carries shard columns: %+v", old)
 	}
 	if cur.Shards != 4 || cur.ShardSpeedup != 2.9 {
 		t.Errorf("v3 shard columns lost: shards=%d speedup=%v", cur.Shards, cur.ShardSpeedup)
 	}
+	if old.HybridBytes != 0 || cur.HybridBytes != 0 {
+		t.Errorf("pre-v4 points carry representation-mix columns: %+v / %+v", old, cur)
+	}
+	if mix.DenseRows != 12 || mix.BitmapRows != 340 || mix.HybridBytes != 51200 {
+		t.Errorf("v4 representation-mix columns lost: %+v", mix)
+	}
 	m := Build(c, Options{})
-	if len(m.Bench) != 1 || len(m.Bench[0].Points) != 2 {
+	if len(m.Bench) != 1 || len(m.Bench[0].Points) != 3 {
 		t.Fatalf("mixed vintages did not merge into one series: %+v", m.Bench)
 	}
 	sum := m.Summary("")
-	if b := sum.Bench[0]; b.Shards != 4 || b.LatestShardSpeedup != 2.9 {
-		t.Errorf("summary shard columns: %+v", b)
+	if b := sum.Bench[0]; b.Shards != 0 || b.LatestShardSpeedup != 0 {
+		t.Errorf("summary shard columns should follow the latest (unsharded v4) point: %+v", b)
+	}
+	if b := sum.Bench[0]; b.DenseRows != 12 || b.BitmapRows != 340 || b.HybridBytes != 51200 {
+		t.Errorf("summary representation-mix columns: %+v", b)
 	}
 }
 

@@ -27,8 +27,8 @@ import (
 // configuration, the model's shared-cache capacity, the serial event
 // loop, and no deadline.
 type JobSpec struct {
-	// Arch selects the timing model: "fingers" or "flexminer"
-	// (case-insensitive; the display names FINGERS/FlexMiner also
+	// Arch selects the timing model: "fingers", "flexminer", or "sisa"
+	// (case-insensitive; the display names FINGERS/FlexMiner/SISA also
 	// parse). See ParseArch.
 	Arch string `json:"arch"`
 	// Graph names the workload graph: a bundled dataset mnemonic
@@ -86,16 +86,18 @@ type JobSpec struct {
 	Priority string `json:"priority,omitempty"`
 }
 
-// ParseArch resolves an architecture name: "fingers"/"FINGERS" and
-// "flexminer"/"FlexMiner" (case-insensitive).
+// ParseArch resolves an architecture name: "fingers"/"FINGERS",
+// "flexminer"/"FlexMiner", and "sisa"/"SISA" (case-insensitive).
 func ParseArch(name string) (Arch, error) {
 	switch strings.ToLower(name) {
 	case "fingers":
 		return ArchFingers, nil
 	case "flexminer":
 		return ArchFlexMiner, nil
+	case "sisa":
+		return ArchSISA, nil
 	}
-	return 0, fmt.Errorf("fingers: unknown architecture %q (valid: fingers, flexminer)", name)
+	return 0, fmt.Errorf("fingers: unknown architecture %q (valid: fingers, flexminer, sisa)", name)
 }
 
 // ArchValue parses the spec's architecture field.

@@ -20,6 +20,8 @@ func TestParseArch(t *testing.T) {
 		{"Fingers", ArchFingers},
 		{"flexminer", ArchFlexMiner},
 		{"FlexMiner", ArchFlexMiner},
+		{"sisa", ArchSISA},
+		{"SISA", ArchSISA},
 	} {
 		got, err := ParseArch(tc.in)
 		if err != nil {

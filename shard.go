@@ -98,8 +98,10 @@ func runSharded(ctx context.Context, arch Arch, g *Graph, plans []*Plan, cfg sim
 		case ArchFingers:
 			c := fingerspe.NewChipWithScheduler(cfg.fiCfg, shares[s], cfg.cacheBytes, g, plans, sched)
 			fiChips[s], chips[s] = c, c
-		case ArchFlexMiner:
-			chips[s] = flexminer.NewChipWithScheduler(cfg.fmCfg, shares[s], cfg.cacheBytes, g, plans, sched)
+		case ArchFlexMiner, ArchSISA:
+			fmCfg := cfg.fmCfg
+			fmCfg.SetCentric = arch == ArchSISA
+			chips[s] = flexminer.NewChipWithScheduler(fmCfg, shares[s], cfg.cacheBytes, g, plans, sched)
 		default:
 			return rep, fmt.Errorf("fingers: Simulate: unknown architecture %d", int(arch))
 		}

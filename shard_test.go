@@ -29,7 +29,7 @@ func shardTestPlan(t *testing.T, name string) *fingers.Plan {
 // for data races.
 func TestShardInvariance(t *testing.T) {
 	g := gen.PowerLawCluster(900, 5, 0.4, 7)
-	for _, arch := range []fingers.Arch{fingers.ArchFingers, fingers.ArchFlexMiner} {
+	for _, arch := range []fingers.Arch{fingers.ArchFingers, fingers.ArchFlexMiner, fingers.ArchSISA} {
 		for _, pat := range []string{"tc", "tt", "cyc"} {
 			pl := shardTestPlan(t, pat)
 			base, err := fingers.Simulate(arch, g, []*fingers.Plan{pl},

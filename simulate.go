@@ -23,6 +23,13 @@ const (
 	ArchFingers Arch = iota
 	// ArchFlexMiner is the FlexMiner baseline the paper compares against.
 	ArchFlexMiner
+	// ArchSISA is the FlexMiner baseline with a SISA-style set-centric
+	// cost model: neighbor lists travel in their hybrid storage
+	// representation (dense row / compressed bitmap / array, per the
+	// graph's adaptive view), and set operations against stored rows
+	// cost one probe per short-side element. Counts are identical to
+	// the other architectures; only timing and traffic differ.
+	ArchSISA
 )
 
 // String returns the architecture's display name.
@@ -32,6 +39,8 @@ func (a Arch) String() string {
 		return "FINGERS"
 	case ArchFlexMiner:
 		return "FlexMiner"
+	case ArchSISA:
+		return "SISA"
 	}
 	return fmt.Sprintf("Arch(%d)", int(a))
 }
@@ -269,8 +278,10 @@ func Simulate(arch Arch, g *Graph, plans []*Plan, opts ...SimOption) (rep SimRep
 			return rep, fmt.Errorf("fingers: Simulate: %w", cerr)
 		}
 		fiChip, chip = c, c
-	case ArchFlexMiner:
-		c, cerr := flexminer.NewChipErr(cfg.fmCfg, cfg.pes, cfg.cacheBytes, g, plans)
+	case ArchFlexMiner, ArchSISA:
+		fmCfg := cfg.fmCfg
+		fmCfg.SetCentric = arch == ArchSISA
+		c, cerr := flexminer.NewChipErr(fmCfg, cfg.pes, cfg.cacheBytes, g, plans)
 		if cerr != nil {
 			return rep, fmt.Errorf("fingers: Simulate: %w", cerr)
 		}

@@ -1,0 +1,59 @@
+package fingers_test
+
+import (
+	"testing"
+
+	"fingers"
+)
+
+// TestSISACountsMatchTimingDiffers pins the ArchSISA contract: the
+// set-centric cost model is a timing-only variant, so its embedding
+// counts must be bit-identical to both other architectures, while on a
+// dense graph — where the hybrid view stores most rows as dense bitsets
+// or compressed bitmaps — the cheaper fetches and probe-style set ops
+// must make it strictly faster than the stock FlexMiner baseline.
+func TestSISACountsMatchTimingDiffers(t *testing.T) {
+	// Average degree 60 on 200 vertices: well past the hub threshold
+	// (n/32) and the bitmap density break-even, so stored rows dominate.
+	g := fingers.GenerateErdosRenyi(200, 6000, 7)
+	for _, patName := range []string{"tc", "tt"} {
+		pat, err := fingers.PatternByName(patName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := fingers.CompilePlan(pat, fingers.PlanOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans := []*fingers.Plan{pl}
+		want := fingers.Count(g, pl)
+
+		fm, err := fingers.Simulate(fingers.ArchFlexMiner, g, plans, fingers.WithPEs(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sisa, err := fingers.Simulate(fingers.ArchSISA, g, plans, fingers.WithPEs(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fi, err := fingers.Simulate(fingers.ArchFingers, g, plans, fingers.WithPEs(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fm.Result.Count != want || sisa.Result.Count != want || fi.Result.Count != want {
+			t.Errorf("%s: counts diverge: flexminer=%d sisa=%d fingers=%d want=%d",
+				patName, fm.Result.Count, sisa.Result.Count, fi.Result.Count, want)
+		}
+		if sisa.Result.Tasks != fm.Result.Tasks {
+			t.Errorf("%s: SISA changed the task stream: %d vs %d",
+				patName, sisa.Result.Tasks, fm.Result.Tasks)
+		}
+		if sisa.Result.Cycles >= fm.Result.Cycles {
+			t.Errorf("%s: SISA not faster on a dense graph: %d vs FlexMiner %d cycles",
+				patName, sisa.Result.Cycles, fm.Result.Cycles)
+		}
+	}
+	if fingers.ArchSISA.String() != "SISA" {
+		t.Errorf("ArchSISA.String() = %q", fingers.ArchSISA)
+	}
+}
